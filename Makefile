@@ -1,0 +1,27 @@
+# Convenience targets for the SlickDeque reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments validate quick-experiments clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.cli all --scale default --chart
+
+quick-experiments:
+	$(PYTHON) -m repro.experiments.cli all --scale quick
+
+validate:
+	$(PYTHON) -m repro.experiments.cli validate
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,60 @@
+"""Ablation: SlickDeque (Non-Inv) under adversarial inputs (§4.1).
+
+The paper's worst case — descending input filling the deque, then a
+dominating value deleting every node — has probability 1/n! on random
+data but is constructed deterministically here.  The bench compares
+throughput and worst-slide operation counts across input shapes:
+
+* ``ascending``  — best case, deque holds one node;
+* ``random``     — the paper's expected regime, amortized < 2 ops;
+* ``descending`` — worst *space*, deque permanently full;
+* ``filler``     — worst *time*, periodic n-operation slides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.slickdeque_noninv import SlickDequeNonInv
+from repro.datasets.adversarial import deque_filler
+from repro.datasets.synthetic import materialise, uniform
+from repro.metrics.opcount import count_ops
+from repro.operators.noninvertible import MaxOperator
+
+WINDOW = 256
+SLIDES = 4 * WINDOW
+
+_STREAMS = {
+    "ascending": list(range(SLIDES)),
+    "random": materialise(uniform(SLIDES, seed=99)),
+    "descending": list(range(SLIDES, 0, -1)),
+    "filler": list(deque_filler(WINDOW, cycles=4)),
+}
+
+
+@pytest.mark.parametrize("shape", sorted(_STREAMS))
+def test_ablation_adversarial(benchmark, shape):
+    stream = _STREAMS[shape]
+
+    def run():
+        aggregator = SlickDequeNonInv(MaxOperator(), WINDOW)
+        step = aggregator.step
+        for value in stream:
+            step(value)
+        return aggregator.occupancy
+
+    occupancy = benchmark(run)
+    profile = count_ops(
+        lambda op: SlickDequeNonInv(op, WINDOW), MaxOperator(), stream
+    )
+    benchmark.extra_info["ablation"] = "adversarial"
+    benchmark.extra_info["input_shape"] = shape
+    benchmark.extra_info["final_occupancy"] = occupancy
+    benchmark.extra_info["amortized_ops"] = round(profile.amortized, 3)
+    benchmark.extra_info["worst_slide_ops"] = profile.worst_case
+    if shape == "ascending":
+        assert occupancy == 1
+    if shape == "filler":
+        assert profile.worst_case >= WINDOW - 1
+    if shape == "random":
+        assert profile.amortized < 2.0

@@ -1,0 +1,46 @@
+"""Ablation: chunk size ``k`` of the chunked deque (paper §4.2).
+
+The space formula ``2n + 4k + 4n/k`` is minimised at ``k = √n``; this
+bench sweeps chunk sizes on a worst-case (descending) stream that
+keeps the deque full and records both the wall-clock and the measured
+footprint, validating the √n optimum empirically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.slickdeque_noninv import ChunkedSlickDequeNonInv
+from repro.datasets.adversarial import descending_stream
+from repro.operators.noninvertible import MaxOperator
+
+WINDOW = 1024
+CHUNK_SIZES = (1, 4, 16, 32, 64, 256, 1024)  # 32 = √1024 optimum
+
+
+@pytest.fixture(scope="module")
+def worst_case_stream():
+    return list(descending_stream(3 * WINDOW))
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_ablation_chunk_size(benchmark, chunk_size, worst_case_stream):
+    def run():
+        aggregator = ChunkedSlickDequeNonInv(
+            MaxOperator(), WINDOW, chunk_size=chunk_size
+        )
+        peak = 0
+        for value in worst_case_stream:
+            aggregator.push(value)
+            words = aggregator.memory_words()
+            if words > peak:
+                peak = words
+        return peak
+
+    peak_words = benchmark(run)
+    benchmark.extra_info["ablation"] = "chunk-size"
+    benchmark.extra_info["chunk_size"] = chunk_size
+    benchmark.extra_info["peak_words"] = peak_words
+    # Full deque of n two-word nodes is the floor; pointer and slack
+    # overhead grows away from the sqrt(n) optimum.
+    assert peak_words >= 2 * WINDOW

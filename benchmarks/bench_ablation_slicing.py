@@ -1,0 +1,56 @@
+"""Ablation: Panes vs Pairs vs Cutty slicing (paper §2.1).
+
+Pairs halves the partials of Panes when ranges are not divisible by
+slides (Figure 2); Cutty halves them again but pays punctuations
+(Figure 3).  This bench measures end-to-end tuple throughput per
+technique on a single ACQ and records partials-per-cycle and
+punctuation counts as extra info.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.debs12 import debs12_array
+from repro.operators.registry import get_operator
+from repro.stream.engine import CuttyPipeline, StreamEngine
+from repro.windows.plan import build_shared_plan
+from repro.windows.query import Query
+from repro.windows.slicing import punctuation_count
+
+STREAM = 2_000
+#: Range deliberately not divisible by slide so Pairs splits fragments.
+QUERY = Query(range_size=45, slide=6)
+
+
+@pytest.fixture(scope="module")
+def sliced_stream():
+    return debs12_array(STREAM, reading=0, seed=2012)
+
+
+@pytest.mark.parametrize("technique", ["panes", "pairs", "cutty"])
+def test_ablation_slicing(benchmark, technique, sliced_stream):
+    if technique == "cutty":
+        def run():
+            pipeline = CuttyPipeline(QUERY, get_operator("sum"))
+            return len(pipeline.run(sliced_stream))
+        partials_per_cycle = QUERY.slide and 1
+        punctuations = punctuation_count("cutty", [QUERY])
+    else:
+        plan = build_shared_plan([QUERY], technique)
+        partials_per_cycle = plan.partials_per_cycle
+        punctuations = punctuation_count(technique, [QUERY])
+
+        def run():
+            engine = StreamEngine(
+                [QUERY], get_operator("sum"), technique=technique
+            )
+            engine.run(sliced_stream)
+            return engine.answers_emitted
+
+    answers = benchmark(run)
+    benchmark.extra_info["ablation"] = "slicing"
+    benchmark.extra_info["technique"] = technique
+    benchmark.extra_info["partials_per_cycle"] = partials_per_cycle
+    benchmark.extra_info["punctuations_per_cycle"] = punctuations
+    assert answers == STREAM // QUERY.slide

@@ -1,0 +1,36 @@
+"""Exp 5 (extension): multi-query throughput vs registered query count.
+
+Fixed window, growing query set — the multi-tenant axis.  Expected
+shape: SlickDeque's slide cost is nearly query-count-independent
+(deque sweep / 2-ops-per-range), while Naive and the tree algorithms
+pay per query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_multi_stream
+from repro.datasets.workloads import uniform_ranges
+from repro.operators.registry import get_operator
+from repro.registry import available_algorithms, get_algorithm
+
+WINDOW = 64
+QUERY_COUNTS = (1, 8, 64)
+
+
+@pytest.mark.parametrize("query_count", QUERY_COUNTS)
+@pytest.mark.parametrize(
+    "algorithm", available_algorithms(multi_query=True)
+)
+def test_exp5_query_scaling(benchmark, algorithm, query_count,
+                            energy_stream_short):
+    ranges = uniform_ranges(query_count, WINDOW, seed=13)
+    spec = get_algorithm(algorithm)
+    aggregator = spec.multi(get_operator("max"), ranges)
+    benchmark.extra_info["experiment"] = "exp5"
+    benchmark.extra_info["queries"] = query_count
+    answers = benchmark(
+        run_multi_stream, aggregator, energy_stream_short
+    )
+    assert len(answers) == len(set(ranges))

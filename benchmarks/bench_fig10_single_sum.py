@@ -1,0 +1,29 @@
+"""Fig. 10 (Exp 1a): single-query throughput, invertible Sum.
+
+One benchmark per (algorithm, window); pytest-benchmark's ops/second
+column is directly comparable to the figure's y-axis.  Expected shape:
+SlickDeque fastest and window-independent; FlatFIT/TwoStacks/DABA flat;
+FlatFAT/B-Int degrade logarithmically; Naive degrades linearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_stream
+from repro.operators.registry import get_operator
+from repro.registry import available_algorithms, get_algorithm
+
+WINDOWS = (64, 1024)
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_fig10_single_query_sum(benchmark, algorithm, window,
+                                energy_stream):
+    spec = get_algorithm(algorithm)
+    aggregator = spec.single(get_operator("sum"), window)
+    benchmark.extra_info["figure"] = "10"
+    benchmark.extra_info["window"] = window
+    result = benchmark(run_stream, aggregator, energy_stream)
+    assert result is not None

@@ -1,0 +1,28 @@
+"""Fig. 11 (Exp 1b): single-query throughput, non-invertible Max.
+
+Expected shape: SlickDeque (Non-Inv) leads from small windows on; the
+tree-based algorithms degrade with window size; TwoStacks is the
+closest flat competitor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_stream
+from repro.operators.registry import get_operator
+from repro.registry import available_algorithms, get_algorithm
+
+WINDOWS = (64, 1024)
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_fig11_single_query_max(benchmark, algorithm, window,
+                                energy_stream):
+    spec = get_algorithm(algorithm)
+    aggregator = spec.single(get_operator("max"), window)
+    benchmark.extra_info["figure"] = "11"
+    benchmark.extra_info["window"] = window
+    result = benchmark(run_stream, aggregator, energy_stream)
+    assert result is not None

@@ -1,0 +1,34 @@
+"""Fig. 12 (Exp 2a): max-multi-query throughput, Sum.
+
+Ranges ``1..window`` all answered each slide.  TwoStacks and DABA are
+absent — the paper notes they do not support multi-query execution.
+Expected shape: SlickDeque (Inv) ahead from window 4 up; Naive
+collapses quadratically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_multi_stream
+from repro.operators.registry import get_operator
+from repro.registry import available_algorithms, get_algorithm
+
+WINDOWS = (16, 64)
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+@pytest.mark.parametrize(
+    "algorithm", available_algorithms(multi_query=True)
+)
+def test_fig12_multi_query_sum(benchmark, algorithm, window,
+                               energy_stream_short):
+    spec = get_algorithm(algorithm)
+    ranges = list(range(1, window + 1))
+    aggregator = spec.multi(get_operator("sum"), ranges)
+    benchmark.extra_info["figure"] = "12"
+    benchmark.extra_info["window"] = window
+    answers = benchmark(
+        run_multi_stream, aggregator, energy_stream_short
+    )
+    assert len(answers) == window

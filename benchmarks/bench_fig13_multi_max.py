@@ -1,0 +1,33 @@
+"""Fig. 13 (Exp 2b): max-multi-query throughput, Max.
+
+The paper's headline multi-query result: SlickDeque (Non-Inv) answers
+every range from one deque sweep, yielding up to 345 % higher
+throughput than the second-best technique.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_multi_stream
+from repro.operators.registry import get_operator
+from repro.registry import available_algorithms, get_algorithm
+
+WINDOWS = (16, 64)
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+@pytest.mark.parametrize(
+    "algorithm", available_algorithms(multi_query=True)
+)
+def test_fig13_multi_query_max(benchmark, algorithm, window,
+                               energy_stream_short):
+    spec = get_algorithm(algorithm)
+    ranges = list(range(1, window + 1))
+    aggregator = spec.multi(get_operator("max"), ranges)
+    benchmark.extra_info["figure"] = "13"
+    benchmark.extra_info["window"] = window
+    answers = benchmark(
+        run_multi_stream, aggregator, energy_stream_short
+    )
+    assert len(answers) == window

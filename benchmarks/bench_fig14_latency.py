@@ -1,0 +1,44 @@
+"""Fig. 14 (Exp 3): per-answer latency at a fixed window of 1024.
+
+pytest-benchmark's min/max/stddev columns are the figure's categories:
+algorithms with O(n) worst-case steps (Naive every step; TwoStacks and
+FlatFIT periodically) show a max far above their median, while DABA
+and SlickDeque stay flat.  The full percentile breakdown with the
+paper's outlier trim comes from ``repro-experiments exp3``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.operators.registry import get_operator
+from repro.registry import available_algorithms, get_algorithm
+
+WINDOW = 1024
+
+
+def _step_batch(aggregator, iterator, batch: int = 64):
+    """Run a fixed-size batch of slides (one benchmark round)."""
+    step = aggregator.step
+    answer = None
+    for _ in range(batch):
+        answer = step(next(iterator))
+    return answer
+
+
+@pytest.mark.parametrize("operator_name", ["sum", "max"])
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_fig14_latency(benchmark, algorithm, operator_name,
+                       energy_stream):
+    spec = get_algorithm(algorithm)
+    aggregator = spec.single(get_operator(operator_name), WINDOW)
+    # Warm the window so benchmark rounds measure steady state.
+    values = itertools.cycle(energy_stream)
+    for _ in range(WINDOW):
+        aggregator.step(next(values))
+    benchmark.extra_info["figure"] = "14"
+    benchmark.extra_info["window"] = WINDOW
+    result = benchmark(_step_batch, aggregator, values)
+    assert result is not None

@@ -1,0 +1,46 @@
+"""Fig. 15 (Exp 4): memory requirement vs window size.
+
+The benchmarked operation is one full run with per-slide footprint
+tracking; the reported ``logical_words`` extra-info reproduces the
+figure's series, including a non-power-of-two window where FlatFAT and
+B-Int pay their round-up to ``2^⌈log n⌉``.
+
+Expected grouping (paper): FlatFAT≈B-Int at the top, FlatFIT≈
+TwoStacks≈DABA at 2n, Naive≈SlickDeque (Inv) at n, SlickDeque
+(Non-Inv) lowest on real data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.debs12 import debs12_array
+from repro.metrics.memory import peak_memory_words
+from repro.operators.registry import get_operator
+from repro.registry import available_algorithms, get_algorithm
+
+WINDOWS = (1024, 1536)  # a power of two and a 1.5x non-power
+STREAM = 3_000
+
+
+@pytest.fixture(scope="module")
+def memory_stream():
+    return debs12_array(STREAM, reading=0, seed=2012)
+
+
+@pytest.mark.parametrize("operator_name", ["sum", "max"])
+@pytest.mark.parametrize("window", WINDOWS)
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_fig15_memory(benchmark, algorithm, window, operator_name,
+                      memory_stream):
+    spec = get_algorithm(algorithm)
+
+    def measure():
+        aggregator = spec.single(get_operator(operator_name), window)
+        return peak_memory_words(aggregator, memory_stream)
+
+    words = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = "15"
+    benchmark.extra_info["window"] = window
+    benchmark.extra_info["logical_words"] = words
+    assert words > 0

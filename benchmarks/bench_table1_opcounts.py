@@ -1,0 +1,42 @@
+"""Table 1: aggregate operations per slide, measured.
+
+Benchmarks the instrumented run and attaches the measured amortized /
+worst-case per-slide ⊕ counts as extra info — the paper's own
+complexity metric, independent of the Python runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import materialise, uniform
+from repro.metrics.opcount import count_ops
+from repro.operators.registry import get_operator
+from repro.registry import available_algorithms, get_algorithm
+
+WINDOW = 64
+SLIDES = 2_000
+
+
+@pytest.fixture(scope="module")
+def op_stream():
+    return materialise(uniform(SLIDES, seed=13))
+
+
+@pytest.mark.parametrize("operator_name", ["sum", "max"])
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_table1_opcounts(benchmark, algorithm, operator_name, op_stream):
+    spec = get_algorithm(algorithm)
+
+    def measure():
+        return count_ops(
+            lambda op: spec.single(op, WINDOW),
+            get_operator(operator_name),
+            op_stream,
+        ).steady_state(2 * WINDOW)
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["table"] = "1"
+    benchmark.extra_info["amortized_ops"] = round(result.amortized, 3)
+    benchmark.extra_info["worst_case_ops"] = result.worst_case
+    assert result.total_ops >= 0

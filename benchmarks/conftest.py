@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Streams are materialised once per session so data generation never
+pollutes timings.  Every bench file maps to one paper table or figure
+(see DESIGN.md, per-experiment index).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.debs12 import debs12_array
+
+#: Stream sizes kept bench-friendly; the experiment CLI runs the
+#: full-scale sweeps (``repro-experiments all``).
+SINGLE_STREAM = 4_000
+MULTI_STREAM = 800
+
+
+@pytest.fixture(scope="session")
+def energy_stream():
+    """One DEBS12-style energy reading for single-query benches."""
+    return debs12_array(SINGLE_STREAM, reading=0, seed=2012)
+
+
+@pytest.fixture(scope="session")
+def energy_stream_short():
+    """Shorter stream for the quadratic multi-query benches."""
+    return debs12_array(MULTI_STREAM, reading=0, seed=2012)
+
+
+def run_stream(aggregator, values):
+    """Drive a single-query aggregator; returns the last answer."""
+    step = aggregator.step
+    answer = None
+    for value in values:
+        answer = step(value)
+    return answer
+
+
+def run_multi_stream(aggregator, values):
+    """Drive a multi-query aggregator; returns the last answer map."""
+    step = aggregator.step
+    answers = None
+    for value in values:
+        answers = step(value)
+    return answers

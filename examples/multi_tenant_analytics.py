@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Multi-tenant analytics: time-based windows + operator sharing.
+
+The paper's Section 2.3 ("multi-query, multi-tenant environments,
+where large numbers of ACQs with different ranges and slides operate
+on the same data stream, calculating similar aggregations") combined
+with its Section 1 remark that windows "can be either count or
+time-based":
+
+* Tenant A wants the mean reading of the last 2 s, every second;
+* Tenant B wants the total of the last 6 s, every 2 s;
+* Tenant C counts samples over the last 4 s, every 2 s;
+* Tenant D wants mean AND variance of the last 4 s, every 4 s.
+
+All of these decompose into three distributive components — Sum,
+Count, SumOfSquares — so the sharing planner runs just three engines
+for seven logical aggregations (count-based part), and the time-based
+engine shows the same queries over wall-clock windows with silent
+gaps.
+
+Run:  python examples/multi_tenant_analytics.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import AcqSpec, CompatibleSharedEngine, Query, TimeQuery
+from repro import TimeWindowEngine, get_operator
+from repro.windows.compatibility import build_sharing_plan
+
+
+def sensor_stream(n: int, seed: int = 4):
+    rng = random.Random(seed)
+    return [round(rng.uniform(10, 30), 2) for _ in range(n)]
+
+
+def count_based_sharing() -> None:
+    print("== Count-based ACQs with compatible-operator sharing ==")
+    specs = [
+        AcqSpec(Query(20, 10, name="A"), "mean"),
+        AcqSpec(Query(60, 20, name="B"), "sum"),
+        AcqSpec(Query(40, 20, name="C"), "count"),
+        AcqSpec(Query(40, 40, name="D1"), "mean"),
+        AcqSpec(Query(40, 40, name="D2"), "variance"),
+    ]
+    plan = build_sharing_plan(specs)
+    print(plan.describe())
+    print(f"-> {plan.unshared_component_count} component engines "
+          f"without sharing, {plan.shared_component_count} with.\n")
+
+    engine = CompatibleSharedEngine(specs)
+    stream = sensor_stream(120)
+    answered = 0
+    for position, spec, answer in engine.run(stream):
+        answered += 1
+        if position >= 80:
+            print(f"  tuple {position:>3}  {spec.label:<16} "
+                  f"= {answer:,.3f}")
+    print(f"  total answers: {answered}")
+
+
+def time_based() -> None:
+    print("\n== Time-based ACQs over an irregular event stream ==")
+    rng = random.Random(11)
+    # Bursty arrivals: quiet stretches produce empty slices, which the
+    # engine answers with the operator identity — no phantom values.
+    t, stream = 0.0, []
+    for _ in range(60):
+        t += rng.choice([0.05, 0.1, 0.3, 1.7])
+        stream.append((round(t, 2), round(rng.uniform(10, 30), 2)))
+    queries = [
+        TimeQuery(2.0, 1.0, name="mean2s"),
+        TimeQuery(6.0, 2.0, name="mean6s"),
+    ]
+    engine = TimeWindowEngine(queries, get_operator("mean"))
+    print(f"  slice duration: {engine.slice_seconds:g}s")
+    shown = 0
+    for end_time, query, answer in engine.run(stream):
+        if 8.0 <= end_time <= 14.0:
+            print(f"  t={end_time:5.1f}s  {query.name:<7} "
+                  f"= {answer:.3f}")
+            shown += 1
+    print(f"  (window answers between 8s and 14s: {shown})")
+
+
+if __name__ == "__main__":
+    count_based_sharing()
+    time_based()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: sliding-window aggregation with SlickDeque.
+
+Demonstrates the three entry points of the public API:
+
+1. ``make_slickdeque`` — a single ACQ, the right algorithm picked from
+   the operator's invertibility (the paper's headline idea);
+2. ``make_slickdeque_multi`` — many ranges over one stream;
+3. ``SharedSlickDeque`` — full ACQs (range *and* slide) combined into
+   one shared execution plan.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Query,
+    SharedSlickDeque,
+    get_operator,
+    make_slickdeque,
+    make_slickdeque_multi,
+)
+
+
+def single_query() -> None:
+    print("== 1. Single query: Sum over the last 3 values ==")
+    window = make_slickdeque(get_operator("sum"), 3)
+    for value in [6, 5, 0, 1, 3, 4, 2, 7]:
+        print(f"  value={value}  sum(last 3)={window.step(value)}")
+
+    print("\n== ... and Max (non-invertible: deque path, same API) ==")
+    window = make_slickdeque(get_operator("max"), 3)
+    for value in [6, 5, 0, 1, 3, 4, 2, 7]:
+        print(f"  value={value}  max(last 3)={window.step(value)}")
+
+
+def multi_range() -> None:
+    print("\n== 2. Multi-query: Mean over three ranges at once ==")
+    ranges = [3, 5, 8]
+    windows = make_slickdeque_multi(get_operator("mean"), ranges)
+    for value in [6.0, 5.0, 0.0, 1.0, 3.0, 4.0, 2.0, 7.0]:
+        answers = windows.step(value)
+        pretty = "  ".join(
+            f"mean(last {r})={answers[r]:.2f}" for r in sorted(answers)
+        )
+        print(f"  value={value}  {pretty}")
+
+
+def shared_plan() -> None:
+    print("\n== 3. Shared plan: the paper's Example 1 ==")
+    # Two Max ACQs over the same stream: ranges 6 and 8 tuples,
+    # slides 2 and 4 tuples.  Partial aggregates are computed once
+    # every 2 tuples and shared by both queries.
+    acqs = [Query(range_size=6, slide=2), Query(range_size=8, slide=4)]
+    engine = SharedSlickDeque(acqs, get_operator("max"))
+    print(f"  plan: {engine.plan.describe()}")
+    stream = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8]
+    for position, acq, answer in engine.run(stream):
+        print(f"  tuple #{position:>2}  {acq.name}: max = {answer}")
+
+
+if __name__ == "__main__":
+    single_query()
+    multi_range()
+    shared_plan()

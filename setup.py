@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so editable
+installs work on toolchains without the ``wheel`` package (offline
+environments), via ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

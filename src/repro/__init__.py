@@ -1,0 +1,116 @@
+"""repro — a reproduction of SlickDeque (Shein et al., EDBT 2018).
+
+High-throughput, low-latency incremental sliding-window aggregation:
+the SlickDeque algorithms (invertible and non-invertible processing),
+every baseline the paper compares against (Naive, FlatFAT, B-Int,
+FlatFIT, TwoStacks, DABA), the window/partial-aggregation substrate
+(Panes, Pairs, Cutty, shared multi-query plans), a small stream engine,
+synthetic DEBS12-style workloads, and the harness that regenerates each
+figure and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Query, SharedSlickDeque, get_operator
+
+    acqs = [Query(range_size=6, slide=2), Query(range_size=8, slide=4)]
+    engine = SharedSlickDeque(acqs, get_operator("max"))
+    for position, query, answer in engine.run(stream_of_numbers):
+        print(position, query.name, answer)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.baselines import (
+    BIntAggregator,
+    DABAAggregator,
+    FlatFATAggregator,
+    FlatFITAggregator,
+    MultiQueryAggregator,
+    NaiveAggregator,
+    RecalcAggregator,
+    SlidingAggregator,
+    TwoStacksAggregator,
+)
+from repro.core import (
+    SharedSlickDeque,
+    SlickDequeInv,
+    SlickDequeInvMulti,
+    SlickDequeNonInv,
+    SlickDequeNonInvMulti,
+    make_slickdeque,
+    make_slickdeque_multi,
+)
+from repro.errors import (
+    InvalidOperatorError,
+    InvalidQueryError,
+    OutOfOrderError,
+    PlanError,
+    ReproError,
+    UnknownOperatorError,
+    WindowStateError,
+)
+from repro.operators import (
+    AggregateOperator,
+    CountingOperator,
+    InvertibleOperator,
+    available_operators,
+    get_operator,
+)
+from repro.registry import available_algorithms, get_algorithm
+from repro.windows import (
+    AcqSpec,
+    CompatibleSharedEngine,
+    Query,
+    TimeQuery,
+    TimeWindowEngine,
+    build_shared_plan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # operators
+    "AggregateOperator",
+    "InvertibleOperator",
+    "CountingOperator",
+    "get_operator",
+    "available_operators",
+    # queries and plans
+    "Query",
+    "build_shared_plan",
+    "TimeQuery",
+    "TimeWindowEngine",
+    "AcqSpec",
+    "CompatibleSharedEngine",
+    # core
+    "SlickDequeInv",
+    "SlickDequeInvMulti",
+    "SlickDequeNonInv",
+    "SlickDequeNonInvMulti",
+    "make_slickdeque",
+    "make_slickdeque_multi",
+    "SharedSlickDeque",
+    # baselines
+    "SlidingAggregator",
+    "MultiQueryAggregator",
+    "RecalcAggregator",
+    "NaiveAggregator",
+    "FlatFATAggregator",
+    "BIntAggregator",
+    "FlatFITAggregator",
+    "TwoStacksAggregator",
+    "DABAAggregator",
+    # registry
+    "get_algorithm",
+    "available_algorithms",
+    # errors
+    "ReproError",
+    "InvalidQueryError",
+    "InvalidOperatorError",
+    "WindowStateError",
+    "OutOfOrderError",
+    "PlanError",
+    "UnknownOperatorError",
+]

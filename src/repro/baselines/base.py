@@ -1,0 +1,158 @@
+"""Final-aggregator interfaces shared by all compared algorithms.
+
+The paper's evaluation drives every algorithm through the same loop: a
+new partial aggregate arrives each slide, the expired one leaves, and
+the answer(s) are produced (Section 5.1, "all query slides set to one
+tuple").  Two interfaces capture that:
+
+:class:`SlidingAggregator`
+    Single-query FIFO window of ``window`` partials.  ``push`` inserts
+    the newest value (auto-evicting the oldest once the window is
+    full); ``query`` returns the aggregate of everything retained.
+    During warm-up the answer covers only the values seen so far, which
+    equals the paper's identity-padded semantics.
+
+:class:`MultiQueryAggregator`
+    The max-multi-query environment of Section 4.1: a set of ranges
+    over one stream, every range answered each slide.  TwoStacks and
+    DABA do not implement it ("neither TwoStacks nor DABA are known to
+    support multi-query execution", Section 2.2).
+
+Both interfaces expose ``memory_words()`` — the logical space measure
+(values + aggregates + pointers, in machine words) that reproduces the
+Section 4.2 space formulas for Exp 4.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.errors import InvalidQueryError
+from repro.operators.base import Agg, AggregateOperator
+
+
+def validate_window(window: int) -> int:
+    """Check a window size in partials; return it."""
+    if window < 1:
+        raise InvalidQueryError(
+            f"window must be at least 1 partial, got {window}"
+        )
+    return window
+
+
+def validate_ranges(ranges: Sequence[int]) -> List[int]:
+    """Check and dedupe a multi-query range set; return sorted desc.
+
+    Descending order matches the shared-plan convention (Algorithm 2:
+    queries "ordered descendingly by their range").
+    """
+    unique = sorted(set(ranges), reverse=True)
+    if not unique:
+        raise InvalidQueryError("range set must not be empty")
+    if unique[-1] < 1:
+        raise InvalidQueryError(
+            f"ranges must be >= 1, got {unique[-1]}"
+        )
+    return unique
+
+
+def fold_seeded(operator: AggregateOperator, aggs: Iterable[Agg]) -> Agg:
+    """Fold aggregate values seeding with the first one.
+
+    Uses ``len(aggs) - 1`` combines — the accounting the paper uses for
+    Naive ("its complexity is n − 1 ... it simply iterates over all n
+    partials and aggregates them").  Empty input yields the identity.
+    """
+    iterator = iter(aggs)
+    try:
+        acc = next(iterator)
+    except StopIteration:
+        return operator.identity
+    for agg in iterator:
+        acc = operator.combine(acc, agg)
+    return acc
+
+
+class SlidingAggregator(ABC):
+    """Single-query FIFO sliding-window final aggregator."""
+
+    #: Class-level capability flag mirroring the paper's Table in §2.2.
+    supports_multi_query = False
+
+    def __init__(self, operator: AggregateOperator, window: int):
+        self.operator = operator
+        self.window = validate_window(window)
+
+    @abstractmethod
+    def push(self, value: Any) -> None:
+        """Insert a raw value; evict the oldest once the window is full."""
+
+    @abstractmethod
+    def query(self) -> Any:
+        """The lowered aggregate over every retained value."""
+
+    def step(self, value: Any) -> Any:
+        """One slide: push then query (the evaluation loop's body)."""
+        self.push(value)
+        return self.query()
+
+    def run(self, values: Iterable[Any]) -> List[Any]:
+        """Feed an entire stream, returning the answer per slide."""
+        return [self.step(value) for value in values]
+
+    @abstractmethod
+    def memory_words(self) -> int:
+        """Logical space in machine words (Section 4.2 accounting)."""
+
+    def resize(self, window: int) -> None:
+        """Change the window size in place (paper Section 3.1).
+
+        "All of the compared approaches ... are able to handle such
+        cases by performing dynamic resize operations."  Shrinking
+        drops the oldest retained values immediately; growing keeps
+        everything retained and simply admits more history from now
+        on.  Not every algorithm implements it (the paper only asserts
+        the *capability*); the default raises.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement dynamic resize"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(operator={self.operator.name!r}, "
+            f"window={self.window})"
+        )
+
+
+class MultiQueryAggregator(ABC):
+    """Multi-range final aggregator over a shared stream.
+
+    Every registered range is answered on every slide, as in the
+    paper's max-multi-query experiments (Exp 2).  Answers are keyed by
+    range.
+    """
+
+    def __init__(self, operator: AggregateOperator, ranges: Sequence[int]):
+        self.operator = operator
+        self.ranges = validate_ranges(ranges)
+        self.window = self.ranges[0]
+
+    @abstractmethod
+    def step(self, value: Any) -> Dict[int, Any]:
+        """One slide: insert ``value``, answer every range."""
+
+    def run(self, values: Iterable[Any]) -> List[Dict[int, Any]]:
+        """Feed an entire stream, returning per-slide answer maps."""
+        return [self.step(value) for value in values]
+
+    @abstractmethod
+    def memory_words(self) -> int:
+        """Logical space in machine words (Section 4.2 accounting)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(operator={self.operator.name!r}, "
+            f"ranges={len(self.ranges)}, window={self.window})"
+        )

@@ -1,0 +1,138 @@
+"""B-Int — Base Intervals (paper Figure 5, [5]).
+
+A multi-level structure of dyadic intervals: level 0 holds intervals of
+one partial, level ℓ intervals of ``2^ℓ`` partials, the top level one
+interval of the maximum range.  Levels are circular.  A look-up
+"determines the minimum number of intervals needed to represent the
+desired range, and aggregates them" via greedy dyadic decomposition.
+
+Per Section 4.1, B-Int "has been shown to have the same asymptotic time
+complexity as FlatFAT, with B-Int being slower by a constant factor":
+updates recompute every containing interval from its two children (two
+reads and one combine per level), and greedy decomposition of an
+arbitrary range touches up to ``2·log n`` intervals where FlatFAT's
+two-sided segment walk touches the optimal set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.baselines.base import MultiQueryAggregator, SlidingAggregator
+from repro.operators.base import Agg, AggregateOperator
+
+
+def _next_power_of_two(n: int) -> int:
+    return 1 << (n - 1).bit_length() if n > 1 else 1
+
+
+class _BaseIntervals:
+    """The dyadic interval levels shared by both query modes."""
+
+    def __init__(self, operator: AggregateOperator, window: int):
+        self.operator = operator
+        self.window = window
+        self.capacity = _next_power_of_two(window)
+        identity = operator.identity
+        self.levels: List[List[Agg]] = []
+        size = self.capacity
+        while size >= 1:
+            self.levels.append([identity] * size)
+            size //= 2
+        self.written = 0
+
+    @property
+    def position(self) -> int:
+        return (self.written - 1) % self.capacity
+
+    def insert(self, agg: Agg) -> None:
+        """Write the next base interval; rebuild every ancestor level."""
+        combine = self.operator.combine
+        position = self.written % self.capacity
+        self.levels[0][position] = agg
+        self.written += 1
+        index = position
+        for level in range(1, len(self.levels)):
+            index >>= 1
+            below = self.levels[level - 1]
+            self.levels[level][index] = combine(
+                below[2 * index], below[2 * index + 1]
+            )
+
+    def _segment(self, left: int, right: int) -> Agg:
+        """Greedy dyadic cover of positions ``left..right``, in order."""
+        op = self.operator
+        result = op.identity
+        position = left
+        remaining = right - left + 1
+        while remaining > 0:
+            # Largest dyadic block starting at `position` that fits.
+            alignment = position & -position if position else self.capacity
+            size = min(alignment, self.capacity)
+            while size > remaining:
+                size >>= 1
+            level = size.bit_length() - 1
+            result = op.combine(
+                result, self.levels[level][position >> level]
+            )
+            position += size
+            remaining -= size
+        return result
+
+    def suffix_query(self, count: int) -> Agg:
+        """Aggregate of the most recent ``count`` base intervals."""
+        op = self.operator
+        if count <= 0:
+            return op.identity
+        end = self.position
+        start = (end - count + 1) % self.capacity
+        if start <= end:
+            return self._segment(start, end)
+        older = self._segment(start, self.capacity - 1)
+        newer = self._segment(0, end)
+        return op.combine(older, newer)
+
+    def memory_words(self) -> int:
+        """All interval levels: ``2·2^⌈log n⌉ − 1`` words (§4.2)."""
+        return sum(len(level) for level in self.levels)
+
+
+class BIntAggregator(SlidingAggregator):
+    """Single-query B-Int."""
+
+    supports_multi_query = True
+
+    def __init__(self, operator: AggregateOperator, window: int):
+        super().__init__(operator, window)
+        self._intervals = _BaseIntervals(operator, window)
+
+    def push(self, value: Any) -> None:
+        self._intervals.insert(self.operator.lift(value))
+
+    def query(self) -> Any:
+        count = min(self._intervals.written, self.window)
+        return self.operator.lower(self._intervals.suffix_query(count))
+
+    def memory_words(self) -> int:
+        return self._intervals.memory_words()
+
+
+class BIntMultiAggregator(MultiQueryAggregator):
+    """Multi-query B-Int: one insert, one decomposition per range."""
+
+    def __init__(self, operator: AggregateOperator, ranges: Sequence[int]):
+        super().__init__(operator, ranges)
+        self._intervals = _BaseIntervals(operator, self.window)
+
+    def step(self, value: Any) -> Dict[int, Any]:
+        op = self.operator
+        self._intervals.insert(op.lift(value))
+        written = self._intervals.written
+        answers = {}
+        for r in self.ranges:
+            count = min(r, written, self.window)
+            answers[r] = op.lower(self._intervals.suffix_query(count))
+        return answers
+
+    def memory_words(self) -> int:
+        return self._intervals.memory_words()

@@ -1,0 +1,147 @@
+"""FlatFAT — Flat Fixed-sized Aggregator (paper Figure 4, [29]).
+
+A pointer-less complete binary tree stored in a flat array.  Partials
+are inserted into the leaves left-to-right; the leaves form a circular
+array; each insert walks the tree bottom-up updating internal nodes
+(``log₂(n)`` combines per slide).  Look-ups return the root for a
+full-window query or aggregate "a minimum set of internal nodes that
+covers the required range of leaves".
+
+Capacity rounds up to the next power of two (Section 4.2: space
+``2^⌈log n⌉ ... worst case 3n``).  Unwritten leaves hold the operator
+identity so warm-up answers match the identity-padded semantics of
+Algorithm 1.
+
+Non-commutative operators are supported: range look-ups aggregate nodes
+in leaf order, and a wrapped window is answered as the ordered
+combination of its two linear segments.  The root shortcut is used only
+when it is order-correct (commutative operator, or the window happens
+to be aligned).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.baselines.base import MultiQueryAggregator, SlidingAggregator
+from repro.operators.base import Agg, AggregateOperator
+
+
+def _next_power_of_two(n: int) -> int:
+    return 1 << (n - 1).bit_length() if n > 1 else 1
+
+
+class _FlatTree:
+    """The flat array tree shared by the single- and multi-query views."""
+
+    def __init__(self, operator: AggregateOperator, window: int):
+        self.operator = operator
+        self.window = window
+        self.capacity = _next_power_of_two(window)
+        identity = operator.identity
+        #: Heap layout: internal nodes 1..cap-1, leaves cap..2cap-1.
+        self.nodes: List[Agg] = [identity] * (2 * self.capacity)
+        self.written = 0
+
+    @property
+    def position(self) -> int:
+        """Leaf slot of the most recent insert (valid once written>0)."""
+        return (self.written - 1) % self.capacity
+
+    def insert(self, agg: Agg) -> None:
+        """Write the next leaf and update its ancestors bottom-up."""
+        combine = self.operator.combine
+        index = self.capacity + self.written % self.capacity
+        self.nodes[index] = agg
+        self.written += 1
+        index >>= 1
+        while index >= 1:
+            self.nodes[index] = combine(
+                self.nodes[2 * index], self.nodes[2 * index + 1]
+            )
+            index >>= 1
+
+    def _segment(self, left: int, right: int) -> Agg:
+        """Ordered aggregate of leaf slots ``left..right`` inclusive."""
+        op = self.operator
+        prefix = op.identity
+        suffix = op.identity
+        lo = left + self.capacity
+        hi = right + self.capacity + 1
+        while lo < hi:
+            if lo & 1:
+                prefix = op.combine(prefix, self.nodes[lo])
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                suffix = op.combine(self.nodes[hi], suffix)
+            lo >>= 1
+            hi >>= 1
+        return op.combine(prefix, suffix)
+
+    def suffix_query(self, count: int) -> Agg:
+        """Aggregate of the most recent ``count`` leaves, in time order."""
+        op = self.operator
+        if count <= 0:
+            return op.identity
+        end = self.position
+        start = (end - count + 1) % self.capacity
+        if count == self.capacity and (op.commutative or start == 0):
+            # Full circular window: the root covers every leaf.  Leaf
+            # order differs from time order unless start == 0, so the
+            # shortcut additionally requires commutativity.
+            return self.nodes[1]
+        if start <= end:
+            return self._segment(start, end)
+        older = self._segment(start, self.capacity - 1)
+        newer = self._segment(0, end)
+        return op.combine(older, newer)
+
+    def memory_words(self) -> int:
+        """Paper Section 4.2: ``2^⌈log n⌉ · 2`` words for the flat tree."""
+        return 2 * self.capacity
+
+
+class FlatFATAggregator(SlidingAggregator):
+    """Single-query FlatFAT."""
+
+    supports_multi_query = True
+
+    def __init__(self, operator: AggregateOperator, window: int):
+        super().__init__(operator, window)
+        self._tree = _FlatTree(operator, window)
+
+    def push(self, value: Any) -> None:
+        self._tree.insert(self.operator.lift(value))
+
+    def query(self) -> Any:
+        count = min(self._tree.written, self.window)
+        return self.operator.lower(self._tree.suffix_query(count))
+
+    def memory_words(self) -> int:
+        return self._tree.memory_words()
+
+
+class FlatFATMultiAggregator(MultiQueryAggregator):
+    """Multi-query FlatFAT: one insert, one range look-up per range.
+
+    Per Table 1 this is ``n·log(n)`` asymptotically in the
+    max-multi-query environment.
+    """
+
+    def __init__(self, operator: AggregateOperator, ranges: Sequence[int]):
+        super().__init__(operator, ranges)
+        self._tree = _FlatTree(operator, self.window)
+
+    def step(self, value: Any) -> Dict[int, Any]:
+        op = self.operator
+        self._tree.insert(op.lift(value))
+        written = self._tree.written
+        answers = {}
+        for r in self.ranges:
+            count = min(r, written, self.window)
+            answers[r] = op.lower(self._tree.suffix_query(count))
+        return answers
+
+    def memory_words(self) -> int:
+        return self._tree.memory_words()

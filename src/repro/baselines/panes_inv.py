@@ -1,0 +1,37 @@
+"""Panes (Inv) / Subtract-on-Evict — the invertible precursor (§2.2).
+
+"Panes (Inv) [19] (or Pairs for Invertible (Differential) Aggregate
+Queries) was proposed to efficiently process invertible aggregates,
+and it works by maintaining a running aggregate (e.g. running Sum),
+and invoking the inverse operation (e.g. Subtract) on every expiring
+tuple.  This algorithm (with minor differences) was also proposed as
+R-Int [5] and Subtract-on-Evict [28].  In this paper we extend this
+approach into SlickDeque (Inv)."
+
+Single-query SlickDeque (Inv) *is* this algorithm; the class below is
+a documented alias so experiments can reference the historical name,
+plus the lineage check the paper implies: the two are operation-for-
+operation identical in a single-query run (asserted in the tests).
+The multi-query ``answers`` map is the part SlickDeque adds.
+"""
+
+from __future__ import annotations
+
+from repro.core.slickdeque_inv import SlickDequeInv
+
+
+class PanesInvAggregator(SlickDequeInv):
+    """Running-aggregate + subtract-on-evict (Panes (Inv) / R-Int).
+
+    Identical execution to single-query SlickDeque (Inv): one ``⊕``
+    with the arriving value, one ``⊖`` with the expiring one, a ring
+    of ``n`` retained values.  Registered under ``"panes_inv"`` for
+    experiments that want the historical baseline name; it has no
+    multi-query form (that extension is SlickDeque's contribution).
+    """
+
+    supports_multi_query = False
+
+
+#: The DEBS'17 name for the same technique.
+SubtractOnEvictAggregator = PanesInvAggregator

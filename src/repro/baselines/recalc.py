@@ -1,0 +1,64 @@
+"""From-scratch re-evaluation: the differential-testing oracle.
+
+Not part of the paper's comparison — it is the "re-evaluation of the
+entire window after each update" that incremental techniques exist to
+avoid (Section 1).  Every other aggregator in this library is tested
+against it, because its correctness is self-evident: keep the raw
+window, fold it on every query.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Sequence
+
+from repro.baselines.base import (
+    MultiQueryAggregator,
+    SlidingAggregator,
+    validate_window,
+)
+from repro.operators.base import AggregateOperator
+
+
+class RecalcAggregator(SlidingAggregator):
+    """Single-query oracle: a raw deque folded per query."""
+
+    supports_multi_query = True
+
+    def __init__(self, operator: AggregateOperator, window: int):
+        super().__init__(operator, window)
+        self._values: deque = deque(maxlen=window)
+
+    def push(self, value: Any) -> None:
+        self._values.append(self.operator.lift(value))
+
+    def query(self) -> Any:
+        return self.operator.lower(self.operator.fold_aggs(self._values))
+
+    def resize(self, window: int) -> None:
+        self.window = validate_window(window)
+        self._values = deque(self._values, maxlen=window)
+
+    def memory_words(self) -> int:
+        return self.window
+
+
+class RecalcMultiAggregator(MultiQueryAggregator):
+    """Multi-query oracle: fold the last ``r`` values per range."""
+
+    def __init__(self, operator: AggregateOperator, ranges: Sequence[int]):
+        super().__init__(operator, ranges)
+        self._values: deque = deque(maxlen=self.window)
+
+    def step(self, value: Any) -> Dict[int, Any]:
+        op = self.operator
+        self._values.append(op.lift(value))
+        snapshot = list(self._values)
+        answers = {}
+        for r in self.ranges:
+            tail = snapshot[-r:] if r <= len(snapshot) else snapshot
+            answers[r] = op.lower(op.fold_aggs(tail))
+        return answers
+
+    def memory_words(self) -> int:
+        return self.window

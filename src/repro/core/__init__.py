@@ -1,0 +1,45 @@
+"""SlickDeque — the paper's contribution (Section 3).
+
+* :class:`SlickDequeInv` / :class:`SlickDequeInvMulti` — Algorithm 1,
+  invertible aggregates.
+* :class:`SlickDequeNonInv` / :class:`SlickDequeNonInvMulti` —
+  Algorithm 2, non-invertible (selection) aggregates.
+* :func:`make_slickdeque` / :func:`make_slickdeque_multi` — the
+  invertibility dispatch, including component-wise decomposition of
+  algebraic operators such as Range.
+* :class:`SharedSlickDeque` — the full shared-plan execution loop over
+  heterogeneous ACQ sets.
+"""
+
+from repro.core.algorithm1 import PaperAlgorithm1
+from repro.core.facade import (
+    ComponentwiseAggregator,
+    ComponentwiseMultiAggregator,
+    make_slickdeque,
+    make_slickdeque_multi,
+)
+from repro.core.multiquery import SharedSlickDeque
+from repro.core.slickdeque_inv import SlickDequeInv, SlickDequeInvMulti
+from repro.core.slickdeque_noninv import (
+    ChunkedSlickDequeNonInv,
+    SlickDequeNonInv,
+    SlickDequeNonInvMulti,
+    chunked_space_words,
+)
+from repro.core.slickdeque_noninv_wrapped import WrappedSlickDequeNonInvMulti
+
+__all__ = [
+    "SlickDequeInv",
+    "SlickDequeInvMulti",
+    "SlickDequeNonInv",
+    "SlickDequeNonInvMulti",
+    "ChunkedSlickDequeNonInv",
+    "chunked_space_words",
+    "WrappedSlickDequeNonInvMulti",
+    "PaperAlgorithm1",
+    "ComponentwiseAggregator",
+    "ComponentwiseMultiAggregator",
+    "make_slickdeque",
+    "make_slickdeque_multi",
+    "SharedSlickDeque",
+]

@@ -1,0 +1,111 @@
+"""Algorithm 1, transcribed: SlickDeque (Inv) with the paper's layout.
+
+Like :mod:`repro.core.slickdeque_noninv_wrapped` for Algorithm 2, this
+module keeps the pseudocode's exact formulation — the ``partials``
+circular array indexed by a wrapping ``currPos``, the ``answers`` map
+keyed by query *range*, ``startPos`` rewinding with the negative-index
+adjustment (lines 20-23), and the ``sharedPlan`` accessors — so the
+test suite can demonstrate the production implementations
+(:class:`~repro.core.slickdeque_inv.SlickDequeInvMulti` and the
+shared-plan engine) are behaviourally identical on the plans the
+pseudocode assumes.
+
+Scope note: Algorithm 1 keys ``answers`` by range and treats the range
+in partials (``qR``) as constant, which requires a uniform-lookback
+plan (always true when all slides are equal — the paper's evaluation).
+Construction rejects non-uniform plans; the production engine
+generalises them (see :mod:`repro.core.multiquery`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Tuple
+
+from repro.errors import PlanError
+from repro.operators.base import AggregateOperator, require_invertible
+from repro.windows.partial import PartialAggregator
+from repro.windows.plan import build_shared_plan
+from repro.windows.query import Query
+
+
+class PaperAlgorithm1:
+    """SlickDeque (Inv) exactly as Algorithm 1 lays it out.
+
+    Phase 1 (Preparation) happens in ``__init__``; Phase 2 (Execution)
+    is :meth:`run` — a loop over arriving tuples that mirrors the
+    pseudocode line numbers in comments.
+    """
+
+    def __init__(
+        self,
+        queries: Iterable[Query],
+        operator: AggregateOperator,
+        technique: str = "pairs",
+    ):
+        self._op = require_invertible(operator)
+        # Line 4: sharedPlan = buildSharedPlan(Q, PAT)
+        self.shared_plan = build_shared_plan(list(queries), technique)
+        if not self.shared_plan.uniform_lookback:
+            raise PlanError(
+                "Algorithm 1 assumes a constant range-in-partials per "
+                "query; this plan's lookbacks vary across the cycle — "
+                "use SharedSlickDeque for the generalised execution"
+            )
+        # Line 5: wSize = sharedPlan.wSize
+        self._w_size = self.shared_plan.w_size
+        # Lines 6, 8-10: partials = new array[wSize], all initVal.
+        init_val = operator.identity
+        self._partials: List[Any] = [init_val] * self._w_size
+        # Lines 7, 11-13: answers = map(queryRange -> initVal), with
+        # ranges measured in partials (the constant qR).
+        self._lookback_of: Dict[Query, int] = {}
+        for step in self.shared_plan.steps:
+            for scheduled in step.answers:
+                self._lookback_of[scheduled.query] = scheduled.lookback
+        self._answers: Dict[int, Any] = {
+            lookback: init_val
+            for lookback in set(self._lookback_of.values())
+        }
+        # Line 14: currPos = 0.
+        self._curr_pos = 0
+        self._partial_aggregator = PartialAggregator(
+            operator, self.shared_plan
+        )
+
+    def run(
+        self, values: Iterable[Any]
+    ) -> Iterator[Tuple[int, Query, Any]]:
+        """Phase 2 (Execution): yield ``(position, query, answer)``."""
+        op = self._op
+        w_size = self._w_size
+        for value in values:  # line 16: while results are expected
+            # Lines 17-18: aggregate the next partial per the plan.
+            completed = self._partial_aggregator.feed(value)
+            if completed is None:
+                continue
+            new_partial = completed.value
+            # Lines 19-25: update every (qR -> ans) mapping.
+            for q_range in self._answers:
+                start_pos = self._curr_pos - q_range  # line 20
+                if start_pos < 0:  # lines 21-23
+                    start_pos += w_size
+                self._answers[q_range] = op.inverse(
+                    op.combine(self._answers[q_range], new_partial),
+                    self._partials[start_pos],
+                )  # line 24
+            # Lines 26-29: emit the scheduled answers.
+            for scheduled in completed.step.answers:
+                yield (
+                    completed.position,
+                    scheduled.query,
+                    op.lower(
+                        self._answers[
+                            self._lookback_of[scheduled.query]
+                        ]
+                    ),
+                )
+            # Lines 30-34: store the partial, advance currPos.
+            self._partials[self._curr_pos] = new_partial
+            self._curr_pos += 1
+            if self._curr_pos == w_size:
+                self._curr_pos = 0

@@ -1,0 +1,117 @@
+"""Invertibility-dispatched SlickDeque construction.
+
+"The key contribution of this paper is ... the differentiated handling
+of aggregate operations based on their invertibility" (Section 6).
+:func:`make_slickdeque` / :func:`make_slickdeque_multi` are that
+dispatch: invertible operators ride Algorithm 1
+(:class:`~repro.core.slickdeque_inv.SlickDequeInv`), selection-type
+non-invertible operators ride Algorithm 2
+(:class:`~repro.core.slickdeque_noninv.SlickDequeNonInv`), and
+non-invertible *algebraic* compositions (the paper's Range = Max − Min)
+are decomposed into one selection deque per distributive component.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.baselines.base import MultiQueryAggregator, SlidingAggregator
+from repro.errors import InvalidOperatorError
+from repro.operators.algebraic import ComposedOperator
+from repro.operators.base import AggregateOperator
+from repro.core.slickdeque_inv import SlickDequeInv, SlickDequeInvMulti
+from repro.core.slickdeque_noninv import (
+    SlickDequeNonInv,
+    SlickDequeNonInvMulti,
+)
+
+
+class ComponentwiseAggregator(SlidingAggregator):
+    """One SlickDeque per distributive component of an algebraic op.
+
+    Used for compositions like Range whose tuple-valued combine is not
+    selection-type even though each component is.  Queries finalize the
+    component answers (Section 3.1: "calculating the algebraic
+    aggregations follows trivially").
+    """
+
+    supports_multi_query = True
+
+    def __init__(self, operator: ComposedOperator, window: int):
+        super().__init__(operator, window)
+        self._parts: List[SlidingAggregator] = [
+            make_slickdeque(component, window)
+            for component in operator.components
+        ]
+
+    def push(self, value: Any) -> None:
+        for part in self._parts:
+            part.push(value)
+
+    def query(self) -> Any:
+        lowered = [part.query() for part in self._parts]
+        return self.operator.lower(tuple(lowered))
+
+    def memory_words(self) -> int:
+        return sum(part.memory_words() for part in self._parts)
+
+
+class ComponentwiseMultiAggregator(MultiQueryAggregator):
+    """Multi-query variant of :class:`ComponentwiseAggregator`."""
+
+    def __init__(self, operator: ComposedOperator, ranges: Sequence[int]):
+        super().__init__(operator, ranges)
+        self._parts: List[MultiQueryAggregator] = [
+            make_slickdeque_multi(component, ranges)
+            for component in operator.components
+        ]
+
+    def step(self, value: Any) -> Dict[int, Any]:
+        part_answers = [part.step(value) for part in self._parts]
+        return {
+            r: self.operator.lower(tuple(pa[r] for pa in part_answers))
+            for r in self.ranges
+        }
+
+    def memory_words(self) -> int:
+        return sum(part.memory_words() for part in self._parts)
+
+
+def make_slickdeque(
+    operator: AggregateOperator, window: int
+) -> SlidingAggregator:
+    """Build the right single-query SlickDeque for ``operator``.
+
+    Raises:
+        InvalidOperatorError: for operators that are neither invertible
+            nor selection-type nor decomposable (e.g. holistic
+            aggregations, which the paper scopes out).
+    """
+    if operator.invertible:
+        return SlickDequeInv(operator, window)
+    if operator.selects:
+        return SlickDequeNonInv(operator, window)
+    if isinstance(operator, ComposedOperator):
+        return ComponentwiseAggregator(operator, window)
+    raise InvalidOperatorError(
+        f"operator {operator.name!r} is neither invertible, selection-"
+        "type, nor an algebraic composition; SlickDeque targets "
+        "distributive and algebraic aggregations (paper Section 3.1)"
+    )
+
+
+def make_slickdeque_multi(
+    operator: AggregateOperator, ranges: Sequence[int]
+) -> MultiQueryAggregator:
+    """Build the right multi-query SlickDeque for ``operator``."""
+    if operator.invertible:
+        return SlickDequeInvMulti(operator, ranges)
+    if operator.selects:
+        return SlickDequeNonInvMulti(operator, ranges)
+    if isinstance(operator, ComposedOperator):
+        return ComponentwiseMultiAggregator(operator, ranges)
+    raise InvalidOperatorError(
+        f"operator {operator.name!r} is neither invertible, selection-"
+        "type, nor an algebraic composition; SlickDeque targets "
+        "distributive and algebraic aggregations (paper Section 3.1)"
+    )

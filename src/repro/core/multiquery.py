@@ -1,0 +1,165 @@
+"""Shared-plan SlickDeque execution (Algorithms 1 and 2, both phases).
+
+:class:`SharedSlickDeque` is the full Preparation + Execution loop: it
+builds the shared plan from the ACQ set and a partial-aggregation
+technique, folds raw tuples into partials, and runs the
+invertibility-appropriate SlickDeque update per partial, emitting
+answers for exactly the queries scheduled at each edge.
+
+Generalisation note (see :mod:`repro.windows.plan`): Algorithm 1
+assumes each query's range-in-partials ``qR`` is constant.  With
+heterogeneous slides it varies across the composite cycle, so the
+invertible path here keeps a per-query *start pointer* into the
+partials ring and evicts as many partials as the current step's
+lookback requires — one ⊕ per new partial plus amortized one ⊖ per
+evicted partial per query, which degenerates to exactly Algorithm 1's
+two operations when the plan is uniform.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidOperatorError
+from repro.operators.base import AggregateOperator
+from repro.structures.circular_buffer import CircularBuffer
+from repro.windows.partial import PartialAggregator
+from repro.windows.plan import SharedPlan, build_shared_plan
+from repro.windows.query import Query
+
+#: One emitted result: (stream position, query, answer).
+Answer = Tuple[int, Query, Any]
+
+
+class _InvEngine:
+    """Invertible path: running answer + start pointer per query."""
+
+    def __init__(self, operator: AggregateOperator, plan: SharedPlan):
+        self._op = operator
+        # Retain enough history for the largest lookback plus the skew
+        # between a query's answer steps (bounded by one cycle).
+        capacity = plan.w_size + plan.partials_per_cycle
+        self._ring = CircularBuffer(capacity, fill=operator.identity)
+        self._answers: Dict[Query, Any] = {
+            q: operator.identity for q in plan.queries
+        }
+        # Absolute index of the first partial still inside each query's
+        # running answer.
+        self._starts: Dict[Query, int] = {q: 0 for q in plan.queries}
+        self._count = 0  # partials seen
+
+    def on_partial(self, value: Any, scheduled) -> List[Tuple[Query, Any]]:
+        op = self._op
+        self._ring.push(value)
+        self._count += 1
+        for query in self._answers:
+            self._answers[query] = op.combine(self._answers[query], value)
+        results = []
+        for sq in scheduled:
+            query = sq.query
+            answer = self._answers[query]
+            target_start = max(0, self._count - sq.lookback)
+            start = self._starts[query]
+            while start < target_start:
+                offset = self._count - start  # pushes since that partial
+                answer = op.inverse(answer, self._ring.at_offset(offset))
+                start += 1
+            self._starts[query] = start
+            self._answers[query] = answer
+            results.append((query, op.lower(answer)))
+        return results
+
+
+class _NonInvEngine:
+    """Selection path: one monotone deque shared by every query."""
+
+    def __init__(self, operator: AggregateOperator, plan: SharedPlan):
+        self._op = operator
+        self._deque: deque = deque()
+        self._w_size = plan.w_size
+        self._count = 0
+
+    def on_partial(self, value: Any, scheduled) -> List[Tuple[Query, Any]]:
+        op = self._op
+        nodes_deque = self._deque
+        self._count += 1
+        if nodes_deque and nodes_deque[0][0] <= self._count - self._w_size:
+            nodes_deque.popleft()
+        while nodes_deque and op.dominates(nodes_deque[-1][1], value):
+            nodes_deque.pop()
+        nodes_deque.append((self._count, value))
+
+        results = []
+        nodes = iter(nodes_deque)
+        pos, val = next(nodes)
+        for sq in scheduled:  # descending lookback (plan ordering)
+            threshold = self._count - sq.lookback
+            while pos <= threshold:
+                pos, val = next(nodes)
+            results.append((sq.query, op.lower(val)))
+        return results
+
+
+class SharedSlickDeque:
+    """Multi-ACQ SlickDeque over a shared execution plan.
+
+    Args:
+        queries: The ACQ set (ranges/slides in tuples).
+        operator: Aggregate operation; its invertibility selects the
+            processing scheme, per the paper's headline contribution.
+        technique: Partial-aggregation technique for the plan
+            (``"panes"`` or ``"pairs"``).
+        plan: Optionally a pre-built plan (must match ``queries``).
+
+    Raises:
+        InvalidOperatorError: operator neither invertible nor
+            selection-type.  Algebraic compositions should be run
+            through :class:`~repro.core.facade.ComponentwiseAggregator`
+            semantics — one SharedSlickDeque per component.
+    """
+
+    def __init__(
+        self,
+        queries: Iterable[Query],
+        operator: AggregateOperator,
+        technique: str = "pairs",
+        plan: Optional[SharedPlan] = None,
+    ):
+        self.queries = tuple(queries)
+        self.operator = operator
+        self.plan = plan or build_shared_plan(self.queries, technique)
+        self._partials = PartialAggregator(operator, self.plan)
+        if operator.invertible:
+            self._engine: Any = _InvEngine(operator, self.plan)
+        elif operator.selects:
+            self._engine = _NonInvEngine(operator, self.plan)
+        else:
+            raise InvalidOperatorError(
+                f"operator {operator.name!r} is neither invertible nor "
+                "selection-type; run algebraic compositions one "
+                "component at a time"
+            )
+
+    @property
+    def w_size(self) -> int:
+        """The plan's window requirement in partials (``wSize``)."""
+        return self.plan.w_size
+
+    def feed(self, value: Any) -> List[Answer]:
+        """Consume one tuple; return the answers it released."""
+        completed = self._partials.feed(value)
+        if completed is None:
+            return []
+        produced = self._engine.on_partial(
+            completed.value, completed.step.answers
+        )
+        return [
+            (completed.position, query, answer)
+            for query, answer in produced
+        ]
+
+    def run(self, values: Iterable[Any]) -> Iterator[Answer]:
+        """Stream an iterable through the plan, yielding every answer."""
+        for value in values:
+            yield from self.feed(value)

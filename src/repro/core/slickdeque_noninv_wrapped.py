@@ -1,0 +1,91 @@
+"""Wrap-faithful SlickDeque (Non-Inv): Algorithm 2 verbatim.
+
+:mod:`repro.core.slickdeque_noninv` replaces the paper's modular
+``currPos`` arithmetic with unbounded sequence numbers.  This module
+keeps the paper's exact formulation — positions in ``0..wSize-1``,
+``startPos`` rewinding with the ``boundaryCrossed`` flag, and the two
+Answer Loops — so the test suite can demonstrate the two are
+behaviourally identical (DESIGN.md, "Known, intentional deviations").
+
+It is intentionally a direct transcription, kept out of the production
+path: the sequence-number variant is simpler and measurably faster.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.baselines.base import MultiQueryAggregator
+from repro.operators.base import AggregateOperator, require_selection
+
+
+class WrappedSlickDequeNonInvMulti(MultiQueryAggregator):
+    """Algorithm 2 with wrap-around positions, verbatim.
+
+    Nodes are ``(pos, val)`` with ``pos ∈ [0, wSize)``.  The head node
+    expires when its ``pos`` equals the position about to be written
+    (lines 11-13); answers walk the deque with Answer Loop 1 when the
+    range lies inside one window image and Answer Loop 2 when it
+    crosses the boundary (lines 26-39).
+    """
+
+    def __init__(self, operator: AggregateOperator, ranges: Sequence[int]):
+        super().__init__(operator, ranges)
+        self._op = require_selection(operator)
+        self._deque: deque = deque()
+        self._curr_pos = 0  # position the next partial will occupy
+        self._steps = 0  # total partials processed (warm-up handling)
+
+    def step(self, value: Any) -> Dict[int, Any]:
+        op = self._op
+        d = self._deque
+        w_size = self.window
+        curr_pos = self._curr_pos
+        new_partial = op.lift(value)
+
+        # Lines 11-13: the head expires when currPos laps its position.
+        if d and d[0][0] == curr_pos and self._steps >= w_size:
+            d.popleft()
+        # Lines 15-17: pop dominated tail nodes.
+        while d and op.dominates(d[-1][1], new_partial):
+            d.pop()
+        # Line 19 (as described in the text: append after the pops).
+        d.append((curr_pos, new_partial))
+        self._steps += 1
+
+        answers: Dict[int, Any] = {}
+        nodes: List[Tuple[int, Any]] = list(d)
+        index = 0  # position i starts at the head (line 21)
+        for r in self.ranges:  # descending by range
+            # During warm-up a range covers only the tuples seen.
+            effective = min(r, self._steps)
+            start_pos = curr_pos - effective + 1
+            boundary_crossed = False
+            if start_pos < 0:
+                start_pos += w_size
+                boundary_crossed = True
+            if not boundary_crossed:
+                # Answer Loop 1: valid nodes satisfy
+                # startPos <= pos <= currPos.
+                while (
+                    nodes[index][0] < start_pos
+                    or nodes[index][0] > curr_pos
+                ):
+                    index += 1
+            else:
+                # Answer Loop 2: the range wraps, so valid nodes
+                # satisfy pos >= startPos OR pos <= currPos.
+                while (
+                    nodes[index][0] < start_pos
+                    and nodes[index][0] > curr_pos
+                ):
+                    index += 1
+            answers[r] = op.lower(nodes[index][1])
+
+        # Lines 42-45: advance currPos with wrap-around.
+        self._curr_pos = 0 if curr_pos + 1 == w_size else curr_pos + 1
+        return answers
+
+    def memory_words(self) -> int:
+        return 2 * len(self._deque)

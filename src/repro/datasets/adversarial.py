@@ -1,0 +1,64 @@
+"""Adversarial inputs from the paper's worst-case analysis (§4.1).
+
+"The worst time complexity of this algorithm happens when the input
+(except the last partial of the window) is ordered in the opposite way
+of the aggregate operator order, e.g., if Max is processed and the
+entire input is ordered descendingly, forcing the deque to fill up,
+after which the next input partial has the largest value so far.  This
+causes the new element to perform n operations while deleting all
+nodes on the deque."
+
+These generators construct exactly those streams so the worst-case
+bounds of Table 1 can be hit deterministically instead of waiting for
+the 1-in-n! coincidence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+def deque_filler(window: int, cycles: int = 1) -> Iterator[int]:
+    """Descending runs, each ended by a new global maximum.
+
+    One cycle emits ``window − 1`` strictly descending values followed
+    by a value larger than everything before it: the deque fills to
+    ``window − 1`` nodes and the closing value deletes them all in a
+    single ``n``-operation slide (for Max).
+    """
+    ceiling = 0
+    for cycle in range(cycles):
+        top = ceiling + window
+        for offset in range(window - 1):
+            yield top - 1 - offset
+        ceiling = top + 1
+        yield ceiling  # dominates every node currently on the deque
+
+
+def descending_stream(count: int) -> Iterator[int]:
+    """Monotone descending: worst-case *space* for the Max deque.
+
+    Every value survives on the deque until it expires, so occupancy
+    stays at the window size — the §4.2 worst case where SlickDeque
+    (Non-Inv) costs its full ``2n + 4√n``.
+    """
+    return iter(range(count, 0, -1))
+
+
+def ascending_stream(count: int) -> Iterator[int]:
+    """Monotone ascending: best case — the deque holds one node.
+
+    "In the best case, each incoming partial forces the deque to
+    eliminate all of its nodes, making the space complexity constant."
+    """
+    return iter(range(count))
+
+
+def worst_case_slide_ops(window: int) -> List[int]:
+    """A minimal stream whose final slide costs ``window`` operations.
+
+    ``window − 1`` descending values fill the deque; the final value
+    dominates them all: its insertion performs one comparison per
+    deleted node plus one for its own placement test.
+    """
+    return list(deque_filler(window, cycles=1))

@@ -1,0 +1,66 @@
+"""Synthetic value streams for tests and micro-benchmarks.
+
+Plain numeric generators with controlled distributions; every one is
+deterministic under its seed.  The property-based tests draw from
+these shapes because the SlickDeque (Non-Inv) cost profile is
+input-dependent (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List
+
+
+def uniform(
+    count: int, low: float = 0.0, high: float = 1.0, seed: int = 0
+) -> Iterator[float]:
+    """I.i.d. uniform floats in ``[low, high)``."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield rng.uniform(low, high)
+
+
+def uniform_ints(
+    count: int, low: int = -100, high: int = 100, seed: int = 0
+) -> Iterator[int]:
+    """I.i.d. uniform integers in ``[low, high]`` (exact arithmetic)."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield rng.randint(low, high)
+
+
+def gaussian(
+    count: int, mu: float = 0.0, sigma: float = 1.0, seed: int = 0
+) -> Iterator[float]:
+    """I.i.d. normal floats."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield rng.gauss(mu, sigma)
+
+
+def ascending(count: int, start: int = 0, step: int = 1) -> Iterator[int]:
+    """Strictly increasing values — keeps a Max deque at one node."""
+    return iter(range(start, start + count * step, step))
+
+
+def descending(count: int, start: int = 0, step: int = 1) -> Iterator[int]:
+    """Strictly decreasing values — fills a Max deque completely."""
+    return iter(range(start, start - count * step, -step))
+
+
+def sawtooth(count: int, period: int = 16) -> Iterator[int]:
+    """Repeating ramp ``0, 1, ..., period-1`` — periodic deque churn."""
+    wave = itertools.cycle(range(period))
+    return itertools.islice(wave, count)
+
+
+def constant(count: int, value: float = 1.0) -> Iterator[float]:
+    """All-equal values — ties exercise dominance-on-equality."""
+    return itertools.repeat(value, count)
+
+
+def materialise(stream: Iterator) -> List:
+    """List a stream (benchmarks pre-build inputs outside timing)."""
+    return list(stream)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Sub-classes
+are kept deliberately fine-grained because the streaming engine routes
+some of them (e.g. :class:`OutOfOrderError`) to error sinks instead of
+tearing the pipeline down.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """An ACQ specification is malformed (non-positive range/slide, ...)."""
+
+
+class InvalidOperatorError(ReproError, TypeError):
+    """An aggregate operator is unsuitable for the requested algorithm.
+
+    Raised, for example, when a non-invertible operator is handed to
+    SlickDeque (Inv), or when a selection-type deque algorithm receives
+    an operator that is not selection-like.
+    """
+
+
+class WindowStateError(ReproError, RuntimeError):
+    """A window structure was driven through an illegal transition.
+
+    Examples: querying an empty single-query window, evicting from an
+    empty aggregator, or pushing into a full fixed-capacity buffer.
+    """
+
+
+class OutOfOrderError(ReproError, ValueError):
+    """A tuple arrived too late to be absorbed by its partial aggregate.
+
+    Per the paper's arrival-order assumption (Section 3.1), tuples that
+    are slightly out of order are absorbed as long as they fall within
+    the still-open partial; anything older is an error surfaced through
+    this exception.
+    """
+
+
+class PlanError(ReproError, ValueError):
+    """A shared execution plan could not be built from the query set."""
+
+
+class UnknownOperatorError(ReproError, KeyError):
+    """The operator registry has no entry under the requested name."""

@@ -1,0 +1,17 @@
+"""Experiment harness: one module per paper table/figure.
+
+* :mod:`repro.experiments.table1_complexity` — Table 1.
+* :mod:`repro.experiments.exp1_throughput` — Figs. 10-11.
+* :mod:`repro.experiments.exp2_multiquery` — Figs. 12-13.
+* :mod:`repro.experiments.exp3_latency` — Fig. 14.
+* :mod:`repro.experiments.exp4_memory` — Fig. 15.
+* :mod:`repro.experiments.cli` — the ``repro-experiments`` entry point.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    memory_windows,
+    power_of_two_windows,
+)
+
+__all__ = ["ExperimentConfig", "power_of_two_windows", "memory_windows"]

@@ -1,0 +1,110 @@
+"""Command-line entry point: ``repro-experiments`` / ``python -m``.
+
+Regenerates any table or figure of the paper's evaluation::
+
+    repro-experiments table1
+    repro-experiments exp1 --scale default
+    repro-experiments exp2 --scale quick
+    repro-experiments exp3
+    repro-experiments exp4
+    repro-experiments all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    ablations,
+    exp1_throughput,
+    exp2_multiquery,
+    exp3_latency,
+    exp4_memory,
+    exp5_query_scaling,
+    table1_complexity,
+    validate,
+)
+from repro.experiments.config import ExperimentConfig
+
+_SCALES: Dict[str, Callable[[], ExperimentConfig]] = {
+    "quick": ExperimentConfig.quick,
+    "default": ExperimentConfig,
+    "paper": ExperimentConfig.paper_scale,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of SlickDeque "
+            "(EDBT 2018)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1", "exp1", "exp2", "exp3", "exp4", "exp5",
+            "ablations", "validate", "all",
+        ],
+        help="which evaluation artifact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="default",
+        help="workload scale (quick ≈ seconds, paper ≈ hours)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=64,
+        help="window size for the table1 validation",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="append ASCII log-log shape charts to exp1/exp2 reports",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="also write the report to this file",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments, run the experiment(s), print the report."""
+    args = _build_parser().parse_args(argv)
+    config = _SCALES[args.scale]()
+    sections: List[str] = []
+    if args.experiment in ("table1", "all"):
+        sections.append(table1_complexity.main(window=args.window))
+    if args.experiment in ("exp1", "all"):
+        sections.append(exp1_throughput.main(config, chart=args.chart))
+    if args.experiment in ("exp2", "all"):
+        sections.append(exp2_multiquery.main(config, chart=args.chart))
+    if args.experiment in ("exp3", "all"):
+        sections.append(exp3_latency.main(config))
+    if args.experiment in ("exp4", "all"):
+        sections.append(exp4_memory.main(config, chart=args.chart))
+    if args.experiment in ("exp5", "all"):
+        sections.append(exp5_query_scaling.main(config))
+    if args.experiment in ("ablations", "all"):
+        sections.append(ablations.main())
+    if args.experiment in ("validate", "all"):
+        sections.append(validate.main(quick=args.scale == "quick"))
+    report = "\n\n".join(sections)
+    print(report)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Experiment configuration (paper Section 5.1 workload parameters).
+
+The paper sweeps windows from 1 tuple to 134 million tuples over a
+134 M-tuple stream on a C++ platform.  The defaults here are scaled to
+CPython so the full suite finishes in minutes while covering every
+regime the paper's figures show (the crossovers it highlights happen at
+windows of 4-16 tuples; the constant-vs-log/linear separation is
+obvious well before 2^12).  Every knob scales up for longer runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+def power_of_two_windows(max_exponent: int) -> Tuple[int, ...]:
+    """Window sizes ``1, 2, 4, ..., 2^max_exponent`` (paper Exps 1-2)."""
+    return tuple(1 << e for e in range(max_exponent + 1))
+
+
+def memory_windows(max_exponent: int) -> Tuple[int, ...]:
+    """Powers of two *and* in-between sizes (paper Exp 4 "also included
+    window sizes that are not powers of two")."""
+    sizes = []
+    for e in range(max_exponent + 1):
+        sizes.append(1 << e)
+        if e >= 2:
+            sizes.append((1 << e) + (1 << (e - 1)))  # 1.5 × 2^e
+    return tuple(sorted(set(sizes)))
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for the figure/table reproductions.
+
+    Attributes:
+        windows: Window sizes for the single-query sweeps (Figs. 10-11).
+        multi_windows: Window sizes for the max-multi-query sweeps
+            (Figs. 12-13); Naive is quadratic per slide, so this sweep
+            is shorter by default.
+        stream_length: Tuples per throughput measurement.
+        multi_stream_length: Tuples per multi-query measurement.
+        latency_window: Fixed window of Exp 3 (paper: 1024).
+        latency_tuples: Stream length of Exp 3 (paper: first 1 M tuples;
+            scaled down by default).
+        memory_sizes: Window sizes of Exp 4, including non-powers of 2.
+        memory_tuples: Tuples streamed per memory measurement (enough
+            to pass the largest window and reach steady state).
+        seed: Dataset seed (three readings ↔ three seeds offsets in the
+            paper's averaging; :func:`readings` drives that).
+        repeats: Timing repetitions (best-of).
+        naive_multi_cap: Largest window Naive runs in the multi sweep
+            (``None`` = no cap); its O(n²) slides dominate runtime.
+    """
+
+    windows: Tuple[int, ...] = field(
+        default_factory=lambda: power_of_two_windows(12)
+    )
+    multi_windows: Tuple[int, ...] = field(
+        default_factory=lambda: power_of_two_windows(8)
+    )
+    stream_length: int = 20_000
+    multi_stream_length: int = 4_000
+    latency_window: int = 1024
+    latency_tuples: int = 100_000
+    memory_sizes: Tuple[int, ...] = field(
+        default_factory=lambda: memory_windows(12)
+    )
+    memory_tuples: int = 20_000
+    seed: int = 2012
+    repeats: int = 1
+    naive_multi_cap: Optional[int] = 256
+
+    @staticmethod
+    def quick() -> "ExperimentConfig":
+        """A seconds-scale configuration for tests and CI."""
+        return ExperimentConfig(
+            windows=power_of_two_windows(6),
+            multi_windows=power_of_two_windows(5),
+            stream_length=2_000,
+            multi_stream_length=600,
+            latency_window=128,
+            latency_tuples=5_000,
+            memory_sizes=memory_windows(6),
+            memory_tuples=2_000,
+            naive_multi_cap=64,
+        )
+
+    @staticmethod
+    def paper_scale() -> "ExperimentConfig":
+        """As close to the paper's sweep as Python wall-clock allows."""
+        return ExperimentConfig(
+            windows=power_of_two_windows(20),
+            multi_windows=power_of_two_windows(10),
+            stream_length=200_000,
+            multi_stream_length=20_000,
+            latency_window=1024,
+            latency_tuples=1_000_000,
+            memory_sizes=memory_windows(20),
+            memory_tuples=100_000,
+            repeats=3,
+            naive_multi_cap=512,
+        )

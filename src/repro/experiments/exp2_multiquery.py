@@ -1,0 +1,95 @@
+"""Exp 2: max-multi-query throughput (paper Figs. 12 and 13).
+
+"We ran a maximum number of queries calculating Sum [Fig. 12] / Max
+[Fig. 13] value over the ranges from 1 to the window size after each
+new tuple arrives."  Throughput is plan slides per second.
+
+The paper's shape claims this module checks:
+
+* SlickDeque best from window 4 upward, only marginally behind on
+  windows 1-2;
+* Sum: average ~45 % above the second best (max 60 %);
+* Max: average ~266 % above the second best (max 345 %) — the paper's
+  headline multi-query number;
+* TwoStacks and DABA absent (no multi-query support, Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import (
+    Table,
+    improvement_summary,
+    series_table,
+)
+from repro.experiments.runner import Series, sweep_multi_throughput
+from repro.registry import available_algorithms
+
+FIGURE = {"sum": "Fig. 12 (Exp 2a)", "max": "Fig. 13 (Exp 2b)"}
+
+
+@dataclass(frozen=True)
+class Exp2Result:
+    """The measured multi-query sweep."""
+
+    operator_name: str
+    series: Series
+    windows: Sequence[int]
+
+    def table(self) -> Table:
+        """The figure as a window × algorithm rate table."""
+        title = (
+            f"{FIGURE.get(self.operator_name, 'Exp 2')}: max-multi-query "
+            f"throughput, {self.operator_name} — plan slides/second "
+            "(higher is better; '-' = unsupported or capped)"
+        )
+        return series_table(
+            title,
+            "window",
+            list(self.windows),
+            self.series,
+            list(self.series.keys()),
+        )
+
+    def headline(self) -> str:
+        """The paper-style 'vs second best' summary sentence."""
+        return improvement_summary(self.series, "slickdeque")
+
+
+def run(
+    operator_name: str = "sum",
+    config: Optional[ExperimentConfig] = None,
+    algorithms: Optional[Sequence[str]] = None,
+) -> Exp2Result:
+    """Execute the Exp 2 sweep for one operator."""
+    config = config or ExperimentConfig()
+    algorithms = list(
+        algorithms or available_algorithms(multi_query=True)
+    )
+    series = sweep_multi_throughput(operator_name, algorithms, config)
+    return Exp2Result(operator_name, series, config.multi_windows)
+
+
+def main(
+    config: Optional[ExperimentConfig] = None, chart: bool = False
+) -> str:
+    """Run both figures; return the rendered report."""
+    sections = []
+    for operator_name in ("sum", "max"):
+        result = run(operator_name, config)
+        sections.append(result.table().render())
+        sections.append(result.headline())
+        if chart:
+            from repro.experiments.figures import chart_for_exp2
+
+            sections.append("")
+            sections.append(chart_for_exp2(result))
+        sections.append("")
+    return "\n".join(sections)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(main())

@@ -1,0 +1,136 @@
+"""ASCII figure rendering: the paper's log-log charts, in a terminal.
+
+The evaluation figures are log-log line charts (throughput or memory
+vs window size).  :func:`ascii_chart` renders the same series as a
+character plot — one letter per algorithm, logarithmic axes — so
+``repro-experiments`` output can show the *shape* (flat vs degrading
+curves, crossovers) at a glance, next to the exact tables.
+
+Pure text, no plotting dependencies, deterministic output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+#: Fallback plot glyphs for names whose letters are all taken.
+GLYPHS = "0123456789#@%&+="
+
+
+def _assign_glyphs(names: Sequence[str]) -> Dict[str, str]:
+    """One distinctive character per series, preferring its initials.
+
+    ``slickdeque`` → ``S``, ``naive`` → ``N``, and when two names
+    share every candidate letter the second falls back to lowercase
+    and then to a numeral pool — always unique, always deterministic.
+    """
+    assigned: Dict[str, str] = {}
+    taken = set()
+    for name in names:
+        candidates = [c.upper() for c in name if c.isalnum()]
+        candidates += [c.lower() for c in name if c.isalnum()]
+        candidates += list(GLYPHS)
+        for candidate in candidates:
+            if candidate not in taken:
+                assigned[name] = candidate
+                taken.add(candidate)
+                break
+    return assigned
+
+
+def _log(value: float) -> float:
+    return math.log10(value) if value > 0 else 0.0
+
+
+def ascii_chart(
+    series: Dict[str, Dict[int, Optional[float]]],
+    title: str,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "window (log)",
+    y_label: str = "rate (log)",
+) -> str:
+    """Render a log-log character chart of ``{name: {x: y}}`` series.
+
+    Points from different series that collide on the same cell show
+    ``*``.  Series order determines glyph assignment; the legend maps
+    glyphs back to names.
+    """
+    glyphs = _assign_glyphs(list(series))
+    points: List = []
+    for name, by_x in series.items():
+        glyph = glyphs[name]
+        for x, y in by_x.items():
+            if y is not None and y > 0 and x > 0:
+                points.append((glyph, _log(x), _log(y)))
+    if not points:
+        return f"{title}\n(no data)"
+
+    x_low = min(p[1] for p in points)
+    x_high = max(p[1] for p in points)
+    y_low = min(p[2] for p in points)
+    y_high = max(p[2] for p in points)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, x, y in points:
+        column = round((x - x_low) / x_span * (width - 1))
+        row = height - 1 - round((y - y_low) / y_span * (height - 1))
+        cell = grid[row][column]
+        grid[row][column] = glyph if cell in (" ", glyph) else "*"
+
+    lines = [title, ""]
+    top = f"10^{y_high:.1f}"
+    bottom = f"10^{y_low:.1f}"
+    margin = max(len(top), len(bottom)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top
+        elif row_index == height - 1:
+            label = bottom
+        else:
+            label = ""
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    lines.append(" " * margin + "-" * (width + 2))
+    axis = f"10^{x_low:.1f}"
+    axis_end = f"10^{x_high:.1f}"
+    lines.append(
+        " " * margin
+        + f" {axis}{' ' * max(1, width - len(axis) - len(axis_end))}"
+        f"{axis_end}  {x_label}"
+    )
+    legend = "  ".join(
+        f"{glyphs[name]}={name}" for name in series
+    )
+    lines.append(f"{'':>{margin}} {legend}   [y: {y_label}]")
+    return "\n".join(lines)
+
+
+def chart_for_exp1(result) -> str:
+    """Chart an :class:`~repro.experiments.exp1_throughput.Exp1Result`."""
+    return ascii_chart(
+        result.series,
+        f"Fig. {'10' if result.operator_name == 'sum' else '11'} "
+        f"(shape): single-query throughput, {result.operator_name}",
+    )
+
+
+def chart_for_exp2(result) -> str:
+    """Chart an :class:`~repro.experiments.exp2_multiquery.Exp2Result`."""
+    return ascii_chart(
+        result.series,
+        f"Fig. {'12' if result.operator_name == 'sum' else '13'} "
+        f"(shape): max-multi-query throughput, {result.operator_name}",
+    )
+
+
+def chart_series(
+    rows: Sequence[int],
+    series: Dict[str, Dict[int, Optional[float]]],
+    title: str,
+) -> str:
+    """Chart any row-indexed series dict (e.g. Exp 4 memory curves)."""
+    del rows  # the chart derives its own axes from the data
+    return ascii_chart(series, title)

@@ -1,0 +1,339 @@
+"""Claims validator: programmatic PASS/FAIL for the paper's claims.
+
+``repro-experiments validate`` re-measures every checkable headline
+claim of the paper on this machine and reports each as PASS or FAIL
+with the measured evidence — the reproduction's self-test.  Where a
+claim is about wall-clock ratios the check is directional (who wins),
+not numeric (the paper's 15 % was measured on a C++ testbed).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.datasets.adversarial import deque_filler
+from repro.datasets.debs12 import debs12_array
+from repro.datasets.synthetic import materialise, uniform
+from repro.metrics.latency import measure_step_latencies
+from repro.metrics.memory import peak_memory_words
+from repro.metrics.opcount import count_ops
+from repro.metrics.spikes import SpikeProfile
+from repro.operators.registry import get_operator
+from repro.registry import available_algorithms, get_algorithm
+
+WINDOW = 64
+LATENCY_WINDOW = 256
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One verified paper claim."""
+
+    identifier: str
+    statement: str
+    passed: bool
+    evidence: str
+
+
+def _ops(algorithm: str, operator_name: str, stream, window=WINDOW):
+    spec = get_algorithm(algorithm)
+    return count_ops(
+        lambda op: spec.single(op, window),
+        get_operator(operator_name),
+        stream,
+    ).steady_state(2 * window)
+
+
+def _throughput(algorithm: str, operator_name: str, stream, window):
+    import gc
+
+    spec = get_algorithm(algorithm)
+    best = 0.0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()  # GC pauses are noise for a relative-rate comparison
+    try:
+        for _ in range(3):  # best-of-3: shrug off scheduler contention
+            aggregator = spec.single(
+                get_operator(operator_name), window
+            )
+            step = aggregator.step
+            started = time.perf_counter()
+            for value in stream:
+                step(value)
+            rate = len(stream) / (time.perf_counter() - started)
+            best = max(best, rate)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+def check_all(quick: bool = False) -> List[Claim]:
+    """Run every claim check; return the verdicts."""
+    claims: List[Claim] = []
+    slides = 2_000 if quick else 10_000
+    random_stream = materialise(uniform(slides + 2 * WINDOW, seed=3))
+    energy = debs12_array(slides, seed=2012)
+
+    def add(identifier: str, statement: str,
+            check: Callable[[], Tuple[bool, str]]) -> None:
+        passed, evidence = check()
+        claims.append(Claim(identifier, statement, passed, evidence))
+
+    # --- Table 1 / §4.1 complexity claims -------------------------------
+    def c1():
+        profile = _ops("slickdeque", "sum", random_stream)
+        return (
+            profile.amortized == 2.0 and profile.worst_case == 2,
+            f"amortized={profile.amortized}, worst={profile.worst_case}",
+        )
+    add("C1", "SlickDeque (Inv) costs exactly 2 ops per slide", c1)
+
+    def c2():
+        profile = _ops("slickdeque", "max", random_stream)
+        return (
+            profile.amortized < 2.0,
+            f"amortized={profile.amortized:.3f}",
+        )
+    add("C2", "SlickDeque (Non-Inv) amortized ops < 2 on random input",
+        c2)
+
+    def c3():
+        profile = _ops("daba", "sum", random_stream)
+        return (
+            profile.worst_case <= 8,
+            f"worst={profile.worst_case}, "
+            f"amortized={profile.amortized:.2f}",
+        )
+    add("C3", "DABA's worst-case slide costs at most 8 ops", c3)
+
+    def c4():
+        profile = _ops("twostacks", "sum", random_stream)
+        spikes = SpikeProfile.of(list(profile.per_slide))
+        return (
+            profile.amortized < 3.5
+            and profile.worst_case >= WINDOW
+            and spikes.periodic
+            and spikes.period == WINDOW,
+            f"amortized={profile.amortized:.2f}, "
+            f"worst={profile.worst_case}, period={spikes.period}",
+        )
+    add("C4", "TwoStacks: amortized 3 with an n-op flip every n slides",
+        c4)
+
+    def c5():
+        profile = _ops("flatfit", "sum", random_stream)
+        return (
+            profile.amortized < 3.5
+            and profile.worst_case == WINDOW - 1,
+            f"amortized={profile.amortized:.2f}, "
+            f"worst={profile.worst_case}",
+        )
+    add("C5", "FlatFIT: amortized 3 with an (n-1)-op window reset", c5)
+
+    def c6():
+        filler = list(deque_filler(WINDOW, cycles=3))
+        profile = count_ops(
+            lambda op: get_algorithm("slickdeque").single(op, WINDOW),
+            get_operator("max"),
+            filler,
+        )
+        return (
+            profile.worst_case >= WINDOW - 1
+            and profile.amortized <= 2.0,
+            f"worst={profile.worst_case} on the 1-in-n! input, "
+            f"amortized={profile.amortized:.2f}",
+        )
+    add("C6", "SlickDeque (Non-Inv) worst case n exists but stays "
+        "amortized ≤ 2 (§4.1)", c6)
+
+    # --- §4.2 / Fig. 15 space claims ------------------------------------
+    def c7():
+        naive = peak_memory_words(
+            get_algorithm("naive").single(get_operator("sum"), WINDOW),
+            energy,
+        )
+        slick = peak_memory_words(
+            get_algorithm("slickdeque").single(
+                get_operator("sum"), WINDOW
+            ),
+            energy,
+        )
+        two = peak_memory_words(
+            get_algorithm("twostacks").single(
+                get_operator("sum"), WINDOW
+            ),
+            energy,
+        )
+        return (
+            naive == WINDOW and slick == WINDOW + 1
+            and two == 2 * WINDOW,
+            f"naive={naive}, slickdeque(inv)={slick}, "
+            f"twostacks={two}",
+        )
+    add("C7", "Space: Naive n, SlickDeque (Inv) n+1, TwoStacks 2n",
+        c7)
+
+    def c8():
+        window = 1024
+        slick = peak_memory_words(
+            get_algorithm("slickdeque").single(
+                get_operator("max"), window
+            ),
+            debs12_array(4 * window, seed=7),
+        )
+        return (
+            slick * 2 < window,
+            f"non-inv peak {slick} words vs naive {window} "
+            f"({window / slick:.1f}x less)",
+        )
+    add("C8", "SlickDeque (Non-Inv) uses ≥2x less memory than Naive "
+        "on real-shaped data", c8)
+
+    # --- Figs. 10-14 performance-shape claims ----------------------------
+    def c9():
+        window = 1024
+        rates = {
+            name: _throughput(name, "sum", energy, window)
+            for name in available_algorithms()
+        }
+        best = max(rates, key=rates.get)
+        return (best == "slickdeque",
+                ", ".join(f"{n}={r:,.0f}/s" for n, r in
+                          sorted(rates.items(), key=lambda kv: -kv[1])))
+    add("C9", "Single-query Sum throughput leader at large windows is "
+        "SlickDeque (Fig. 10)", c9)
+
+    def c10():
+        window = 1024
+        rates = {
+            name: _throughput(name, "max", energy, window)
+            for name in available_algorithms()
+        }
+        best = max(rates, key=rates.get)
+        return (best == "slickdeque",
+                ", ".join(f"{n}={r:,.0f}/s" for n, r in
+                          sorted(rates.items(), key=lambda kv: -kv[1])))
+    add("C10", "Single-query Max throughput leader at large windows is "
+        "SlickDeque (Fig. 11)", c10)
+
+    def c11():
+        import gc
+
+        maxima = {}
+        for name in ("twostacks", "daba", "slickdeque"):
+            spec = get_algorithm(name)
+            # Best-of-3 maxima with the cyclic GC paused: an
+            # algorithm's *structural* spike (flip, sweep) recurs
+            # every run, while one-off scheduler/GC pauses do not —
+            # the min over repeats isolates the former.
+            observed = []
+            for _ in range(3):
+                aggregator = spec.single(
+                    get_operator("sum"), LATENCY_WINDOW
+                )
+                gc_was_enabled = gc.isenabled()
+                gc.disable()
+                try:
+                    recorder = measure_step_latencies(
+                        aggregator, energy
+                    )
+                finally:
+                    if gc_was_enabled:
+                        gc.enable()
+                observed.append(recorder.summary().maximum)
+            maxima[name] = min(observed)
+        # The headline is SlickDeque's flatness; the DABA < TwoStacks
+        # sub-ordering is reported as evidence but can jitter on a
+        # noisy host, so it does not gate the verdict.
+        return (
+            maxima["slickdeque"] < maxima["daba"]
+            and maxima["slickdeque"] < maxima["twostacks"],
+            ", ".join(f"{n} max={v:,.0f}ns" for n, v in maxima.items()),
+        )
+    add("C11", "Max-latency spike: SlickDeque below DABA and "
+        "TwoStacks (Fig. 14)", c11)
+
+    def c12():
+        ranges = list(range(1, WINDOW + 1))
+        multi_profiles = {}
+        for name in available_algorithms(multi_query=True):
+            spec = get_algorithm(name)
+            multi_profiles[name] = count_ops(
+                lambda op: spec.multi(op, ranges),
+                get_operator("max"),
+                random_stream[: 6 * WINDOW],
+            ).steady_state(2 * WINDOW).amortized
+        slick = multi_profiles.pop("slickdeque")
+        return (
+            all(slick < other for other in multi_profiles.values()),
+            f"slickdeque={slick:.2f} vs "
+            + ", ".join(f"{n}={v:.1f}" for n, v in
+                        multi_profiles.items()),
+        )
+    add("C12", "Max-multi-query op cost: SlickDeque below every "
+        "competitor (Figs. 12-13)", c12)
+
+    def c13():
+        supported = set(available_algorithms(multi_query=True))
+        return (
+            "twostacks" not in supported and "daba" not in supported,
+            f"multi-query capable: {sorted(supported)}",
+        )
+    add("C13", "TwoStacks and DABA do not support multi-query "
+        "execution (§2.2)", c13)
+
+    def c14():
+        from repro.metrics.complexity_fit import (
+            classify_algorithm_time,
+        )
+
+        windows = (32, 64, 128, 256) if quick else (32, 64, 128, 256,
+                                                    512)
+        expected = {
+            "naive": "n",
+            "flatfat": "log n",
+            "slickdeque": "1",
+            "daba": "1",
+        }
+        fits = {
+            name: classify_algorithm_time(
+                name, "sum", windows=windows
+            ).model
+            for name in expected
+        }
+        return (
+            fits == expected,
+            ", ".join(f"{n}: O({m})" for n, m in fits.items()),
+        )
+    add("C14", "Fitted growth classes match Table 1's asymptotic "
+        "columns", c14)
+
+    return claims
+
+
+def render(claims: List[Claim]) -> str:
+    """Human-readable verdict listing."""
+    lines = ["Paper-claims validation", ""]
+    width = max(len(c.statement) for c in claims)
+    for claim in claims:
+        verdict = "PASS" if claim.passed else "FAIL"
+        lines.append(
+            f"[{verdict}] {claim.identifier:>4}  "
+            f"{claim.statement:<{width}}  ({claim.evidence})"
+        )
+    passed = sum(c.passed for c in claims)
+    lines.append("")
+    lines.append(f"{passed}/{len(claims)} claims reproduced")
+    return "\n".join(lines)
+
+
+def main(quick: bool = False) -> str:
+    """Run the validator; return the rendered report."""
+    return render(check_all(quick=quick))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(main())

@@ -1,0 +1,197 @@
+"""Empirical complexity classification (Table 1, measured end-to-end).
+
+Table 1 asserts asymptotic classes; this module closes the loop by
+*fitting* measured per-slide operation counts across a window sweep to
+the candidate growth models and reporting which fits best:
+
+    O(1), O(log n), O(n), O(n log n), O(n²)
+
+The fit is ordinary least squares of ``y = a + b·g(n)`` per model
+``g``, compared by residual sum of squares with a mild complexity
+penalty (prefer the simpler model on near-ties, since e.g. a constant
+series fits ``a + 0·n`` exactly too).  Operation counts are noise-free
+— unlike wall clock — so the classification is sharp; the integration
+tests assert every algorithm lands in its Table 1 class.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+#: Candidate growth models, simplest first (ties break to the left).
+MODELS: Tuple[Tuple[str, Callable[[float], float]], ...] = (
+    ("1", lambda n: 0.0),
+    ("log n", lambda n: math.log2(n) if n > 1 else 0.0),
+    ("n", lambda n: float(n)),
+    ("n log n", lambda n: n * math.log2(n) if n > 1 else 0.0),
+    ("n^2", lambda n: float(n) * n),
+)
+
+
+def _least_squares(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Tuple[float, float, float]:
+    """Fit ``y = a + b·x``; return ``(a, b, sse)``."""
+    count = len(xs)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0.0:
+        slope = 0.0
+    else:
+        slope = sum(
+            (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+        ) / var_x
+    intercept = mean_y - slope * mean_x
+    sse = sum(
+        (y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys)
+    )
+    return intercept, slope, sse
+
+
+@dataclass(frozen=True)
+class ComplexityFit:
+    """The winning growth model for a measured curve."""
+
+    model: str
+    intercept: float
+    slope: float
+    sse: float
+    #: SSE per candidate, for reports and debugging.
+    all_sse: Dict[str, float]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"O({self.model})"
+
+
+def classify_growth(
+    points: Dict[int, float],
+    penalty: float = 1.05,
+    effect_threshold: float = 0.2,
+) -> ComplexityFit:
+    """Fit a ``{n: cost}`` curve to the candidate models.
+
+    Args:
+        points: At least three (window, cost) samples spanning at
+            least a factor of four in ``n``.
+        penalty: A simpler model wins unless a more complex one
+            reduces the SSE by more than this factor.
+        effect_threshold: A growth model is only eligible when its
+            fitted component spans at least this fraction of the mean
+            cost across the sweep.  Algorithms whose amortized cost
+            *converges* to a constant (DABA, FlatFIT, ...) drift by a
+            few percent over a sweep — real growth varies by whole
+            multiples, so the effect-size gate separates the two.
+            Negative slopes are disqualified outright (costs cannot
+            shrink with n).
+    """
+    if len(points) < 3:
+        raise ValueError(
+            f"need at least 3 sweep points, got {len(points)}"
+        )
+    ns = sorted(points)
+    if ns[-1] < 4 * ns[0]:
+        raise ValueError("sweep must span at least a 4x window range")
+    ys = [float(points[n]) for n in ns]
+    mean_y = sum(ys) / len(ys)
+
+    fits: Dict[str, Tuple[float, float, float]] = {}
+    spans: Dict[str, float] = {}
+    for name, transform in MODELS:
+        xs = [transform(n) for n in ns]
+        fits[name] = _least_squares(xs, ys)
+        spans[name] = fits[name][1] * (max(xs) - min(xs))
+
+    all_sse = {name: fit[2] for name, fit in fits.items()}
+    best_name, best = "1", fits["1"]
+    for name, fit in fits.items():
+        if name == "1":
+            continue
+        intercept, slope, sse = fit
+        if slope < 0:
+            continue
+        if abs(spans[name]) < effect_threshold * abs(mean_y):
+            continue  # statistically a flat line with drift
+        if sse * penalty < best[2]:
+            best_name, best = name, fit
+    return ComplexityFit(
+        model=best_name,
+        intercept=best[0],
+        slope=best[1],
+        sse=best[2],
+        all_sse=all_sse,
+    )
+
+
+def classify_algorithm_time(
+    algorithm: str,
+    operator_name: str,
+    windows: Sequence[int] = (32, 64, 128, 256, 512),
+    slides_per_window: int = 12,
+    multi_query: bool = False,
+    seed: int = 5,
+) -> ComplexityFit:
+    """Measure and classify an algorithm's per-slide ⊕ growth.
+
+    Runs the §4.1 op-count metric at each window size (steady state)
+    and fits the amortized cost curve.  With ``multi_query=True`` the
+    max-multi-query environment (ranges ``1..n``) is measured instead.
+
+    The default sweep starts at 32: constant-amortized algorithms
+    (DABA, FlatFIT, TwoStacks) approach their constant as ``c·(1 −
+    O(1/n))``, and below ~32 that convergence transient is still a
+    double-digit fraction of the value, which would smear the fit.
+    """
+    from repro.datasets.synthetic import materialise, uniform
+    from repro.metrics.opcount import count_ops
+    from repro.operators.registry import get_operator
+    from repro.registry import get_algorithm
+
+    spec = get_algorithm(algorithm)
+    points: Dict[int, float] = {}
+    for window in windows:
+        stream = materialise(
+            uniform((slides_per_window + 2) * window, seed=seed)
+        )
+        if multi_query:
+            if spec.multi is None:
+                raise ValueError(
+                    f"{algorithm} has no multi-query form"
+                )
+            ranges = list(range(1, window + 1))
+            profile = count_ops(
+                lambda op: spec.multi(op, ranges),
+                get_operator(operator_name),
+                stream,
+            )
+        else:
+            profile = count_ops(
+                lambda op: spec.single(op, window),
+                get_operator(operator_name),
+                stream,
+            )
+        points[window] = profile.steady_state(2 * window).amortized
+    return classify_growth(points)
+
+
+def classify_algorithm_space(
+    algorithm: str,
+    operator_name: str = "sum",
+    windows: Sequence[int] = (8, 16, 32, 64, 128, 256),
+    seed: int = 5,
+) -> ComplexityFit:
+    """Measure and classify an algorithm's space growth (§4.2)."""
+    from repro.datasets.synthetic import materialise, uniform
+    from repro.metrics.memory import peak_memory_words
+    from repro.operators.registry import get_operator
+    from repro.registry import get_algorithm
+
+    spec = get_algorithm(algorithm)
+    points: Dict[int, float] = {}
+    for window in windows:
+        stream = materialise(uniform(4 * window, seed=seed))
+        aggregator = spec.single(get_operator(operator_name), window)
+        points[window] = float(peak_memory_words(aggregator, stream))
+    return classify_growth(points)

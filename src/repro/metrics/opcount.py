@@ -1,0 +1,92 @@
+"""Aggregate-operation counting (paper Section 4.1 / Table 1).
+
+Convenience drivers around
+:class:`~repro.operators.instrumented.CountingOperator` and
+:class:`~repro.operators.instrumented.SlideOpRecorder`: build an
+instrumented aggregator, run a stream, and summarise amortized and
+worst-case operations per slide — the paper's own complexity metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.operators.base import AggregateOperator
+from repro.operators.instrumented import CountingOperator, SlideOpRecorder
+
+
+@dataclass(frozen=True)
+class OpCountResult:
+    """Per-slide ⊕/⊖ profile over one run."""
+
+    slides: int
+    total_ops: int
+    amortized: float
+    worst_case: int
+    per_slide: Sequence[int]
+
+    def steady_state(self, warmup_slides: int) -> "OpCountResult":
+        """The same profile ignoring the first ``warmup_slides``.
+
+        Table 1 describes steady-state behaviour; the first window's
+        fill can be cheaper (SlickDeque Non-Inv) or more expensive
+        (FlatFIT's initial reset) than steady state.
+        """
+        tail = list(self.per_slide[warmup_slides:])
+        if not tail:
+            tail = list(self.per_slide)
+        total = sum(tail)
+        return OpCountResult(
+            slides=len(tail),
+            total_ops=total,
+            amortized=total / len(tail),
+            worst_case=max(tail),
+            per_slide=tail,
+        )
+
+
+def count_ops(
+    make_aggregator: Callable[[CountingOperator], Any],
+    operator: AggregateOperator,
+    values: Iterable[Any],
+) -> OpCountResult:
+    """Run a stream through an instrumented aggregator, per-slide.
+
+    Args:
+        make_aggregator: Builds the aggregator from the counting
+            wrapper, e.g. ``lambda op: DABAAggregator(op, 64)``.
+        operator: The raw operator to instrument.
+        values: The stream; every value is one slide.
+    """
+    counting = CountingOperator(operator)
+    aggregator = make_aggregator(counting)
+    recorder = SlideOpRecorder(counting)
+    step = aggregator.step
+    mark = recorder.mark_slide
+    for value in values:
+        step(value)
+        mark()
+    return OpCountResult(
+        slides=recorder.slides,
+        total_ops=recorder.total_ops,
+        amortized=recorder.amortized_ops,
+        worst_case=recorder.worst_case_ops,
+        per_slide=tuple(recorder.per_slide),
+    )
+
+
+def count_ops_single(
+    algorithm_factory: Callable[[AggregateOperator, int], Any],
+    operator: AggregateOperator,
+    window: int,
+    values: Iterable[Any],
+    warmup_slides: Optional[int] = None,
+) -> OpCountResult:
+    """Op profile of a single-query algorithm, optionally steady-state."""
+    result = count_ops(
+        lambda op: algorithm_factory(op, window), operator, values
+    )
+    if warmup_slides is None:
+        return result
+    return result.steady_state(warmup_slides)

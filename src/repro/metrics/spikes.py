@@ -1,0 +1,99 @@
+"""Spike analysis for per-slide cost series (§4.1 latency narrative).
+
+The paper attributes latency spikes to specific per-slide cost
+structures: TwoStacks' flip recurs every ``n`` slides, FlatFIT's
+window reset "happens once per [n + 1 slides]", DABA and SlickDeque
+(Inv) stay flat, SlickDeque (Non-Inv)'s spikes are input-driven and
+aperiodic.  This module turns a per-slide cost series into those
+statements: spike positions, inter-spike gaps, and the dominant
+period, so tests and reports can assert *why* a max-latency number is
+what it is, not just its value.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+def spike_positions(
+    series: Sequence[float], threshold_ratio: float = 4.0
+) -> List[int]:
+    """Indices whose value exceeds ``threshold_ratio ×`` the median.
+
+    Args:
+        series: Per-slide costs (operation counts or latencies).
+        threshold_ratio: How far above the median counts as a spike.
+    """
+    if not series:
+        return []
+    ordered = sorted(series)
+    median = ordered[len(ordered) // 2]
+    floor = max(median * threshold_ratio, median + 1)
+    return [i for i, value in enumerate(series) if value >= floor]
+
+
+def spike_gaps(positions: Sequence[int]) -> List[int]:
+    """Distances between consecutive spikes."""
+    return [b - a for a, b in zip(positions, positions[1:])]
+
+
+def dominant_period(positions: Sequence[int]) -> Optional[int]:
+    """The most common inter-spike gap, or ``None`` without ≥ 2 spikes."""
+    gaps = spike_gaps(positions)
+    if not gaps:
+        return None
+    (gap, _), = Counter(gaps).most_common(1)
+    return gap
+
+
+@dataclass(frozen=True)
+class SpikeProfile:
+    """Summary of a cost series' spike structure."""
+
+    slides: int
+    spike_count: int
+    period: Optional[int]
+    periodic: bool
+    max_over_median: float
+
+    @classmethod
+    def of(
+        cls,
+        series: Sequence[float],
+        threshold_ratio: float = 4.0,
+        period_tolerance: int = 1,
+    ) -> "SpikeProfile":
+        """Profile a series.
+
+        ``periodic`` is true when at least three spikes exist and all
+        inter-spike gaps agree with the dominant period within
+        ``period_tolerance`` slides.
+        """
+        positions = spike_positions(series, threshold_ratio)
+        period = dominant_period(positions)
+        gaps = spike_gaps(positions)
+        periodic = (
+            len(positions) >= 3
+            and period is not None
+            and all(abs(g - period) <= period_tolerance for g in gaps)
+        )
+        ordered = sorted(series)
+        median = ordered[len(ordered) // 2] if series else 0.0
+        peak = max(series) if series else 0.0
+        return cls(
+            slides=len(series),
+            spike_count=len(positions),
+            period=period,
+            periodic=periodic,
+            max_over_median=(peak / median if median else float("inf")),
+        )
+
+
+def flip_period(
+    series: Sequence[float], threshold_ratio: float = 4.0
+) -> Tuple[Optional[int], bool]:
+    """Convenience: ``(dominant period, is periodic)`` of a series."""
+    profile = SpikeProfile.of(series, threshold_ratio)
+    return profile.period, profile.periodic

@@ -1,0 +1,86 @@
+"""Small statistics helpers shared by the measurement harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted sequence.
+
+    Args:
+        sorted_values: Non-empty, ascending.
+        fraction: In ``[0, 1]`` (0.25 = 25th percentile).
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    index = fraction * (len(sorted_values) - 1)
+    low = math.floor(index)
+    high = math.ceil(index)
+    if low == high:
+        return float(sorted_values[low])
+    weight = index - low
+    return float(
+        sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+    )
+
+
+def drop_top_fraction(
+    values: Sequence[float], fraction: float
+) -> List[float]:
+    """Remove the highest ``fraction`` of values as outliers.
+
+    The paper "dropped the highest 0.005% latencies from all algorithms
+    as outliers" in Exp 3; this implements that trim.  At least one
+    value always survives.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    ordered = sorted(values)
+    keep = max(1, len(ordered) - int(len(ordered) * fraction))
+    return ordered[:keep]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """The latency summary categories of the paper's Fig. 14."""
+
+    count: int
+    minimum: float
+    p25: float
+    median: float
+    mean: float
+    p75: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        """Summarise a non-empty sequence."""
+        ordered = sorted(float(v) for v in values)
+        if not ordered:
+            raise ValueError("cannot summarise an empty sequence")
+        return cls(
+            count=len(ordered),
+            minimum=ordered[0],
+            p25=percentile(ordered, 0.25),
+            median=percentile(ordered, 0.5),
+            mean=sum(ordered) / len(ordered),
+            p75=percentile(ordered, 0.75),
+            maximum=ordered[-1],
+        )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio; infinity when the denominator is zero."""
+    return math.inf if denominator == 0 else numerator / denominator

@@ -1,0 +1,99 @@
+"""Boolean and bitwise aggregate operators.
+
+Stream predicates ("were *all* readings in range over the last
+minute?", "did *any* alarm fire?") are distributive aggregations.  The
+boolean forms are selection-type — ``x AND y`` / ``x OR y`` always
+return one of their arguments — so they ride SlickDeque (Non-Inv)'s
+deque.  The *bitwise* integer forms are distributive and
+non-invertible but **not** selection-type (``5 AND 3 = 1``), which
+makes them a useful probe of the library's capability boundaries: the
+tree- and stack-based baselines handle them, while
+:func:`~repro.core.facade.make_slickdeque` correctly refuses
+(demonstrating the paper's scope: the deque algorithm needs the
+``x ⊕ y ∈ {x, y}`` property from Section 3.1).
+"""
+
+from __future__ import annotations
+
+from repro.operators.base import Agg, AggregateOperator
+
+
+class BoolAllOperator(AggregateOperator):
+    """Sliding AND over booleans (selection-type: returns an operand)."""
+
+    name = "bool_all"
+    commutative = True
+    selects = True
+
+    @property
+    def identity(self) -> Agg:
+        return True
+
+    def lift(self, value) -> Agg:
+        return bool(value)
+
+    def combine(self, older: Agg, newer: Agg) -> Agg:
+        # Equivalent to `older and newer` but always returns one of the
+        # lifted operands, keeping selection semantics exact.
+        return newer if not newer else older
+
+    def dominates(self, incumbent: Agg, challenger: Agg) -> bool:
+        # A False challenger forces the window answer until it expires;
+        # and any challenger makes an equal-or-truer incumbent
+        # irrelevant (ties prefer the newer node).
+        return (not challenger) or incumbent
+
+
+class BoolAnyOperator(AggregateOperator):
+    """Sliding OR over booleans (selection-type)."""
+
+    name = "bool_any"
+    commutative = True
+    selects = True
+
+    @property
+    def identity(self) -> Agg:
+        return False
+
+    def lift(self, value) -> Agg:
+        return bool(value)
+
+    def combine(self, older: Agg, newer: Agg) -> Agg:
+        return newer if newer else older
+
+    def dominates(self, incumbent: Agg, challenger: Agg) -> bool:
+        return challenger or not incumbent
+
+
+class BitAndOperator(AggregateOperator):
+    """Sliding bitwise AND over integers.
+
+    Distributive, associative, commutative, non-invertible, and *not*
+    selection-type: the result can differ from both operands.  Served
+    by Naive, FlatFAT, B-Int, FlatFIT, TwoStacks, and DABA; SlickDeque
+    refuses it by design.
+    """
+
+    name = "bit_and"
+    commutative = True
+
+    @property
+    def identity(self) -> Agg:
+        return -1  # all ones in two's complement
+
+    def combine(self, older: Agg, newer: Agg) -> Agg:
+        return older & newer
+
+
+class BitOrOperator(AggregateOperator):
+    """Sliding bitwise OR over integers (non-selection, like BitAnd)."""
+
+    name = "bit_or"
+    commutative = True
+
+    @property
+    def identity(self) -> Agg:
+        return 0
+
+    def combine(self, older: Agg, newer: Agg) -> Agg:
+        return older | newer

@@ -1,0 +1,123 @@
+"""Invertible distributive operators (paper Sections 1 and 3.1).
+
+The paper's list of invertible operations is Sum, Product, Count,
+Average, and Standard Deviation.  Average and StdDev are *algebraic*
+(compositions of distributive parts) and live in
+:mod:`repro.operators.algebraic`; this module provides the distributive
+invertible building blocks.
+
+Product deserves a note: over the reals it is invertible only away from
+zero.  :class:`ProductOperator` therefore tracks ``(nonzero_product,
+zero_count)`` pairs, which makes the inverse exact even when zeros flow
+through the window — the standard trick DSMSs use to keep Product on the
+cheap invertible path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.operators.base import Agg, InvertibleOperator
+
+
+class SumOperator(InvertibleOperator):
+    """Running Sum; the paper's canonical invertible operation."""
+
+    name = "sum"
+    commutative = True
+
+    @property
+    def identity(self) -> Agg:
+        return 0
+
+    def combine(self, older: Agg, newer: Agg) -> Agg:
+        return older + newer
+
+    def inverse(self, agg: Agg, removed: Agg) -> Agg:
+        return agg - removed
+
+
+class CountOperator(InvertibleOperator):
+    """Running Count.  ``lift`` maps every tuple to 1."""
+
+    name = "count"
+    commutative = True
+
+    @property
+    def identity(self) -> Agg:
+        return 0
+
+    def lift(self, value: Any) -> Agg:
+        return 1
+
+    def combine(self, older: Agg, newer: Agg) -> Agg:
+        return older + newer
+
+    def inverse(self, agg: Agg, removed: Agg) -> Agg:
+        return agg - removed
+
+
+class SumOfSquaresOperator(InvertibleOperator):
+    """Running sum of squared values; a StdDev building block."""
+
+    name = "sum_of_squares"
+    commutative = True
+
+    @property
+    def identity(self) -> Agg:
+        return 0
+
+    def lift(self, value: Any) -> Agg:
+        return value * value
+
+    def combine(self, older: Agg, newer: Agg) -> Agg:
+        return older + newer
+
+    def inverse(self, agg: Agg, removed: Agg) -> Agg:
+        return agg - removed
+
+
+class ProductOperator(InvertibleOperator):
+    """Running Product, exact in the presence of zeros.
+
+    Aggregates are ``(nonzero_product, zero_count)`` pairs.  ``lower``
+    yields 0 whenever the window holds at least one zero, and the
+    nonzero product otherwise.  Division by a *nonzero* factor is the
+    inverse, so the operator stays on the invertible fast path.
+    """
+
+    name = "product"
+    commutative = True
+
+    @property
+    def identity(self) -> Agg:
+        return (1, 0)
+
+    def lift(self, value: Any) -> Agg:
+        if value == 0:
+            return (1, 1)
+        return (value, 0)
+
+    def lower(self, agg: Agg) -> Any:
+        nonzero, zeros = agg
+        return 0 if zeros else nonzero
+
+    def combine(self, older: Agg, newer: Agg) -> Tuple[Any, int]:
+        return (older[0] * newer[0], older[1] + newer[1])
+
+    def inverse(self, agg: Agg, removed: Agg) -> Tuple[Any, int]:
+        return (agg[0] / removed[0], agg[1] - removed[1])
+
+
+class IntProductOperator(ProductOperator):
+    """Product over integers, using exact integer division on eviction.
+
+    Python's arbitrary-precision integers make this exact for any
+    window; the float-division variant in :class:`ProductOperator`
+    accumulates rounding error over long runs.
+    """
+
+    name = "int_product"
+
+    def inverse(self, agg: Agg, removed: Agg) -> Tuple[Any, int]:
+        return (agg[0] // removed[0], agg[1] - removed[1])

@@ -1,0 +1,176 @@
+"""Non-invertible distributive operators (paper Sections 1 and 3.1).
+
+The paper's examples are Max, Min, Range, Alphabetical Max (for
+strings), ArgMax of Cosine, and ArgMin of x².  All the operators here
+are *selection-type*: ``x ⊕ y`` always returns one of its arguments,
+which is the property SlickDeque (Non-Inv) exploits (the paper's note in
+Section 3.1 that for non-invertible ⊕, ``x ⊕ y ∈ {x, y}``).
+
+Range (Max and Min combined) is algebraic and lives in
+:mod:`repro.operators.algebraic`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.operators.base import Agg, AggregateOperator
+
+
+class _NegativeInfinity:
+    """Identity for Max: compares below every value of any type."""
+
+    def __lt__(self, other: Any) -> bool:
+        return True
+
+    def __gt__(self, other: Any) -> bool:
+        return False
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, _NegativeInfinity)
+
+    def __hash__(self) -> int:
+        return hash("_NegativeInfinity")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "-inf*"
+
+
+class _PositiveInfinity:
+    """Identity for Min: compares above every value of any type."""
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __gt__(self, other: Any) -> bool:
+        return True
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, _PositiveInfinity)
+
+    def __hash__(self) -> int:
+        return hash("_PositiveInfinity")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "+inf*"
+
+
+#: Shared singletons so ``identity`` comparisons are cheap and stable.
+NEG_INF = _NegativeInfinity()
+POS_INF = _PositiveInfinity()
+
+
+class MaxOperator(AggregateOperator):
+    """Sliding Max, the paper's canonical non-invertible operation.
+
+    The identity is a typed sentinel rather than ``float("-inf")`` so
+    the operator also works over strings and other ordered types.
+    """
+
+    name = "max"
+    commutative = True
+    selects = True
+
+    @property
+    def identity(self) -> Agg:
+        return NEG_INF
+
+    def combine(self, older: Agg, newer: Agg) -> Agg:
+        # Prefer the *newer* value on ties: a fresher equal value stays
+        # in the window longer, which is what keeps SlickDeque's deque
+        # minimal (Algorithm 2 pops ties from the tail).
+        return older if newer < older else newer
+
+    def dominates(self, incumbent: Agg, challenger: Agg) -> bool:
+        # One comparison instead of combine-then-equality; identical
+        # semantics to the base definition (ties dominate).
+        return not challenger < incumbent
+
+
+class MinOperator(AggregateOperator):
+    """Sliding Min."""
+
+    name = "min"
+    commutative = True
+    selects = True
+
+    @property
+    def identity(self) -> Agg:
+        return POS_INF
+
+    def combine(self, older: Agg, newer: Agg) -> Agg:
+        return older if newer > older else newer
+
+    def dominates(self, incumbent: Agg, challenger: Agg) -> bool:
+        return not challenger > incumbent
+
+
+class AlphabeticalMaxOperator(MaxOperator):
+    """Max over strings by lexicographic order (paper Section 1).
+
+    Identical combine logic to :class:`MaxOperator`; the subclass exists
+    so the registry exposes the paper's named operation and so string
+    streams are self-documenting in examples.
+    """
+
+    name = "alpha_max"
+
+
+class ArgMaxOperator(AggregateOperator):
+    """ArgMax over an arbitrary key function, e.g. ArgMax of Cosine.
+
+    Aggregates are the raw stream values themselves; ``combine`` keeps
+    whichever argument has the larger key.  The paper lists "ArgMax of
+    Cosine" as a non-invertible operation: knowing the current ArgMax
+    does not let you cheaply remove an expiring element.
+    """
+
+    name = "argmax"
+    commutative = False  # ties resolve toward the newer value
+    selects = True
+
+    def __init__(self, key: Callable[[Any], Any], name: str = "argmax"):
+        self._key = key
+        self.name = name
+
+    @property
+    def identity(self) -> Agg:
+        return NEG_INF
+
+    def _key_of(self, agg: Agg) -> Any:
+        if isinstance(agg, (_NegativeInfinity, _PositiveInfinity)):
+            return agg
+        return self._key(agg)
+
+    def combine(self, older: Agg, newer: Agg) -> Agg:
+        return older if self._key_of(newer) < self._key_of(older) else newer
+
+    def dominates(self, incumbent: Agg, challenger: Agg) -> bool:
+        return not self._key_of(challenger) < self._key_of(incumbent)
+
+
+class ArgMinOperator(ArgMaxOperator):
+    """ArgMin over an arbitrary key function, e.g. ArgMin of x²."""
+
+    name = "argmin"
+
+    @property
+    def identity(self) -> Agg:
+        return POS_INF
+
+    def combine(self, older: Agg, newer: Agg) -> Agg:
+        return older if self._key_of(newer) > self._key_of(older) else newer
+
+    def dominates(self, incumbent: Agg, challenger: Agg) -> bool:
+        return not self._key_of(challenger) > self._key_of(incumbent)
+
+
+def argmax_of_cosine() -> ArgMaxOperator:
+    """The paper's "ArgMax of Cosine" example operator."""
+    return ArgMaxOperator(math.cos, name="argmax_cos")
+
+
+def argmin_of_square() -> ArgMinOperator:
+    """The paper's "ArgMin of x²" example operator."""
+    return ArgMinOperator(lambda x: x * x, name="argmin_x2")

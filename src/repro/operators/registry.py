@@ -1,0 +1,99 @@
+"""Name → operator registry used by examples, experiments, and the CLI.
+
+Factories (not singletons) are registered so every lookup returns a
+fresh operator instance; stateful wrappers such as
+:class:`~repro.operators.instrumented.CountingOperator` then never leak
+counts between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import UnknownOperatorError
+from repro.operators.algebraic import (
+    geometric_mean_operator,
+    mean_operator,
+    range_operator,
+    stddev_operator,
+    variance_operator,
+)
+from repro.operators.base import AggregateOperator
+from repro.operators.positional import FirstOperator, LastOperator
+from repro.operators.boolean import (
+    BitAndOperator,
+    BitOrOperator,
+    BoolAllOperator,
+    BoolAnyOperator,
+)
+from repro.operators.invertible import (
+    CountOperator,
+    IntProductOperator,
+    ProductOperator,
+    SumOfSquaresOperator,
+    SumOperator,
+)
+from repro.operators.noninvertible import (
+    AlphabeticalMaxOperator,
+    MaxOperator,
+    MinOperator,
+    argmax_of_cosine,
+    argmin_of_square,
+)
+
+_FACTORIES: Dict[str, Callable[[], AggregateOperator]] = {}
+
+
+def register_operator(
+    name: str, factory: Callable[[], AggregateOperator]
+) -> None:
+    """Register ``factory`` under ``name`` (overwrites silently).
+
+    Exposed publicly so downstream users can plug their own aggregate
+    operations into the experiment CLI and examples.
+    """
+    _FACTORIES[name] = factory
+
+
+def get_operator(name: str) -> AggregateOperator:
+    """Instantiate the operator registered under ``name``.
+
+    Raises:
+        UnknownOperatorError: when ``name`` has no registered factory.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise UnknownOperatorError(
+            f"unknown operator {name!r}; known operators: {known}"
+        ) from None
+    return factory()
+
+
+def available_operators() -> List[str]:
+    """Sorted names of every registered operator."""
+    return sorted(_FACTORIES)
+
+
+register_operator("sum", SumOperator)
+register_operator("count", CountOperator)
+register_operator("sum_of_squares", SumOfSquaresOperator)
+register_operator("product", ProductOperator)
+register_operator("int_product", IntProductOperator)
+register_operator("max", MaxOperator)
+register_operator("min", MinOperator)
+register_operator("alpha_max", AlphabeticalMaxOperator)
+register_operator("argmax_cos", argmax_of_cosine)
+register_operator("argmin_x2", argmin_of_square)
+register_operator("mean", mean_operator)
+register_operator("variance", variance_operator)
+register_operator("stddev", stddev_operator)
+register_operator("geometric_mean", geometric_mean_operator)
+register_operator("range", range_operator)
+register_operator("bool_all", BoolAllOperator)
+register_operator("bool_any", BoolAnyOperator)
+register_operator("bit_and", BitAndOperator)
+register_operator("bit_or", BitOrOperator)
+register_operator("first", FirstOperator)
+register_operator("last", LastOperator)

@@ -1,0 +1,107 @@
+"""Algorithm registry: names → aggregator classes and capabilities.
+
+The experiment harness, benches, and examples select algorithms by the
+names the paper uses.  ``slickdeque`` dispatches on the operator's
+invertibility via the core facade, exactly as the paper's system does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import (
+    BIntAggregator,
+    BIntMultiAggregator,
+    DABAAggregator,
+    FlatFATAggregator,
+    FlatFATMultiAggregator,
+    FlatFITAggregator,
+    FlatFITMultiAggregator,
+    MultiQueryAggregator,
+    NaiveAggregator,
+    NaiveMultiAggregator,
+    RecalcAggregator,
+    RecalcMultiAggregator,
+    SlidingAggregator,
+    TwoStacksAggregator,
+)
+from repro.baselines.panes_inv import PanesInvAggregator
+from repro.core import make_slickdeque, make_slickdeque_multi
+from repro.errors import UnknownOperatorError
+from repro.operators.base import AggregateOperator
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named algorithm with its construction functions."""
+
+    name: str
+    #: Display name as used in the paper's figures.
+    label: str
+    single: Callable[[AggregateOperator, int], SlidingAggregator]
+    multi: Optional[
+        Callable[[AggregateOperator, Sequence[int]], MultiQueryAggregator]
+    ]
+
+    @property
+    def supports_multi_query(self) -> bool:
+        return self.multi is not None
+
+
+_ALGORITHMS: Dict[str, AlgorithmSpec] = {}
+
+
+def _register(spec: AlgorithmSpec) -> None:
+    _ALGORITHMS[spec.name] = spec
+
+
+_register(AlgorithmSpec("recalc", "Recalc", RecalcAggregator,
+                        RecalcMultiAggregator))
+_register(AlgorithmSpec("naive", "Naive", NaiveAggregator,
+                        NaiveMultiAggregator))
+_register(AlgorithmSpec("flatfat", "FlatFAT", FlatFATAggregator,
+                        FlatFATMultiAggregator))
+_register(AlgorithmSpec("bint", "B-Int", BIntAggregator,
+                        BIntMultiAggregator))
+_register(AlgorithmSpec("flatfit", "FlatFIT", FlatFITAggregator,
+                        FlatFITMultiAggregator))
+_register(AlgorithmSpec("twostacks", "TwoStacks", TwoStacksAggregator,
+                        None))
+_register(AlgorithmSpec("daba", "DABA", DABAAggregator, None))
+_register(AlgorithmSpec("panes_inv", "Panes (Inv)", PanesInvAggregator,
+                        None))
+_register(AlgorithmSpec("slickdeque", "SlickDeque", make_slickdeque,
+                        make_slickdeque_multi))
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up an algorithm spec by registry name.
+
+    Raises:
+        UnknownOperatorError: for unregistered names.
+    """
+    try:
+        return _ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(_ALGORITHMS))
+        raise UnknownOperatorError(
+            f"unknown algorithm {name!r}; known algorithms: {known}"
+        ) from None
+
+
+def available_algorithms(multi_query: bool = False) -> List[str]:
+    """Registered algorithm names, optionally multi-query-capable only.
+
+    Order follows the paper's figures (Naive first, SlickDeque last);
+    the Recalc oracle is excluded — it exists for testing, not
+    comparison.
+    """
+    ordered = [
+        "naive", "flatfat", "bint", "flatfit", "twostacks", "daba",
+        "slickdeque",
+    ]
+    specs = [_ALGORITHMS[name] for name in ordered]
+    if multi_query:
+        specs = [spec for spec in specs if spec.supports_multi_query]
+    return [spec.name for spec in specs]

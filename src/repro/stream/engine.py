@@ -1,0 +1,208 @@
+"""The stream engine: source → slicing → final aggregation → sinks.
+
+A deliberately small DSMS substrate (the paper evaluates on "a
+stand-alone stream aggregator platform", Section 5.1) with three
+pipelines:
+
+* **Shared** — the paper's system: one
+  :class:`~repro.core.multiquery.SharedSlickDeque` runs every
+  registered ACQ over one shared plan (Panes or Pairs).
+* **Independent** — each ACQ gets its own plan, partial aggregator,
+  and single-query final aggregator (any registry algorithm).  This is
+  the no-sharing baseline of the sharing ablation bench.
+* **Cutty** — single-query Cutty slicing: partials start only at
+  window starts and the answer combines the completed partials with
+  the running open partial (Section 2.1, Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.multiquery import SharedSlickDeque
+from repro.errors import PlanError
+from repro.operators.base import AggregateOperator
+from repro.operators.views import partial_view, raw_view
+from repro.registry import get_algorithm
+from repro.stream.sink import Sink
+from repro.windows.partial import PartialAggregator
+from repro.windows.plan import build_shared_plan
+from repro.windows.query import Query
+
+
+class _IndependentQuery:
+    """One ACQ with its own plan and single-query final aggregator."""
+
+    def __init__(
+        self, query: Query, operator: AggregateOperator,
+        technique: str, algorithm: str,
+    ):
+        self.query = query
+        self._operator = operator
+        plan = build_shared_plan([query], technique)
+        if not plan.uniform_lookback:
+            raise PlanError(
+                f"single-query plan for {query.name} has non-uniform "
+                "lookback; this cannot happen with panes/pairs slicing"
+            )
+        self._partials = PartialAggregator(raw_view(operator), plan)
+        lookback = max(
+            sq.lookback for step in plan.steps for sq in step.answers
+        )
+        spec = get_algorithm(algorithm)
+        self._final = spec.single(partial_view(operator), lookback)
+
+    def feed(self, value: Any) -> List[Tuple[int, Query, Any]]:
+        completed = self._partials.feed(value)
+        if completed is None:
+            return []
+        self._final.push(completed.value)
+        if not completed.step.answers:
+            return []
+        raw = self._final.query()
+        return [
+            (completed.position, self.query, self._operator.lower(raw))
+        ]
+
+
+class StreamEngine:
+    """Run a set of ACQs over a value stream, delivering to sinks.
+
+    Args:
+        queries: The ACQs to register.
+        operator: The aggregate operation shared by all of them
+            (Section 2.3: compatible aggregations share one plan).
+        technique: ``"panes"`` or ``"pairs"``.
+        mode: ``"shared"`` (SlickDeque over one shared plan) or
+            ``"independent"`` (one plan + final aggregator per query).
+        algorithm: Final-aggregation algorithm for independent mode.
+        sinks: Answer consumers; a triple goes to every sink.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        operator: AggregateOperator,
+        technique: str = "pairs",
+        mode: str = "shared",
+        algorithm: str = "slickdeque",
+        sinks: Optional[Sequence[Sink]] = None,
+    ):
+        self.queries = tuple(queries)
+        self.operator = operator
+        self.mode = mode
+        self.sinks: List[Sink] = list(sinks or [])
+        self.answers_emitted = 0
+        self.tuples_consumed = 0
+        if mode == "shared":
+            self._shared: Optional[SharedSlickDeque] = SharedSlickDeque(
+                self.queries, operator, technique
+            )
+            self._independent: List[_IndependentQuery] = []
+        elif mode == "independent":
+            self._shared = None
+            # Same answer order as the shared plan: descending range,
+            # ties broken by ascending slide then name (the plan's
+            # stable sort over its sorted unique query set).
+            self._independent = [
+                _IndependentQuery(q, operator, technique, algorithm)
+                for q in sorted(
+                    set(self.queries),
+                    key=lambda q: (-q.range_size, q.slide, q.name),
+                )
+            ]
+        else:
+            raise PlanError(
+                f"unknown engine mode {mode!r}; expected 'shared' or "
+                "'independent'"
+            )
+
+    def add_sink(self, sink: Sink) -> None:
+        """Register another answer consumer."""
+        self.sinks.append(sink)
+
+    def _deliver(self, triples: Iterable[Tuple[int, Query, Any]]) -> None:
+        for position, query, answer in triples:
+            self.answers_emitted += 1
+            for sink in self.sinks:
+                sink.emit(position, query, answer)
+
+    def feed(self, value: Any) -> None:
+        """Consume one stream value."""
+        self.tuples_consumed += 1
+        if self._shared is not None:
+            self._deliver(self._shared.feed(value))
+        else:
+            for independent in self._independent:
+                self._deliver(independent.feed(value))
+
+    def run(self, values: Iterable[Any]) -> None:
+        """Consume an entire stream, then close every sink."""
+        for value in values:
+            self.feed(value)
+        for sink in self.sinks:
+            sink.close()
+
+
+class CuttyPipeline:
+    """Single-query Cutty execution (Section 2.1, Figure 3).
+
+    Partials begin only at window starts; at reporting positions the
+    final aggregation "execute[s] in the middle of the partial
+    aggregation calculation by accessing the current value in the
+    partial".  The inner aggregator holds the ``⌊r/s⌋`` completed
+    partials of the current window; the answer combines its raw window
+    aggregate with the open partial's running value.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        operator: AggregateOperator,
+        algorithm: str = "slickdeque",
+    ):
+        self.query = query
+        self.operator = operator
+        self._raw = raw_view(operator)
+        self._completed_per_window = query.range_size // query.slide
+        spec = get_algorithm(algorithm)
+        if self._completed_per_window > 0:
+            self._final = spec.single(
+                partial_view(operator), self._completed_per_window
+            )
+        else:
+            self._final = None
+        self._open = self._raw.identity
+        self._position = 0
+        # Edge phase: partial boundaries fall after positions ≡ -r (mod s).
+        self._edge_phase = (-query.range_size) % query.slide
+        #: Punctuations consumed (edges signalled on the stream).
+        self.punctuations = 0
+
+    def feed(self, value: Any) -> Optional[Tuple[int, Any]]:
+        """Consume one tuple; return ``(position, answer)`` when due."""
+        self._position += 1
+        self._open = self._raw.combine(self._open, self._raw.lift(value))
+        if self._position % self.query.slide == self._edge_phase:
+            # A punctuation marks the beginning of a new window's
+            # partial (the Cutty cost discussed in Section 2.1).
+            self.punctuations += 1
+            if self._final is not None:
+                self._final.push(self._open)
+            self._open = self._raw.identity
+        if self._position % self.query.slide == 0:
+            if self._final is not None:
+                agg = self._raw.combine(self._final.query(), self._open)
+            else:
+                agg = self._open
+            return (self._position, self.operator.lower(agg))
+        return None
+
+    def run(self, values: Iterable[Any]) -> List[Tuple[int, Any]]:
+        """Consume a stream, returning every emitted answer."""
+        answers = []
+        for value in values:
+            produced = self.feed(value)
+            if produced is not None:
+                answers.append(produced)
+        return answers

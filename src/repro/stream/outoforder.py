@@ -1,0 +1,99 @@
+"""Slightly-out-of-order arrival handling (paper Section 3.1).
+
+"The arriving tuples have to be in-order or slightly out-of-order.  As
+long as the out-of-order tuples are within the same partial
+aggregation, the final result will not be affected.  If, however, some
+tuples fall outside of their partial, inconsistencies in the final
+result may arise."
+
+:class:`ReorderBuffer` implements exactly that contract: tuples may
+arrive up to ``slack`` positions late and are re-sequenced before
+reaching the partial aggregator; anything later raises
+:class:`~repro.errors.OutOfOrderError` (or is routed to a drop handler
+when one is supplied).  Commutative operators additionally allow
+absorbing late tuples *within* the open partial without re-sequencing,
+which :func:`absorbable` checks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import OutOfOrderError
+from repro.operators.base import AggregateOperator
+
+
+class ReorderBuffer:
+    """Re-sequence a slightly out-of-order positioned stream.
+
+    Args:
+        slack: Maximum allowed lateness in positions.  A tuple with
+            position ``p`` must arrive before any tuple with position
+            ``≥ p + slack`` is *released*.
+        on_late: Optional handler for too-late tuples; when omitted,
+            :class:`OutOfOrderError` is raised instead.
+    """
+
+    def __init__(
+        self,
+        slack: int,
+        on_late: Optional[Callable[[int, Any], None]] = None,
+    ):
+        if slack < 0:
+            raise OutOfOrderError(f"slack must be >= 0, got {slack}")
+        self.slack = slack
+        self._on_late = on_late
+        self._heap: List[Tuple[int, Any]] = []
+        self._released = 0  # highest position already emitted
+
+    def push(self, position: int, value: Any) -> Iterator[Tuple[int, Any]]:
+        """Accept one tuple; yield every tuple this arrival releases.
+
+        Tuples are released once the buffer holds more than ``slack``
+        pending positions, guaranteeing in-order delivery for streams
+        whose lateness never exceeds the slack.
+        """
+        if position <= self._released:
+            if self._on_late is not None:
+                self._on_late(position, value)
+                return
+            raise OutOfOrderError(
+                f"tuple at position {position} arrived after position "
+                f"{self._released} was already released "
+                f"(slack={self.slack})"
+            )
+        heapq.heappush(self._heap, (position, value))
+        while len(self._heap) > self.slack:
+            yield self._pop()
+
+    def _pop(self) -> Tuple[int, Any]:
+        position, value = heapq.heappop(self._heap)
+        self._released = position
+        return (position, value)
+
+    def drain(self) -> Iterator[Tuple[int, Any]]:
+        """Release everything still buffered (end of stream)."""
+        while self._heap:
+            yield self._pop()
+
+    def reorder(
+        self, items: Iterable[Tuple[int, Any]]
+    ) -> Iterator[Tuple[int, Any]]:
+        """Re-sequence an entire ``(position, value)`` iterable."""
+        for position, value in items:
+            yield from self.push(position, value)
+        yield from self.drain()
+
+
+def absorbable(
+    operator: AggregateOperator, lateness: int, open_partial_length: int
+) -> bool:
+    """Whether a late tuple can be folded into the open partial.
+
+    This is the paper's "within the same partial aggregation" case: the
+    tuple belongs somewhere inside the partial currently accumulating.
+    Folding it at the current position is only order-safe for
+    commutative operators.
+    """
+    return operator.commutative and lateness < open_partial_length

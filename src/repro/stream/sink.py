@@ -1,0 +1,81 @@
+"""Answer sinks: where the engine delivers query results.
+
+A sink receives ``(position, query, answer)`` triples — the engine's
+equivalent of Algorithm 1's "send answers.getVal(q.range) as answer to
+q".  Sinks compose: the engine fans every answer out to all registered
+sinks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.windows.query import Query
+
+AnswerTriple = Tuple[int, Query, Any]
+
+
+class Sink:
+    """Base sink: silently discards answers (useful for benchmarks)."""
+
+    def emit(self, position: int, query: Query, answer: Any) -> None:
+        """Receive one answer."""
+
+    def close(self) -> None:
+        """Called once when the stream is exhausted."""
+
+
+class CollectSink(Sink):
+    """Keep every answer in memory (small streams, tests, examples)."""
+
+    def __init__(self) -> None:
+        self.answers: List[AnswerTriple] = []
+
+    def emit(self, position: int, query: Query, answer: Any) -> None:
+        self.answers.append((position, query, answer))
+
+    def by_query(self) -> Dict[Query, List[Tuple[int, Any]]]:
+        """Answers grouped per query, in arrival order."""
+        grouped: Dict[Query, List[Tuple[int, Any]]] = {}
+        for position, query, answer in self.answers:
+            grouped.setdefault(query, []).append((position, answer))
+        return grouped
+
+
+class LatestSink(Sink):
+    """Retain only the most recent answer per query (dashboards)."""
+
+    def __init__(self) -> None:
+        self.latest: Dict[Query, Tuple[int, Any]] = {}
+
+    def emit(self, position: int, query: Query, answer: Any) -> None:
+        self.latest[query] = (position, answer)
+
+
+class CallbackSink(Sink):
+    """Invoke a user callback per answer; optionally another at close."""
+
+    def __init__(
+        self,
+        callback: Callable[[int, Query, Any], None],
+        on_close: Optional[Callable[[], None]] = None,
+    ):
+        self._callback = callback
+        self._on_close = on_close
+
+    def emit(self, position: int, query: Query, answer: Any) -> None:
+        self._callback(position, query, answer)
+
+    def close(self) -> None:
+        if self._on_close is not None:
+            self._on_close()
+
+
+class CountingSink(Sink):
+    """Count answers without retaining them (throughput runs)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def emit(self, position: int, query: Query, answer: Any) -> None:
+        self.count += 1

@@ -1,0 +1,13 @@
+"""Data-structure substrate: circular buffers and chunked deques.
+
+These are the storage layers under the window algorithms —
+:class:`CircularBuffer` backs Naive, FlatFIT, and SlickDeque (Inv)
+(`partials` array of Algorithm 1), :class:`ChunkedDeque` backs
+SlickDeque (Non-Inv) and DABA's queues (paper Section 4.2 chunked
+allocation).
+"""
+
+from repro.structures.chunked_deque import ChunkedDeque, optimal_chunk_size
+from repro.structures.circular_buffer import CircularBuffer
+
+__all__ = ["CircularBuffer", "ChunkedDeque", "optimal_chunk_size"]

@@ -1,0 +1,130 @@
+"""Fixed-capacity circular buffer (the paper's ``partials`` array).
+
+Naive, FlatFIT, and SlickDeque (Inv) all maintain a pre-allocated
+circular array of the last ``wSize`` partial aggregates (Algorithm 1
+lines 6/14 and Figure 8).  This class is that array with explicit
+``currPos`` handling, O(1) append-with-evict, and logical memory
+accounting used by the Exp 4 reproduction.
+
+Logical memory convention (shared library-wide): one *word* per stored
+value slot, matching the space formulas of paper Section 4.2 where
+Naive and SlickDeque (Inv) cost ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List
+
+from repro.errors import WindowStateError
+
+
+class CircularBuffer:
+    """Pre-allocated ring of ``capacity`` slots.
+
+    The buffer always reports length ``capacity`` once it has wrapped;
+    before that, unwritten slots hold ``fill`` (the operator identity in
+    the aggregation algorithms, exactly as Algorithm 1 lines 8-10
+    initialise ``partials`` with ``initVal``).
+    """
+
+    __slots__ = ("_slots", "_capacity", "_pos", "_written")
+
+    def __init__(self, capacity: int, fill: Any = None):
+        if capacity <= 0:
+            raise WindowStateError(
+                f"circular buffer capacity must be positive, got {capacity}"
+            )
+        self._capacity = capacity
+        self._slots: List[Any] = [fill] * capacity
+        self._pos = 0  # currPos: next write position
+        self._written = 0  # total writes ever (for start-up handling)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def position(self) -> int:
+        """The paper's ``currPos``: index of the next write."""
+        return self._pos
+
+    @property
+    def total_written(self) -> int:
+        """Number of values ever pushed (not capped at capacity)."""
+        return self._written
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether every slot has been written at least once."""
+        return self._written >= self._capacity
+
+    def push(self, value: Any) -> Any:
+        """Write ``value`` at ``currPos``, advance, return the old slot.
+
+        The returned value is the expiring partial — the operand of the
+        ``⊖`` in Algorithm 1 line 24 once the buffer is warm, and the
+        initial fill before that.
+        """
+        expiring = self._slots[self._pos]
+        self._slots[self._pos] = value
+        self._pos += 1
+        if self._pos == self._capacity:
+            self._pos = 0
+        self._written += 1
+        return expiring
+
+    def peek_expiring(self) -> Any:
+        """The value that the next :meth:`push` will overwrite."""
+        return self._slots[self._pos]
+
+    def at_offset(self, offset: int) -> Any:
+        """Slot holding the value pushed ``offset`` pushes ago.
+
+        ``offset=1`` is the most recent value; ``offset=capacity`` is the
+        oldest retained one.  This is the ``startPos`` rewind of
+        Algorithm 1 lines 20-23 done for the caller.
+        """
+        if not 1 <= offset <= self._capacity:
+            raise WindowStateError(
+                f"offset must be in [1, {self._capacity}], got {offset}"
+            )
+        index = self._pos - offset
+        if index < 0:
+            index += self._capacity
+        return self._slots[index]
+
+    def last(self, count: int) -> Iterator[Any]:
+        """Iterate the most recent ``count`` values, oldest first.
+
+        Iteration order matters for non-commutative operators; oldest
+        first matches stream order.
+        """
+        if not 0 <= count <= self._capacity:
+            raise WindowStateError(
+                f"count must be in [0, {self._capacity}], got {count}"
+            )
+        start = self._pos - count
+        if start < 0:
+            start += self._capacity
+        for i in range(count):
+            index = start + i
+            if index >= self._capacity:
+                index -= self._capacity
+            yield self._slots[index]
+
+    def __len__(self) -> int:
+        return min(self._written, self._capacity)
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate retained values, oldest first."""
+        return self.last(len(self))
+
+    def memory_words(self) -> int:
+        """Logical footprint: one word per pre-allocated slot."""
+        return self._capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircularBuffer(capacity={self._capacity}, pos={self._pos}, "
+            f"written={self._written})"
+        )

@@ -1,0 +1,179 @@
+"""Compatible-operator sharing (paper Section 2.3).
+
+"Partial results sharing is applicable for all matching aggregate
+operations, such as Max, Product, Sum, etc. and for different but
+compatible aggregate operations, for example Sum, Count and Average
+can share results by treating Average as sum/count."
+
+This module generalises the shared plan across *operators*: ACQs are
+decomposed into their distributive components (Mean → Sum + Count,
+StdDev → SumSq + Sum + Count, Range → Max + Min, ...), queries sharing
+a component share one execution engine for it, and per-query
+finalizers reassemble the answers.  Maximum sharing over both the
+window structure (LCM composite slides) and the operator algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import InvalidOperatorError
+from repro.operators.algebraic import ComposedOperator
+from repro.operators.base import AggregateOperator
+from repro.operators.registry import get_operator
+from repro.windows.query import Query
+
+
+@dataclass(frozen=True)
+class AcqSpec:
+    """One registered ACQ: a window spec plus its aggregate operation."""
+
+    query: Query
+    operator_name: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.operator_name}[{self.query.name}]"
+
+
+def distributive_components(
+    operator: AggregateOperator,
+) -> List[AggregateOperator]:
+    """The distributive components an operator decomposes into.
+
+    Plain distributive operators are their own single component;
+    algebraic compositions expose theirs (Section 3.1).
+    """
+    if isinstance(operator, ComposedOperator):
+        return list(operator.components)
+    return [operator]
+
+
+@dataclass
+class SharingPlan:
+    """Which component engines exist and which queries read them.
+
+    Attributes:
+        components: Component name → operator instance, deduplicated
+            across every registered ACQ.
+        readers: Per ACQ, the ordered component names its finalizer
+            consumes.
+        specs: The registered ACQs.
+    """
+
+    components: Dict[str, AggregateOperator] = field(default_factory=dict)
+    readers: Dict[AcqSpec, Tuple[str, ...]] = field(default_factory=dict)
+    specs: Tuple[AcqSpec, ...] = ()
+
+    @property
+    def shared_component_count(self) -> int:
+        return len(self.components)
+
+    @property
+    def unshared_component_count(self) -> int:
+        """Components that would run without cross-operator sharing."""
+        return sum(len(names) for names in self.readers.values())
+
+    def describe(self) -> str:
+        """Human-readable component/reader map for reports."""
+        lines = [
+            f"SharingPlan: {len(self.specs)} ACQs -> "
+            f"{self.shared_component_count} shared component engines "
+            f"(vs {self.unshared_component_count} unshared)",
+        ]
+        for spec in self.specs:
+            names = ", ".join(self.readers[spec])
+            lines.append(f"  {spec.label} <- [{names}]")
+        return "\n".join(lines)
+
+
+def build_sharing_plan(specs: Sequence[AcqSpec]) -> SharingPlan:
+    """Decompose ACQs into shared distributive components."""
+    plan = SharingPlan(specs=tuple(specs))
+    for spec in specs:
+        operator = get_operator(spec.operator_name)
+        names = []
+        for component in distributive_components(operator):
+            if component.name not in plan.components:
+                plan.components[component.name] = component
+            names.append(component.name)
+        plan.readers[spec] = tuple(names)
+    return plan
+
+
+class CompatibleSharedEngine:
+    """Execute heterogeneous-operator ACQs with component sharing.
+
+    One :class:`~repro.core.multiquery.SharedSlickDeque` runs per
+    distinct distributive component (over the union of all windows
+    that read it); each ACQ's answers are finalized from its
+    components.  Sum, Count and Mean queries over the same stream thus
+    share the Sum and Count engines, exactly as Section 2.3 describes.
+    """
+
+    def __init__(
+        self, specs: Sequence[AcqSpec], technique: str = "pairs"
+    ):
+        from repro.core.multiquery import SharedSlickDeque
+
+        if not specs:
+            raise InvalidOperatorError(
+                "at least one ACQ is required for a sharing plan"
+            )
+        self.plan = build_sharing_plan(specs)
+        self._operators: Dict[AcqSpec, AggregateOperator] = {
+            spec: get_operator(spec.operator_name)
+            for spec in self.plan.specs
+        }
+        # Per component: the union of queries that read it.
+        component_queries: Dict[str, set] = {
+            name: set() for name in self.plan.components
+        }
+        for spec in self.plan.specs:
+            for name in self.plan.readers[spec]:
+                component_queries[name].add(spec.query)
+        self._engines: Dict[str, Any] = {
+            name: SharedSlickDeque(
+                sorted(queries), self.plan.components[name], technique
+            )
+            for name, queries in component_queries.items()
+        }
+
+    def feed(self, value: Any) -> List[Tuple[int, AcqSpec, Any]]:
+        """Consume one tuple; return finalized answers for due ACQs."""
+        # Collect raw component answers keyed by (position, query).
+        produced: Dict[Tuple[int, Query], Dict[str, Any]] = {}
+        order: List[Tuple[int, Query]] = []
+        for name, engine in self._engines.items():
+            for position, query, answer in engine.feed(value):
+                key = (position, query)
+                if key not in produced:
+                    produced[key] = {}
+                    order.append(key)
+                produced[key][name] = answer
+        answers: List[Tuple[int, AcqSpec, Any]] = []
+        for position, query in order:
+            raw = produced[(position, query)]
+            for spec in self.plan.specs:
+                if spec.query != query:
+                    continue
+                names = self.plan.readers[spec]
+                if any(name not in raw for name in names):
+                    continue
+                operator = self._operators[spec]
+                if isinstance(operator, ComposedOperator):
+                    value_out = operator.lower(
+                        tuple(raw[name] for name in names)
+                    )
+                else:
+                    value_out = raw[names[0]]
+                answers.append((position, spec, value_out))
+        return answers
+
+    def run(
+        self, values: Iterable[Any]
+    ) -> Iterator[Tuple[int, AcqSpec, Any]]:
+        """Stream an iterable, yielding every finalized answer."""
+        for value in values:
+            yield from self.feed(value)

@@ -1,0 +1,89 @@
+"""Partial aggregation: folding raw tuples into partials.
+
+The ``partialAggregator.aggregate(length, PAT)`` of Algorithms 1 and 2:
+raw stream values are folded with the query operator until the current
+plan step's length is reached, then the completed partial (already a
+lifted aggregate value) is handed to the final aggregator together with
+its plan step.
+
+:class:`PartialAggregator` is deliberately a push-based object — the
+stream engine feeds it one tuple at a time and reacts to completed
+partials — so sources never need to be materialised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.operators.base import Agg, AggregateOperator
+from repro.windows.plan import PlanCursor, PlanStep, SharedPlan
+
+
+@dataclass(frozen=True)
+class CompletedPartial:
+    """A closed partial aggregate and the plan step that closed it."""
+
+    value: Agg
+    step: PlanStep
+    #: 1-based stream position of the last tuple folded in.
+    position: int
+
+
+class PartialAggregator:
+    """Fold tuples into partials according to a shared plan.
+
+    The paper's Example 1: with two Max ACQs of slides 2 and 4, "the
+    calculation producing partial aggregates only needs to be performed
+    once every 2 tuples, and both ACQs can use these partial
+    aggregates" — this class is that shared pre-aggregation.
+    """
+
+    def __init__(self, operator: AggregateOperator, plan: SharedPlan):
+        self.operator = operator
+        self.plan = plan
+        self._cursor = PlanCursor(plan)
+        self._target = self._cursor.get_next_partial_length()
+        self._accumulated = operator.identity
+        self._count = 0
+        self._position = 0
+
+    @property
+    def open_value(self) -> Agg:
+        """The running value of the still-open partial.
+
+        Cutty-style final aggregation reads this mid-partial; for Panes
+        and Pairs it is only interesting for debugging.
+        """
+        return self._accumulated
+
+    @property
+    def position(self) -> int:
+        """1-based position of the last tuple consumed."""
+        return self._position
+
+    def feed(self, value: Any) -> Optional[CompletedPartial]:
+        """Fold one tuple; return the partial it completed, if any."""
+        self._position += 1
+        self._accumulated = self.operator.combine(
+            self._accumulated, self.operator.lift(value)
+        )
+        self._count += 1
+        if self._count < self._target:
+            return None
+        completed = CompletedPartial(
+            self._accumulated,
+            self._cursor.current_step,
+            self._position,
+        )
+        self._accumulated = self.operator.identity
+        self._count = 0
+        self._target = self._cursor.get_next_partial_length()
+        return completed
+
+    def feed_many(self, values: Iterable[Any]) -> Iterator[CompletedPartial]:
+        """Fold an iterable, yielding each completed partial."""
+        for value in values:
+            completed = self.feed(value)
+            if completed is not None:
+                yield completed

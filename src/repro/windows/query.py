@@ -1,0 +1,87 @@
+"""Aggregate Continuous Query (ACQ) specification.
+
+An ACQ is "typically associated with a range (r) and a slide (s) (also
+referred to as window and shift): a slide denotes the period at which an
+ACQ updates its answer; a range is the window for which the statistics
+are calculated" (paper Section 1).
+
+This library uses count-based semantics throughout, matching the
+paper's evaluation ("we varied the window size from 1 tuple to 134
+million tuples ... setting all query slides to one tuple").  Stream
+tuples are numbered 1, 2, 3, …; a query with slide ``s`` reports at
+every position ``t`` divisible by ``s`` and its answer covers the last
+``min(t, range)`` tuples — during warm-up the missing prefix behaves as
+the operator identity, exactly like the ``initVal``-filled ``partials``
+array of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidQueryError
+
+
+@dataclass(frozen=True, order=True)
+class Query:
+    """A count-based ACQ: ``range_size`` tuples, reported every ``slide``.
+
+    Instances are immutable, hashable, and ordered (by range then
+    slide), so shared plans can sort and deduplicate them.
+
+    Attributes:
+        range_size: Window length in tuples (the paper's ``r``).
+        slide: Reporting period in tuples (the paper's ``s``).
+        name: Optional label used in answers and reports; defaults to
+            ``q{range}/{slide}``.
+    """
+
+    range_size: int
+    slide: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.range_size < 1:
+            raise InvalidQueryError(
+                f"query range must be >= 1 tuple, got {self.range_size}"
+            )
+        if self.slide < 1:
+            raise InvalidQueryError(
+                f"query slide must be >= 1 tuple, got {self.slide}"
+            )
+        if not self.name:
+            object.__setattr__(
+                self, "name", f"q{self.range_size}/{self.slide}"
+            )
+
+    @property
+    def fragments(self) -> tuple:
+        """Pairs fragment lengths ``(f1, f2)`` (paper Section 2.1).
+
+        ``f2 = range % slide`` and ``f1 = slide − f2``.  When the range
+        divides evenly, ``f2`` is 0 and the slide is a single fragment.
+        """
+        f2 = self.range_size % self.slide
+        return (self.slide - f2, f2)
+
+    def reports_at(self, position: int) -> bool:
+        """Whether this query emits an answer after tuple ``position``."""
+        return position % self.slide == 0
+
+    def window_at(self, position: int) -> range:
+        """Tuple positions covered by the answer at ``position``.
+
+        Returns a half-open builtin :class:`range` of 1-based positions
+        ``(position - range_size, position]`` clipped to the stream
+        start — the reference semantics the Recalc oracle implements.
+        """
+        start = max(0, position - self.range_size)
+        return range(start + 1, position + 1)
+
+
+def max_range(queries) -> int:
+    """Largest range among ``queries`` (the plan's window requirement)."""
+    ranges = [q.range_size for q in queries]
+    if not ranges:
+        raise InvalidQueryError("query set must not be empty")
+    return max(ranges)

@@ -1,0 +1,164 @@
+"""Partial-aggregation techniques (PATs) — paper Section 2.1.
+
+A PAT decides where the incoming stream is cut into partial aggregates
+("edges").  All three techniques the paper reviews are implemented:
+
+* **Panes** — cut every ``gcd`` of all ranges and slides; every window
+  start *and* end lands on an edge.
+* **Pairs** — per query, cut at window ends (``t ≡ 0 (mod s)``) and at
+  window starts (``t ≡ s − f2`` where ``f2 = r mod s``); at most two
+  fragments per slide, half the partials of Panes in the common case.
+* **Cutty** — cut only at window *starts*; window ends are served
+  mid-partial by reading the running partial value, at the cost of
+  punctuations on the stream.
+
+Edges are expressed as offsets within one *composite slide* — the LCM of
+all query slides (Section 2.3) — because the cut pattern is periodic
+with that length.  An edge at offset ``e`` means the boundary after
+every stream position ``t`` with ``t mod L == e`` (offset 0 is stored as
+``L`` so offsets are in ``1..L``).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import reduce
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.windows.query import Query
+
+#: Registry keys for the three techniques.
+PANES = "panes"
+PAIRS = "pairs"
+CUTTY = "cutty"
+
+ALL_TECHNIQUES = (PANES, PAIRS, CUTTY)
+
+
+def composite_slide(queries: Sequence[Query]) -> int:
+    """LCM of all query slides (paper Section 2.3)."""
+    if not queries:
+        raise PlanError("cannot build a composite slide for zero queries")
+    return reduce(math.lcm, (q.slide for q in queries), 1)
+
+
+def _normalize(offsets: Iterable[int], cycle: int) -> List[int]:
+    """Map offsets into ``1..cycle``, dedupe, sort."""
+    wrapped = set()
+    for offset in offsets:
+        value = offset % cycle
+        wrapped.add(cycle if value == 0 else value)
+    return sorted(wrapped)
+
+
+def panes_edges(queries: Sequence[Query], cycle: int) -> List[int]:
+    """Panes: edges every ``g = gcd`` of all ranges and slides.
+
+    The pane length divides every range and every slide, so both ends of
+    every window align with edges; each tuple belongs to exactly one
+    pane (Figure 1).
+    """
+    pane = reduce(
+        math.gcd,
+        [q.range_size for q in queries] + [q.slide for q in queries],
+    )
+    return _normalize(range(pane, cycle + 1, pane), cycle)
+
+
+def pairs_edges(queries: Sequence[Query], cycle: int) -> List[int]:
+    """Pairs: per-query fragments ``f1``/``f2`` (Figure 2).
+
+    For each query, edges fall at window ends (offsets ``≡ 0 mod s``)
+    and, when ``f2 = r mod s`` is non-zero, also at window starts
+    (offsets ``≡ s − f2 mod s``).  The union over queries is the shared
+    edge set.
+    """
+    offsets: List[int] = []
+    for q in queries:
+        f1, f2 = q.fragments
+        offsets.extend(range(q.slide, cycle + 1, q.slide))
+        if f2:
+            offsets.extend(
+                range(f1, cycle + 1, q.slide)
+            )  # f1 == s - f2: window-start phase
+    return _normalize(offsets, cycle)
+
+
+def cutty_edges(queries: Sequence[Query], cycle: int) -> List[int]:
+    """Cutty: edges only at window starts (Figure 3).
+
+    Window ends are *not* edges; a final aggregation executing at a
+    window end must read the running (open) partial.  The number of
+    punctuations per cycle equals the number of edges, which is what the
+    slicing ablation bench reports.
+    """
+    offsets: List[int] = []
+    for q in queries:
+        # A window reported at t starts after tuple t - r, i.e. at the
+        # phase -r ≡ s - (r mod s) (mod s).
+        start_phase = (-q.range_size) % q.slide
+        offsets.extend(range(start_phase, cycle + 1, q.slide))
+    edges = _normalize(offsets, cycle)
+    if not edges:
+        # Degenerate but possible only for empty query sets, which
+        # composite_slide already rejects; guard anyway.
+        raise PlanError("cutty slicing produced no edges")
+    return edges
+
+
+_EDGE_FUNCTIONS = {
+    PANES: panes_edges,
+    PAIRS: pairs_edges,
+    CUTTY: cutty_edges,
+}
+
+
+def edges_for(
+    technique: str, queries: Sequence[Query]
+) -> Tuple[int, List[int]]:
+    """Return ``(cycle_length, edge offsets)`` for a PAT by name.
+
+    Raises:
+        PlanError: for an unknown technique name.
+    """
+    try:
+        edge_fn = _EDGE_FUNCTIONS[technique]
+    except KeyError:
+        raise PlanError(
+            f"unknown partial aggregation technique {technique!r}; "
+            f"expected one of {ALL_TECHNIQUES}"
+        ) from None
+    cycle = composite_slide(list(queries))
+    return cycle, edge_fn(list(queries), cycle)
+
+
+def partial_lengths(edges: Sequence[int], cycle: int) -> List[int]:
+    """Lengths of the partials between consecutive edges, cyclically.
+
+    ``lengths[i]`` is the number of tuples in the partial *ending* at
+    ``edges[i]``; the first partial wraps from the last edge of the
+    previous cycle.  Lengths always sum to the cycle length.
+    """
+    if not edges:
+        raise PlanError("edge set must not be empty")
+    lengths = []
+    previous = edges[-1] - cycle  # last edge of the previous cycle
+    for edge in edges:
+        lengths.append(edge - previous)
+        previous = edge
+    return lengths
+
+
+def punctuation_count(technique: str, queries: Sequence[Query]) -> int:
+    """Punctuations per composite slide a PAT injects into the stream.
+
+    Panes and Pairs cut at positions computable from (range, slide)
+    alone, so they need no punctuations; Cutty "comes at a cost:
+    additional punctuations have to be sent over the data stream ... to
+    indicate the beginnings of the new partials" (Section 2.1) — one per
+    edge.
+    """
+    cycle, edges = edges_for(technique, queries)
+    del cycle
+    return len(edges) if technique == CUTTY else 0

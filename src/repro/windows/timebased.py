@@ -1,0 +1,255 @@
+"""Time-based windows (paper Section 1).
+
+"ACQs are typically associated with a range (r) and a slide (s) ...
+which can be either count or time-based."  The evaluation uses
+count-based windows throughout; this module supplies the time-based
+variant as the natural extension: ranges and slides are durations,
+tuples carry timestamps, and the stream is cut into uniform *time
+slices* whose length is the GCD of all durations.
+
+The reduction to the count-based machinery is exact:
+
+* every time slice becomes one partial aggregate — including **empty
+  slices**, which emit the operator identity (this is what keeps the
+  number of partials per window constant, so the count-based final
+  aggregators apply unchanged);
+* a time query of range ``r`` and slide ``s`` becomes a count query of
+  ``r/g`` partials range and ``s/g`` partials slide, where ``g`` is
+  the slice duration.
+
+Durations are validated to be exact multiples of a configurable
+resolution (milliseconds by default) so the GCD arithmetic stays in
+integers — float durations such as 0.1 s are handled exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import reduce
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import InvalidQueryError, OutOfOrderError
+from repro.operators.base import AggregateOperator
+from repro.operators.views import partial_view
+from repro.windows.query import Query
+
+#: Default duration resolution: 1 millisecond.
+DEFAULT_RESOLUTION = 0.001
+
+#: One emitted result: (window end timestamp, query, answer).
+TimeAnswer = Tuple[float, "TimeQuery", Any]
+
+
+def _to_ticks(seconds: float, resolution: float, what: str) -> int:
+    """Convert a duration to integer resolution ticks, exactly."""
+    ticks = seconds / resolution
+    rounded = round(ticks)
+    if rounded < 1 or not math.isclose(ticks, rounded, rel_tol=1e-9):
+        raise InvalidQueryError(
+            f"{what} of {seconds}s is not a positive multiple of the "
+            f"{resolution}s resolution"
+        )
+    return rounded
+
+
+@dataclass(frozen=True)
+class TimeQuery:
+    """A time-based ACQ: ``range_seconds`` reported every
+    ``slide_seconds``.
+
+    Attributes:
+        range_seconds: Window duration.
+        slide_seconds: Reporting period.
+        name: Optional label; defaults to ``q{range}s/{slide}s``.
+    """
+
+    range_seconds: float
+    slide_seconds: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.range_seconds <= 0:
+            raise InvalidQueryError(
+                f"time range must be positive, got {self.range_seconds}"
+            )
+        if self.slide_seconds <= 0:
+            raise InvalidQueryError(
+                f"time slide must be positive, got {self.slide_seconds}"
+            )
+        if not self.name:
+            object.__setattr__(
+                self,
+                "name",
+                f"q{self.range_seconds:g}s/{self.slide_seconds:g}s",
+            )
+
+    def to_count_query(
+        self, slice_seconds: float, resolution: float = DEFAULT_RESOLUTION
+    ) -> Query:
+        """The equivalent count-based query over time-slice partials."""
+        slice_ticks = _to_ticks(slice_seconds, resolution, "slice")
+        range_ticks = _to_ticks(self.range_seconds, resolution, "range")
+        slide_ticks = _to_ticks(self.slide_seconds, resolution, "slide")
+        if range_ticks % slice_ticks or slide_ticks % slice_ticks:
+            raise InvalidQueryError(
+                f"{self.name}: range/slide are not multiples of the "
+                f"{slice_seconds}s slice"
+            )
+        return Query(
+            range_ticks // slice_ticks,
+            slide_ticks // slice_ticks,
+            name=self.name,
+        )
+
+
+def slice_duration(
+    queries: Sequence[TimeQuery],
+    resolution: float = DEFAULT_RESOLUTION,
+) -> float:
+    """The shared time-slice length: GCD of all ranges and slides.
+
+    This is the time-based analogue of the Panes pane (Section 2.1):
+    every window start and end lands on a slice boundary.
+    """
+    if not queries:
+        raise InvalidQueryError("time query set must not be empty")
+    ticks = []
+    for query in queries:
+        ticks.append(_to_ticks(query.range_seconds, resolution, "range"))
+        ticks.append(_to_ticks(query.slide_seconds, resolution, "slide"))
+    return reduce(math.gcd, ticks) * resolution
+
+
+class TimeSlicer:
+    """Cut a timestamped stream into uniform time slices.
+
+    Tuples are ``(timestamp, value)`` with non-decreasing timestamps
+    (late tuples raise :class:`OutOfOrderError`; route the stream
+    through :class:`~repro.stream.outoforder.ReorderBuffer` first if
+    needed).  Slice ``k`` covers ``[origin + k·g, origin + (k+1)·g)``.
+    Empty slices are emitted explicitly so downstream partials stay
+    aligned with wall-clock boundaries.
+    """
+
+    def __init__(self, slice_seconds: float, origin: float = 0.0):
+        if slice_seconds <= 0:
+            raise InvalidQueryError(
+                f"slice duration must be positive, got {slice_seconds}"
+            )
+        self.slice_seconds = slice_seconds
+        self.origin = origin
+        self._current_index = 0
+        self._buffer: List[Any] = []
+        self._last_timestamp = -math.inf
+
+    def _index_of(self, timestamp: float) -> int:
+        return int((timestamp - self.origin) // self.slice_seconds)
+
+    def feed(
+        self, timestamp: float, value: Any
+    ) -> Iterator[Tuple[int, List[Any]]]:
+        """Accept one tuple; yield every slice it closes.
+
+        Yields ``(slice_index, values)`` pairs, including empty-value
+        pairs for slices no tuple fell into.
+        """
+        if timestamp < self._last_timestamp:
+            raise OutOfOrderError(
+                f"timestamp {timestamp} precedes {self._last_timestamp}"
+            )
+        if timestamp < self.origin:
+            raise OutOfOrderError(
+                f"timestamp {timestamp} precedes the origin "
+                f"{self.origin}"
+            )
+        self._last_timestamp = timestamp
+        index = self._index_of(timestamp)
+        while index > self._current_index:
+            closed = self._buffer
+            self._buffer = []
+            yield (self._current_index, closed)
+            self._current_index += 1
+        self._buffer.append(value)
+
+    def flush(self) -> Iterator[Tuple[int, List[Any]]]:
+        """Close the slice in progress (end of stream)."""
+        closed = self._buffer
+        self._buffer = []
+        yield (self._current_index, closed)
+        self._current_index += 1
+
+
+class TimeWindowEngine:
+    """Run time-based ACQs over a timestamped stream.
+
+    Reduces the time queries to count queries over shared time slices
+    and executes them with the SlickDeque shared plan: each slice's
+    values fold into one partial (the identity for empty slices), and
+    the inner engine consumes partials through a
+    :func:`~repro.operators.views.partial_view`.  Answers are
+    ``(window_end_timestamp, query, answer)`` triples.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[TimeQuery],
+        operator: AggregateOperator,
+        origin: float = 0.0,
+        resolution: float = DEFAULT_RESOLUTION,
+        technique: str = "pairs",
+    ):
+        from repro.core.multiquery import SharedSlickDeque
+
+        self.queries = tuple(queries)
+        self.operator = operator
+        self.origin = origin
+        self.slice_seconds = slice_duration(self.queries, resolution)
+        count_to_time = {}
+        for query in self.queries:
+            count_query = query.to_count_query(
+                self.slice_seconds, resolution
+            )
+            count_to_time[count_query] = query
+        self._count_to_time = count_to_time
+        self._slicer = TimeSlicer(self.slice_seconds, origin)
+        self._engine = SharedSlickDeque(
+            list(count_to_time), partial_view(operator), technique
+        )
+
+    def _close_slice(self, values: List[Any]) -> List[TimeAnswer]:
+        op = self.operator
+        partial = op.fold(values)
+        answers: List[TimeAnswer] = []
+        for position, count_query, raw in self._engine.feed(partial):
+            end_time = self.origin + position * self.slice_seconds
+            answers.append(
+                (
+                    end_time,
+                    self._count_to_time[count_query],
+                    op.lower(raw),
+                )
+            )
+        return answers
+
+    def feed(self, timestamp: float, value: Any) -> List[TimeAnswer]:
+        """Consume one timestamped tuple; return released answers."""
+        answers: List[TimeAnswer] = []
+        for _, values in self._slicer.feed(timestamp, value):
+            answers.extend(self._close_slice(values))
+        return answers
+
+    def finish(self) -> List[TimeAnswer]:
+        """Close the open slice and return its answers."""
+        answers: List[TimeAnswer] = []
+        for _, values in self._slicer.flush():
+            answers.extend(self._close_slice(values))
+        return answers
+
+    def run(
+        self, stream: Iterable[Tuple[float, Any]]
+    ) -> Iterator[TimeAnswer]:
+        """Stream ``(timestamp, value)`` pairs; yield every answer."""
+        for timestamp, value in stream:
+            yield from self.feed(timestamp, value)
+        yield from self.finish()

@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.operators.registry import available_operators, get_operator
+
+
+@pytest.fixture
+def rng():
+    """A seeded Random instance; tests stay deterministic."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(params=["sum", "max", "min", "mean", "count"])
+def operator_name(request):
+    """A representative spread of operator kinds."""
+    return request.param
+
+
+@pytest.fixture
+def operator(operator_name):
+    return get_operator(operator_name)
+
+
+def int_stream(length: int, seed: int = 1, low: int = -50, high: int = 50):
+    """Deterministic integer stream (exact arithmetic, no float fuzz)."""
+    rng = random.Random(seed)
+    return [rng.randint(low, high) for _ in range(length)]
+
+
+def all_operator_names():
+    """Every registered operator name (registry round-trip helper)."""
+    return available_operators()

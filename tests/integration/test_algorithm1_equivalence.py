@@ -1,0 +1,73 @@
+"""Integration: literal Algorithm 1 ≡ the production engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm1 import PaperAlgorithm1
+from repro.core.multiquery import SharedSlickDeque
+from repro.core.slickdeque_inv import SlickDequeInvMulti
+from repro.errors import PlanError
+from repro.operators.registry import get_operator
+from repro.windows.query import Query
+from tests.conftest import int_stream
+
+
+@pytest.mark.parametrize("operator_name", ["sum", "mean", "count"])
+@pytest.mark.parametrize(
+    "queries",
+    [
+        [Query(3, 1), Query(5, 1)],          # paper Example 2
+        [Query(6, 2), Query(8, 4)],          # paper Example 1
+        [Query(7, 3), Query(5, 2)],          # uneven fragments
+        [Query(1, 1)],
+    ],
+    ids=["example2", "example1", "fragments", "degenerate"],
+)
+def test_matches_shared_engine(operator_name, queries):
+    stream = int_stream(240, seed=61)
+    transcription = list(
+        PaperAlgorithm1(queries, get_operator(operator_name)).run(stream)
+    )
+    production = list(
+        SharedSlickDeque(queries, get_operator(operator_name)).run(stream)
+    )
+    assert transcription == production
+
+
+def test_matches_multi_aggregator_on_slide_one():
+    """With slide 1, Algorithm 1 is the max-multi-query environment."""
+    stream = int_stream(200, seed=62)
+    ranges = [3, 5, 9]
+    queries = [Query(r, 1) for r in ranges]
+    transcription = PaperAlgorithm1(queries, get_operator("sum"))
+    multi = SlickDequeInvMulti(get_operator("sum"), ranges)
+    per_position = {}
+    for position, query, answer in transcription.run(stream):
+        per_position.setdefault(position, {})[
+            query.range_size
+        ] = answer
+    expected = multi.run(stream)
+    for position, answers in per_position.items():
+        assert answers == expected[position - 1]
+
+
+def test_shares_answers_across_same_range_queries():
+    queries = [Query(12, 3), Query(12, 4)]
+    algorithm = PaperAlgorithm1(queries, get_operator("sum"))
+    # One answers-map entry despite two queries: keyed by range.
+    assert len(algorithm._answers) == 1
+
+
+def test_rejects_non_uniform_lookback_plans():
+    with pytest.raises(PlanError, match="constant range-in-partials"):
+        PaperAlgorithm1(
+            [Query(3, 3), Query(4, 4)], get_operator("sum")
+        )
+
+
+def test_rejects_non_invertible_operator():
+    from repro.errors import InvalidOperatorError
+
+    with pytest.raises(InvalidOperatorError):
+        PaperAlgorithm1([Query(4, 2)], get_operator("max"))

@@ -1,0 +1,118 @@
+"""Integration: measured growth curves land in their Table 1 classes.
+
+The strongest asymptotic statement the reproduction makes: fitting the
+*measured* per-slide operation counts across a window sweep classifies
+every algorithm into exactly the complexity class Table 1 assigns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.complexity_fit import (
+    classify_algorithm_space,
+    classify_algorithm_time,
+    classify_growth,
+)
+
+
+class TestClassifier:
+    def test_constant(self):
+        assert classify_growth({8: 5.0, 32: 5.0, 128: 5.0}).model == "1"
+
+    def test_linear(self):
+        points = {n: 3.0 * n + 2 for n in (8, 16, 64, 256)}
+        assert classify_growth(points).model == "n"
+
+    def test_log(self):
+        import math
+
+        points = {n: 2 * math.log2(n) for n in (8, 32, 128, 512)}
+        assert classify_growth(points).model == "log n"
+
+    def test_quadratic(self):
+        points = {n: n * n / 2 for n in (8, 16, 64, 256)}
+        assert classify_growth(points).model == "n^2"
+
+    def test_n_log_n(self):
+        import math
+
+        points = {n: n * math.log2(n) for n in (8, 32, 128, 512)}
+        assert classify_growth(points).model == "n log n"
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError, match="3 sweep points"):
+            classify_growth({8: 1.0, 16: 2.0})
+        with pytest.raises(ValueError, match="4x window range"):
+            classify_growth({8: 1.0, 12: 2.0, 16: 3.0})
+
+
+#: Table 1's single-query classes (amortized).
+SINGLE_QUERY_CLASSES = {
+    ("naive", "sum"): "n",
+    ("flatfat", "sum"): "log n",
+    ("bint", "sum"): "log n",
+    ("flatfit", "sum"): "1",
+    ("twostacks", "sum"): "1",
+    ("daba", "sum"): "1",
+    ("slickdeque", "sum"): "1",
+    ("slickdeque", "max"): "1",
+}
+
+
+@pytest.mark.parametrize(
+    "algorithm,operator_name",
+    sorted(SINGLE_QUERY_CLASSES),
+    ids=[f"{a}-{o}" for a, o in sorted(SINGLE_QUERY_CLASSES)],
+)
+def test_single_query_time_class(algorithm, operator_name):
+    fit = classify_algorithm_time(algorithm, operator_name)
+    assert fit.model == SINGLE_QUERY_CLASSES[(algorithm, operator_name)]
+
+
+#: Table 1's max-multi-query classes (amortized).
+MULTI_QUERY_CLASSES = {
+    ("naive", "sum"): "n^2",
+    ("flatfat", "sum"): "n log n",
+    ("flatfit", "sum"): "n",
+    ("slickdeque", "sum"): "n",  # 2n exactly
+    ("slickdeque", "max"): "1",  # the deque sweep is op-free
+}
+
+
+@pytest.mark.parametrize(
+    "algorithm,operator_name",
+    sorted(MULTI_QUERY_CLASSES),
+    ids=[f"{a}-{o}" for a, o in sorted(MULTI_QUERY_CLASSES)],
+)
+def test_multi_query_time_class(algorithm, operator_name):
+    fit = classify_algorithm_time(
+        algorithm,
+        operator_name,
+        windows=(8, 16, 32, 64),
+        multi_query=True,
+    )
+    assert fit.model == MULTI_QUERY_CLASSES[(algorithm, operator_name)]
+
+
+#: §4.2 space classes: everything linear except the non-inv deque on
+#: random input, whose occupancy grows sub-linearly.
+SPACE_CLASSES = {
+    "naive": "n",
+    "flatfat": "n",
+    "bint": "n",
+    "flatfit": "n",
+    "twostacks": "n",
+    "daba": "n",
+}
+
+
+@pytest.mark.parametrize("algorithm", sorted(SPACE_CLASSES))
+def test_space_class(algorithm):
+    fit = classify_algorithm_space(algorithm)
+    assert fit.model == SPACE_CLASSES[algorithm]
+
+
+def test_slickdeque_noninv_space_sublinear_on_random_input():
+    fit = classify_algorithm_space("slickdeque", operator_name="max")
+    assert fit.model in ("1", "log n")

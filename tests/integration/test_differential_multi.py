@@ -1,0 +1,66 @@
+"""Integration: every multi-query algorithm vs the Recalc oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.recalc import RecalcMultiAggregator
+from repro.operators.registry import get_operator
+from repro.registry import available_algorithms, get_algorithm
+from tests.conftest import int_stream
+
+MULTI_ALGORITHMS = available_algorithms(multi_query=True)
+
+
+@pytest.mark.parametrize("algorithm", MULTI_ALGORITHMS)
+@pytest.mark.parametrize("operator_name", ["sum", "max"])
+def test_max_multi_query_environment(algorithm, operator_name):
+    """All ranges 1..n answered every slide (the Exp 2 workload)."""
+    stream = int_stream(250, seed=17)
+    spec = get_algorithm(algorithm)
+    for window in (1, 2, 5, 9, 16):
+        ranges = list(range(1, window + 1))
+        got = spec.multi(get_operator(operator_name), ranges).run(stream)
+        expected = RecalcMultiAggregator(
+            get_operator(operator_name), ranges
+        ).run(stream)
+        assert got == expected, f"window={window}"
+
+
+@pytest.mark.parametrize("algorithm", MULTI_ALGORITHMS)
+@pytest.mark.parametrize("operator_name", ["sum", "max", "mean", "range"])
+def test_sparse_range_sets(algorithm, operator_name):
+    """Arbitrary (non-contiguous) range sets."""
+    stream = int_stream(200, seed=18)
+    spec = get_algorithm(algorithm)
+    for ranges in ([1], [7], [2, 13], [1, 5, 6, 31], [3, 3, 3]):
+        got = spec.multi(get_operator(operator_name), ranges).run(stream)
+        expected = RecalcMultiAggregator(
+            get_operator(operator_name), ranges
+        ).run(stream)
+        if operator_name in ("mean",):
+            for got_row, expected_row in zip(got, expected):
+                assert got_row == pytest.approx(expected_row)
+        else:
+            assert got == expected
+
+
+@pytest.mark.parametrize("algorithm", MULTI_ALGORITHMS)
+def test_answers_keyed_by_range(algorithm):
+    spec = get_algorithm(algorithm)
+    aggregator = spec.multi(get_operator("sum"), [4, 2, 9])
+    answers = aggregator.step(5)
+    assert set(answers) == {2, 4, 9}
+
+
+@pytest.mark.parametrize("algorithm", MULTI_ALGORITHMS)
+def test_multi_consistent_with_single(algorithm):
+    """A multi-query run restricted to one range equals the single run."""
+    stream = int_stream(150, seed=19)
+    spec = get_algorithm(algorithm)
+    single = spec.single(get_operator("max"), 8).run(stream)
+    multi = [
+        answers[8]
+        for answers in spec.multi(get_operator("max"), [8]).run(stream)
+    ]
+    assert multi == single

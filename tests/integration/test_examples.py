@@ -1,0 +1,53 @@
+"""Integration: every shipped example runs cleanly end-to-end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent.parent / "examples").glob(
+        "*.py"
+    )
+)
+
+
+def test_examples_directory_has_the_promised_scripts():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # deliverable: at least three examples
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs_without_error(example):
+    arguments = [sys.executable, str(example)]
+    if example.stem == "algorithm_comparison":
+        arguments += ["64", "3000"]  # keep the naive row fast
+    completed = subprocess.run(
+        arguments,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must narrate their run"
+
+
+def test_quickstart_reproduces_paper_example_2():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES[[p.stem for p in EXAMPLES]
+                                      .index("quickstart")])],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    # The Figure 8/9 streams: Sum answers 6, 11, 11, 6 ... and the
+    # shared-plan section prints the Example 1 ACQs.
+    assert "sum(last 3)=11" in completed.stdout
+    assert "max(last 3)=5" in completed.stdout
+    assert "q6/2" in completed.stdout and "q8/4" in completed.stdout

@@ -1,0 +1,113 @@
+"""Integration: the experiment harness runs end-to-end (quick scale).
+
+Each figure/table module executes on a seconds-scale configuration and
+its qualitative shape claims hold — the fast companion to the full
+``repro-experiments all`` run recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import exp1_throughput, exp2_multiquery
+from repro.experiments import exp3_latency, exp4_memory
+from repro.experiments import table1_complexity
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig.quick()
+
+
+def test_table1_measured_vs_theory():
+    result = table1_complexity.run(window=32, slides=1024)
+    rendered = result.table().render()
+    assert "slickdeque" in rendered
+    # The load-bearing cells:
+    assert result.single["sum"]["slickdeque"].amortized == 2.0
+    assert result.single["sum"]["naive"].amortized == 31.0
+    assert result.multi["sum"]["slickdeque"].amortized == 64.0
+
+
+def test_exp1_shapes(config):
+    result = exp1_throughput.run("sum", config)
+    # Every algorithm produced a rate at every window.
+    for name, by_window in result.series.items():
+        assert set(by_window) == set(config.windows), name
+        assert all(v and v > 0 for v in by_window.values())
+    # SlickDeque (Inv) leads at the largest window.
+    largest = max(config.windows)
+    slick = result.series["slickdeque"][largest]
+    assert all(
+        slick >= rate
+        for name, series in result.series.items()
+        for w, rate in series.items()
+        if name != "slickdeque" and w == largest
+    )
+
+
+def test_exp2_capabilities(config):
+    result = exp2_multiquery.run("max", config)
+    assert "twostacks" not in result.series
+    assert "daba" not in result.series
+    largest = max(config.multi_windows)
+    slick = result.series["slickdeque"][largest]
+    for name, series in result.series.items():
+        if name != "slickdeque" and series.get(largest) is not None:
+            assert slick > series[largest], name
+
+
+def test_exp2_naive_cap_respected():
+    config = ExperimentConfig(
+        multi_windows=(2, 8),
+        multi_stream_length=100,
+        naive_multi_cap=4,
+    )
+    result = exp2_multiquery.run("sum", config,
+                                 algorithms=["naive", "slickdeque"])
+    assert result.series["naive"][2] is not None
+    assert result.series["naive"][8] is None
+
+
+def test_exp3_produces_all_categories(config):
+    result = exp3_latency.run(config)
+    for operator_name in ("sum", "max"):
+        summaries = result.summaries[operator_name]
+        assert set(summaries) == {
+            "naive", "flatfat", "bint", "flatfit", "twostacks", "daba",
+            "slickdeque",
+        }
+        for summary in summaries.values():
+            assert summary.minimum <= summary.median <= summary.maximum
+    table = result.table("sum").render()
+    assert "p25" in table
+
+
+def test_exp4_grouping(config):
+    result = exp4_memory.run(config)
+    words = result.words["sum"]
+    for window in config.memory_sizes:
+        if window < 4:
+            continue
+        naive = words["naive"][window]
+        assert words["slickdeque"][window] <= naive + 1
+        assert words["flatfat"][window] >= 2 * naive
+        assert words["twostacks"][window] == 2 * naive
+    # Non-inv SlickDeque beats Naive at large windows on real data —
+    # quick-config windows are too small for the deque advantage, so
+    # the gain check runs directly at window 1024 (Naive costs exactly
+    # its window, no stream needed).
+    from repro.datasets.debs12 import debs12_array
+    from repro.metrics.memory import peak_memory_words
+    from repro.registry import get_algorithm
+    from repro.operators.registry import get_operator
+
+    window = 1024
+    aggregator = get_algorithm("slickdeque").single(
+        get_operator("max"), window
+    )
+    slick = peak_memory_words(
+        aggregator, debs12_array(4 * window, seed=7)
+    )
+    assert slick < window / 2

@@ -1,0 +1,75 @@
+"""Integration: the §4.1 spike structure, asserted per algorithm.
+
+Beyond the *size* of worst-case slides (test_worstcase_ops), the paper
+makes periodicity claims: TwoStacks flips once per window iteration,
+FlatFIT resets "once per [n + 1 slides]", DABA and SlickDeque (Inv)
+never spike.  These tests verify the per-slide operation series has
+exactly that structure.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import materialise, uniform
+from repro.metrics.opcount import count_ops
+from repro.metrics.spikes import SpikeProfile
+from repro.operators.registry import get_operator
+from repro.registry import get_algorithm
+
+WINDOW = 64
+STREAM = materialise(uniform(30 * WINDOW, seed=17))
+WARMUP = 2 * WINDOW
+
+
+def per_slide(algorithm, operator_name="sum"):
+    spec = get_algorithm(algorithm)
+    profile = count_ops(
+        lambda op: spec.single(op, WINDOW),
+        get_operator(operator_name),
+        STREAM,
+    )
+    return list(profile.per_slide[WARMUP:])
+
+
+def test_twostacks_flips_once_per_window_iteration():
+    profile = SpikeProfile.of(per_slide("twostacks"))
+    assert profile.periodic
+    assert profile.period == WINDOW
+
+
+def test_flatfit_resets_once_per_window_period():
+    profile = SpikeProfile.of(per_slide("flatfit"))
+    assert profile.periodic
+    # "The execution of FlatFIT follows a cyclical pattern which
+    # repeats every n + 1 slides."
+    assert profile.period in (WINDOW, WINDOW + 1)
+
+
+def test_daba_never_spikes():
+    profile = SpikeProfile.of(per_slide("daba"))
+    assert profile.spike_count == 0
+
+
+def test_slickdeque_inv_never_spikes():
+    profile = SpikeProfile.of(per_slide("slickdeque", "sum"))
+    assert profile.spike_count == 0
+    assert profile.max_over_median == 1.0  # every slide identical
+
+
+def test_naive_is_flat_but_expensive():
+    series = per_slide("naive")
+    profile = SpikeProfile.of(series)
+    assert profile.spike_count == 0  # constant cost: no spikes...
+    assert min(series) == WINDOW - 1  # ...because every slide is n-1
+
+
+def test_slickdeque_noninv_spikes_are_aperiodic_on_random_input():
+    profile = SpikeProfile.of(
+        per_slide("slickdeque", "max"), threshold_ratio=3.0
+    )
+    # Input-driven: whatever spikes exist carry no fixed period.
+    assert not profile.periodic
+
+
+def test_flatfat_perfectly_flat_at_log_n():
+    series = per_slide("flatfat")
+    assert set(series) == {6}  # log2(64) every slide, exactly

@@ -1,0 +1,130 @@
+"""Integration: measured operation counts obey Table 1.
+
+These tests pin the *complexity* reproduction: per-slide aggregate
+operation counts (the paper's §4.1 metric) for every algorithm, in
+steady state on random input, must match the Table 1 expressions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.datasets.synthetic import materialise, uniform
+from repro.metrics.opcount import count_ops
+from repro.operators.registry import get_operator
+from repro.registry import get_algorithm
+
+WINDOW = 64
+LOG_N = int(math.log2(WINDOW))
+STREAM = materialise(uniform(40 * WINDOW, seed=3))
+WARMUP = 2 * WINDOW
+
+
+def profile_single(algorithm, operator_name):
+    spec = get_algorithm(algorithm)
+    return count_ops(
+        lambda op: spec.single(op, WINDOW),
+        get_operator(operator_name),
+        STREAM,
+    ).steady_state(WARMUP)
+
+
+def profile_multi(algorithm, operator_name):
+    spec = get_algorithm(algorithm)
+    ranges = list(range(1, WINDOW + 1))
+    return count_ops(
+        lambda op: spec.multi(op, ranges),
+        get_operator(operator_name),
+        STREAM[: 10 * WINDOW],
+    ).steady_state(WARMUP)
+
+
+class TestSingleQuery:
+    def test_naive_exactly_n_minus_1(self):
+        profile = profile_single("naive", "sum")
+        assert profile.amortized == WINDOW - 1
+        assert profile.worst_case == WINDOW - 1
+
+    def test_flatfat_exactly_log_n(self):
+        profile = profile_single("flatfat", "sum")
+        assert profile.amortized == LOG_N
+        assert profile.worst_case == LOG_N
+
+    def test_bint_within_2x_of_flatfat(self):
+        profile = profile_single("bint", "sum")
+        assert LOG_N <= profile.amortized <= 2 * LOG_N + 2
+
+    def test_flatfit_amortized_3_worst_n(self):
+        profile = profile_single("flatfit", "sum")
+        assert profile.amortized < 3.5
+        assert profile.worst_case == WINDOW - 1
+
+    def test_twostacks_amortized_3_worst_n(self):
+        profile = profile_single("twostacks", "sum")
+        assert profile.amortized < 3.5
+        assert profile.worst_case >= WINDOW
+
+    def test_daba_worst_case_constant(self):
+        profile = profile_single("daba", "sum")
+        assert 3.0 <= profile.amortized <= 5.5
+        assert profile.worst_case <= 8
+
+    def test_slickdeque_inv_exactly_2(self):
+        profile = profile_single("slickdeque", "sum")
+        assert profile.amortized == 2.0
+        assert profile.worst_case == 2
+
+    def test_slickdeque_noninv_below_2(self):
+        profile = profile_single("slickdeque", "max")
+        assert profile.amortized < 2.0
+        # Random input keeps even the worst slide far below n.
+        assert profile.worst_case < WINDOW // 2
+
+
+class TestMaxMultiQuery:
+    def test_naive_quadratic(self):
+        profile = profile_multi("naive", "sum")
+        assert profile.amortized == WINDOW**2 / 2 - WINDOW / 2
+
+    def test_flatfat_n_log_n(self):
+        profile = profile_multi("flatfat", "sum")
+        assert WINDOW <= profile.amortized <= WINDOW * LOG_N * 1.5
+
+    def test_flatfit_n_minus_1(self):
+        profile = profile_multi("flatfit", "sum")
+        assert profile.amortized <= WINDOW
+        assert profile.amortized >= WINDOW - 2
+
+    def test_slickdeque_inv_exactly_2n(self):
+        profile = profile_multi("slickdeque", "sum")
+        assert profile.amortized == 2 * WINDOW
+
+    def test_slickdeque_noninv_still_below_2(self):
+        """The paper's headline: multi-query answers are free."""
+        profile = profile_multi("slickdeque", "max")
+        assert profile.amortized < 2.0
+
+
+class TestOrdering:
+    def test_single_query_ranking_matches_table1(self):
+        """Fewer ops: slickdeque < {flatfit, twostacks} < flatfat <
+        bint < naive (Sum, steady state)."""
+        by_algorithm = {
+            name: profile_single(name, "sum").amortized
+            for name in (
+                "naive", "flatfat", "bint", "flatfit", "twostacks",
+                "slickdeque",
+            )
+        }
+        assert by_algorithm["slickdeque"] < by_algorithm["flatfit"]
+        assert by_algorithm["slickdeque"] < by_algorithm["twostacks"]
+        assert by_algorithm["flatfit"] < by_algorithm["flatfat"]
+        assert by_algorithm["flatfat"] < by_algorithm["bint"]
+        assert by_algorithm["bint"] < by_algorithm["naive"]
+
+    def test_multi_query_slickdeque_dominates(self):
+        slick = profile_multi("slickdeque", "max").amortized
+        for rival in ("naive", "flatfat", "bint", "flatfit"):
+            assert slick < profile_multi(rival, "max").amortized

@@ -1,0 +1,109 @@
+"""Integration: the §4.1 worst-case narratives, constructed.
+
+The paper argues SlickDeque (Non-Inv)'s n-operation slide needs a
+1-in-n! input, while DABA never exceeds 8 operations on *any* input.
+These tests build the adversarial inputs and check both sides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.daba import DABAAggregator
+from repro.core.slickdeque_noninv import (
+    SlickDequeNonInv,
+    SlickDequeNonInvMulti,
+)
+from repro.datasets.adversarial import (
+    ascending_stream,
+    deque_filler,
+    descending_stream,
+)
+from repro.metrics.opcount import count_ops
+from repro.operators.instrumented import CountingOperator, SlideOpRecorder
+from repro.operators.noninvertible import MaxOperator
+from repro.operators.invertible import SumOperator
+
+WINDOW = 64
+
+
+def test_slickdeque_worst_slide_reaches_n():
+    """The adversarial dominating value deletes the whole deque."""
+    profile = count_ops(
+        lambda op: SlickDequeNonInv(op, WINDOW),
+        MaxOperator(),
+        list(deque_filler(WINDOW, cycles=3)),
+    )
+    assert profile.worst_case >= WINDOW - 1
+
+
+def test_slickdeque_amortized_stays_below_2_even_adversarially():
+    """§4.1: at most two ⊕ per element lifetime — on any input."""
+    for stream in (
+        list(deque_filler(WINDOW, cycles=6)),
+        list(descending_stream(12 * WINDOW)),
+        list(ascending_stream(12 * WINDOW)),
+    ):
+        profile = count_ops(
+            lambda op: SlickDequeNonInv(op, WINDOW),
+            MaxOperator(),
+            stream,
+        )
+        assert profile.amortized <= 2.0
+
+
+def test_slickdeque_multi_worst_case_answers_stay_comparison_only():
+    """Even a full deque answers all n queries with 0 extra ⊕."""
+    ranges = list(range(1, WINDOW + 1))
+    counting = CountingOperator(MaxOperator())
+    aggregator = SlickDequeNonInvMulti(counting, ranges)
+    recorder = SlideOpRecorder(counting)
+    for value in descending_stream(4 * WINDOW):
+        aggregator.step(value)
+        recorder.mark_slide()
+    # Descending input: each insert costs exactly 1 dominance test.
+    steady = recorder.per_slide[WINDOW:]
+    assert max(steady) == 1
+
+
+def test_daba_flat_on_adversarial_input():
+    """DABA's worst case is input-independent: ≤ 8 ops everywhere."""
+    for stream in (
+        list(deque_filler(WINDOW, cycles=6)),
+        list(descending_stream(10 * WINDOW)),
+        list(ascending_stream(10 * WINDOW)),
+    ):
+        counting = CountingOperator(MaxOperator())
+        aggregator = DABAAggregator(counting, WINDOW)
+        recorder = SlideOpRecorder(counting)
+        for value in stream:
+            aggregator.step(value)
+            recorder.mark_slide()
+        assert recorder.worst_case_ops <= 8
+        assert aggregator.forced_finishes == 0
+
+
+def test_daba_beats_slickdeque_only_on_the_adversarial_slide():
+    """§4.1 Summary: SlickDeque can (rarely) be beaten by DABA on a
+    single slide, but never on the amortized count."""
+    stream = list(deque_filler(WINDOW, cycles=4))
+    slick = count_ops(
+        lambda op: SlickDequeNonInv(op, WINDOW), MaxOperator(), stream
+    )
+    daba = count_ops(
+        lambda op: DABAAggregator(op, WINDOW), SumOperator(), stream
+    )
+    assert slick.worst_case > daba.worst_case  # the 1-in-n! slide
+    assert slick.amortized < daba.amortized  # but cheaper overall
+
+
+@pytest.mark.parametrize("window", [2, 3, 5, 16, 100])
+def test_daba_bound_across_window_sizes(window):
+    counting = CountingOperator(SumOperator())
+    aggregator = DABAAggregator(counting, window)
+    recorder = SlideOpRecorder(counting)
+    for value in range(12 * window):
+        aggregator.step(float(value % 17))
+        recorder.mark_slide()
+    assert recorder.worst_case_ops <= 8
+    assert aggregator.forced_finishes == 0

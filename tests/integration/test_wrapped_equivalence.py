@@ -1,0 +1,53 @@
+"""Integration: wrap-faithful Algorithm 2 ≡ sequence-number variant.
+
+DESIGN.md commits to demonstrating that replacing the paper's modular
+``currPos`` arithmetic with unbounded sequence numbers changes nothing
+observable; this is that demonstration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.slickdeque_noninv import SlickDequeNonInvMulti
+from repro.core.slickdeque_noninv_wrapped import (
+    WrappedSlickDequeNonInvMulti,
+)
+from repro.datasets.adversarial import deque_filler
+from repro.operators.registry import get_operator
+from tests.conftest import int_stream
+
+
+@pytest.mark.parametrize("window", [1, 2, 3, 5, 8, 16, 33])
+@pytest.mark.parametrize("operator_name", ["max", "min"])
+def test_equivalence_on_random_streams(window, operator_name):
+    stream = int_stream(600, seed=window * 7 + 1)
+    ranges = list(range(1, window + 1))
+    fast = SlickDequeNonInvMulti(
+        get_operator(operator_name), ranges
+    ).run(stream)
+    wrapped = WrappedSlickDequeNonInvMulti(
+        get_operator(operator_name), ranges
+    ).run(stream)
+    assert fast == wrapped
+
+
+def test_equivalence_on_adversarial_stream():
+    ranges = [1, 4, 16]
+    stream = list(deque_filler(16, cycles=5))
+    fast = SlickDequeNonInvMulti(get_operator("max"), ranges).run(stream)
+    wrapped = WrappedSlickDequeNonInvMulti(
+        get_operator("max"), ranges
+    ).run(stream)
+    assert fast == wrapped
+
+
+def test_equivalence_across_many_window_wraps():
+    """The boundary-crossing Answer Loop 2 runs many times here."""
+    stream = int_stream(1000, seed=55)
+    ranges = [2, 5, 7]
+    fast = SlickDequeNonInvMulti(get_operator("max"), ranges).run(stream)
+    wrapped = WrappedSlickDequeNonInvMulti(
+        get_operator("max"), ranges
+    ).run(stream)
+    assert fast == wrapped

@@ -1,0 +1,119 @@
+"""Property-based differential tests: every aggregator vs the oracle.
+
+Hypothesis drives random (stream, window) pairs through every
+algorithm; any divergence from from-scratch re-evaluation is a bug.
+This is the library's strongest single correctness property.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.recalc import RecalcAggregator, RecalcMultiAggregator
+from repro.core.slickdeque_noninv import SlickDequeNonInv
+from repro.operators.instrumented import CountingOperator, SlideOpRecorder
+from repro.operators.registry import get_operator
+from repro.registry import available_algorithms, get_algorithm
+
+streams = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=1,
+    max_size=200,
+)
+windows = st.integers(min_value=1, max_value=40)
+
+
+@given(stream=streams, window=windows)
+@settings(max_examples=60, deadline=None)
+def test_single_query_sum_all_algorithms(stream, window):
+    expected = RecalcAggregator(get_operator("sum"), window).run(stream)
+    for name in available_algorithms():
+        spec = get_algorithm(name)
+        got = spec.single(get_operator("sum"), window).run(stream)
+        assert got == expected, name
+
+
+@given(stream=streams, window=windows)
+@settings(max_examples=60, deadline=None)
+def test_single_query_max_all_algorithms(stream, window):
+    expected = RecalcAggregator(get_operator("max"), window).run(stream)
+    for name in available_algorithms():
+        spec = get_algorithm(name)
+        got = spec.single(get_operator("max"), window).run(stream)
+        assert got == expected, name
+
+
+@given(
+    stream=streams,
+    ranges=st.lists(
+        st.integers(min_value=1, max_value=30), min_size=1, max_size=6
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_multi_query_all_algorithms(stream, ranges):
+    for operator_name in ("sum", "max"):
+        expected = RecalcMultiAggregator(
+            get_operator(operator_name), ranges
+        ).run(stream)
+        for name in available_algorithms(multi_query=True):
+            spec = get_algorithm(name)
+            got = spec.multi(
+                get_operator(operator_name), ranges
+            ).run(stream)
+            assert got == expected, (name, operator_name)
+
+
+@given(stream=streams, window=windows)
+@settings(max_examples=60, deadline=None)
+def test_daba_constant_worst_case_property(stream, window):
+    """No input exists that makes DABA exceed 8 ops on one slide."""
+    counting = CountingOperator(get_operator("sum"))
+    aggregator = get_algorithm("daba").single(counting, window)
+    recorder = SlideOpRecorder(counting)
+    for value in stream:
+        aggregator.step(value)
+        recorder.mark_slide()
+    assert recorder.worst_case_ops <= 8
+    assert aggregator.forced_finishes == 0
+
+
+@given(stream=streams, window=windows)
+@settings(max_examples=60, deadline=None)
+def test_slickdeque_amortized_bound_property(stream, window):
+    """§4.1: amortized ops always ≤ 2 for the selection deque."""
+    counting = CountingOperator(get_operator("max"))
+    aggregator = SlickDequeNonInv(counting, window)
+    for value in stream:
+        aggregator.step(value)
+    assert counting.ops <= 2 * len(stream)
+
+
+@given(stream=streams, window=windows)
+@settings(max_examples=60, deadline=None)
+def test_deque_invariants_property(stream, window):
+    """Positions strictly increase; values strictly 'descend' (no
+    node dominated by a later one); occupancy ≤ window."""
+    op = get_operator("max")
+    aggregator = SlickDequeNonInv(op, window)
+    for value in stream:
+        aggregator.push(value)
+        nodes = list(aggregator._nodes)
+        assert len(nodes) <= window
+        positions = [pos for pos, _ in nodes]
+        assert positions == sorted(positions)
+        values = [val for _, val in nodes]
+        for older, newer in zip(values, values[1:]):
+            assert not op.dominates(older, newer)
+
+
+@given(stream=streams, window=windows)
+@settings(max_examples=40, deadline=None)
+def test_memory_words_positive_and_bounded(stream, window):
+    """Every algorithm's footprint is positive and O(window)."""
+    for name in available_algorithms():
+        spec = get_algorithm(name)
+        aggregator = spec.single(get_operator("sum"), window)
+        for value in stream:
+            aggregator.push(value)
+        words = aggregator.memory_words()
+        assert 0 < words <= 4 * window + 8 * (int(window**0.5) + 3), name

@@ -1,0 +1,83 @@
+"""Property-based tests: engine modes agree on random workloads.
+
+The shared SlickDeque plan, the independent per-query pipelines (over
+any registry algorithm), and the Cutty pipeline are three independent
+execution strategies for the same ACQ semantics — hypothesis drives
+random ACQ sets and streams through all of them and requires identical
+answers.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators.registry import get_operator
+from repro.stream.engine import CuttyPipeline, StreamEngine
+from repro.stream.sink import CollectSink
+from repro.windows.query import Query
+
+queries_strategy = st.lists(
+    st.builds(
+        Query,
+        st.integers(min_value=1, max_value=18),
+        st.integers(min_value=1, max_value=6),
+    ),
+    min_size=1,
+    max_size=3,
+    unique=True,
+)
+
+streams = st.lists(
+    st.integers(min_value=-200, max_value=200), min_size=1,
+    max_size=120,
+)
+
+
+def _collect(queries, operator_name, stream, mode, algorithm):
+    sink = CollectSink()
+    engine = StreamEngine(
+        queries,
+        get_operator(operator_name),
+        mode=mode,
+        algorithm=algorithm,
+        sinks=[sink],
+    )
+    engine.run(stream)
+    return sink.answers
+
+
+@given(queries=queries_strategy, stream=streams,
+       operator_name=st.sampled_from(["sum", "max"]))
+@settings(max_examples=50, deadline=None)
+def test_shared_equals_independent(queries, stream, operator_name):
+    shared = _collect(queries, operator_name, stream, "shared",
+                      "slickdeque")
+    independent = _collect(queries, operator_name, stream,
+                           "independent", "slickdeque")
+    assert shared == independent
+
+
+@given(queries=queries_strategy, stream=streams,
+       algorithm=st.sampled_from(["naive", "flatfat", "daba"]))
+@settings(max_examples=40, deadline=None)
+def test_independent_mode_is_algorithm_agnostic(
+    queries, stream, algorithm
+):
+    baseline = _collect(queries, "sum", stream, "independent",
+                        "slickdeque")
+    other = _collect(queries, "sum", stream, "independent", algorithm)
+    assert baseline == other
+
+
+@given(
+    stream=streams,
+    range_size=st.integers(min_value=1, max_value=18),
+    slide=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_cutty_agrees_with_shared_plan(stream, range_size, slide):
+    query = Query(range_size, slide)
+    shared = _collect([query], "max", stream, "shared", "slickdeque")
+    cutty = CuttyPipeline(query, get_operator("max")).run(stream)
+    assert [(p, a) for p, _, a in shared] == cutty

@@ -1,0 +1,150 @@
+"""Property-based tests for the extension subsystems."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators.registry import get_operator
+from repro.stream.outoforder import ReorderBuffer
+from repro.stream.punctuation import (
+    PunctuatedCuttyPipeline,
+    Punctuation,
+    punctuate,
+)
+from repro.windows.compatibility import AcqSpec, CompatibleSharedEngine
+from repro.windows.query import Query
+from repro.windows.timebased import TimeQuery, TimeSlicer
+
+values = st.lists(
+    st.integers(min_value=-500, max_value=500), min_size=1, max_size=120
+)
+
+
+@given(
+    stream=values,
+    range_size=st.integers(min_value=1, max_value=20),
+    slide=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_punctuated_cutty_matches_brute_force(stream, range_size, slide):
+    query = Query(range_size, slide)
+    op = get_operator("max")
+    pipeline = PunctuatedCuttyPipeline(query, op)
+    got = pipeline.run(punctuate(stream, [query]))
+    expected = [
+        (t, op.lower(op.fold(stream[max(0, t - range_size):t])))
+        for t in range(1, len(stream) + 1)
+        if t % slide == 0
+    ]
+    assert got == expected
+
+
+@given(stream=values, queries=st.lists(
+    st.builds(
+        Query,
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=6),
+    ),
+    min_size=1,
+    max_size=3,
+))
+@settings(max_examples=60, deadline=None)
+def test_punctuation_positions_are_window_starts(stream, queries):
+    position = 0
+    for element in punctuate(stream, queries):
+        if isinstance(element, Punctuation):
+            assert element.position == position
+            assert any(
+                (element.position + q.range_size) % q.slide == 0
+                for q in queries
+            )
+        else:
+            position += 1
+
+
+@given(
+    items=st.lists(st.integers(min_value=1, max_value=60), min_size=1,
+                   max_size=60, unique=True),
+    slack=st.integers(min_value=0, max_value=60),
+)
+@settings(max_examples=80, deadline=None)
+def test_reorder_buffer_sorts_within_slack(items, slack):
+    """Any permutation whose displacement fits the slack comes out
+    sorted; we feed a sorted-by-arrival arbitrary unique set and only
+    assert on runs the slack can absorb."""
+    buffer = ReorderBuffer(slack=max(slack, len(items)))
+    released = list(
+        buffer.reorder((position, position) for position in items)
+    )
+    assert [p for p, _ in released] == sorted(items)
+
+
+@given(
+    timestamps=st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=1,
+        max_size=80,
+    ),
+    slice_seconds=st.sampled_from([0.5, 1.0, 2.0]),
+)
+@settings(max_examples=80, deadline=None)
+def test_time_slicer_partitions_the_stream(timestamps, slice_seconds):
+    ordered = sorted(timestamps)
+    slicer = TimeSlicer(slice_seconds)
+    slices = []
+    for timestamp in ordered:
+        slices.extend(slicer.feed(timestamp, timestamp))
+    slices.extend(slicer.flush())
+    # Indices are consecutive from 0; every tuple lands in its slice.
+    assert [index for index, _ in slices] == list(range(len(slices)))
+    recovered = [t for _, bucket in slices for t in bucket]
+    assert recovered == ordered
+    for index, bucket in slices:
+        for timestamp in bucket:
+            assert (
+                index * slice_seconds
+                <= timestamp
+                < (index + 1) * slice_seconds
+            )
+
+
+@given(
+    stream=values,
+    window=st.integers(min_value=2, max_value=24),
+    slide=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_compatible_engine_consistent_across_operators(
+    stream, window, slide
+):
+    """Shared components answer identically to direct evaluation."""
+    query = Query(window, slide)
+    specs = [
+        AcqSpec(query, "sum"),
+        AcqSpec(query, "count"),
+        AcqSpec(query, "mean"),
+    ]
+    engine = CompatibleSharedEngine(specs)
+    answers = {}
+    for position, spec, answer in engine.run(stream):
+        answers.setdefault(position, {})[spec.operator_name] = answer
+    for position, by_op in answers.items():
+        window_values = stream[max(0, position - window):position]
+        assert by_op["sum"] == sum(window_values)
+        assert by_op["count"] == len(window_values)
+        assert by_op["mean"] == sum(window_values) / len(window_values)
+
+
+@given(
+    range_seconds=st.sampled_from([1.0, 2.0, 4.0, 6.0]),
+    slide_seconds=st.sampled_from([1.0, 2.0]),
+)
+@settings(max_examples=20, deadline=None)
+def test_time_query_count_reduction_round_trips(
+    range_seconds, slide_seconds
+):
+    query = TimeQuery(range_seconds, slide_seconds)
+    count = query.to_count_query(slice_seconds=1.0)
+    assert count.range_size == int(range_seconds)
+    assert count.slide == int(slide_seconds)

@@ -1,0 +1,120 @@
+"""Property-based tests of algorithm-internal invariants.
+
+Differential tests catch wrong answers; these catch *silent structural
+corruption* — states that happen to answer correctly today but violate
+the representation invariants each algorithm's complexity argument
+rests on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.daba import DABAAggregator
+from repro.baselines.flatfat import FlatFATAggregator
+from repro.baselines.flatfit import FlatFITAggregator
+from repro.baselines.twostacks import TwoStacksAggregator
+from repro.operators.invertible import SumOperator
+from repro.operators.noninvertible import MaxOperator
+
+streams = st.lists(
+    st.integers(min_value=-999, max_value=999), min_size=1, max_size=150
+)
+windows = st.integers(min_value=1, max_value=32)
+
+
+@given(stream=streams, window=windows)
+@settings(max_examples=60, deadline=None)
+def test_flatfat_internal_nodes_are_children_combines(stream, window):
+    """Every internal node equals the combine of its two children."""
+    aggregator = FlatFATAggregator(SumOperator(), window)
+    tree = aggregator._tree
+    for value in stream:
+        aggregator.push(value)
+        for index in range(1, tree.capacity):
+            assert tree.nodes[index] == (
+                tree.nodes[2 * index] + tree.nodes[2 * index + 1]
+            )
+
+
+@given(stream=streams, window=windows)
+@settings(max_examples=60, deadline=None)
+def test_flatfit_spans_tile_forward_to_the_head(stream, window):
+    """From any in-window position, pointer jumps reach the head
+    without overshooting, and every span aggregate is consistent."""
+    aggregator = FlatFITAggregator(SumOperator(), window)
+    core = aggregator._core
+    history = []
+    for value in stream:
+        history.append(value)
+        aggregator.step(value)
+        current = core.current
+        window_len = min(current, window)
+        # Walk the chain from the oldest in-window position.
+        position = current - window_len + 1
+        guard = 0
+        while True:
+            slot = (position - 1) % window
+            end = core.ptrs[slot]
+            assert end <= current  # spans never pass the head
+            # The stored span aggregate equals the raw fold.
+            if position >= 1:
+                expected = sum(history[position - 1:min(end, current)])
+                assert core.vals[slot] == expected
+            if end >= current:
+                break
+            position = end + 1
+            guard += 1
+            assert guard <= window  # chains cannot loop
+
+
+@given(stream=streams, window=windows)
+@settings(max_examples=60, deadline=None)
+def test_twostacks_stack_aggregates_consistent(stream, window):
+    """F aggs are suffix folds toward the top; B aggs prefix folds."""
+    aggregator = TwoStacksAggregator(SumOperator(), window)
+    for value in stream:
+        aggregator.push(value)
+        front, back = aggregator._front, aggregator._back
+        assert len(front) + len(back) <= window
+        running = 0
+        for val, agg in front:  # bottom (newest) to top (oldest)
+            running = val + running
+            assert agg == running
+        running = 0
+        for val, agg in back:  # bottom (oldest) to top (newest)
+            running = running + val
+            assert agg == running
+
+
+@given(stream=streams, window=windows)
+@settings(max_examples=60, deadline=None)
+def test_daba_region_totals_reconstruct_window(stream, window):
+    """front/frozen/merging/back region totals fold to the window sum."""
+    aggregator = DABAAggregator(SumOperator(), window)
+    history = []
+    for value in stream:
+        history.append(value)
+        aggregator.push(value)
+        expected = sum(history[-window:])
+        assert aggregator.query() == expected
+        # Region sizes always partition the window exactly.
+        assert len(aggregator) == min(len(history), window)
+
+
+@given(stream=streams, window=windows)
+@settings(max_examples=60, deadline=None)
+def test_daba_front_suffix_aggregates_internally_consistent(
+    stream, window
+):
+    aggregator = DABAAggregator(MaxOperator(), window)
+    for value in stream:
+        aggregator.push(value)
+        front = aggregator._front
+        head = aggregator._head
+        # Each front entry's agg covers it through the front's end.
+        suffix = None
+        for val, agg in reversed(front[head:]):
+            suffix = val if suffix is None else max(val, suffix)
+            assert agg == suffix

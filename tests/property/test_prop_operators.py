@@ -1,0 +1,122 @@
+"""Property-based tests: algebraic laws of the operator framework."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators.algebraic import (
+    mean_operator,
+    range_operator,
+    stddev_operator,
+    variance_operator,
+)
+from repro.operators.invertible import (
+    CountOperator,
+    IntProductOperator,
+    SumOfSquaresOperator,
+    SumOperator,
+)
+from repro.operators.noninvertible import (
+    ArgMinOperator,
+    MaxOperator,
+    MinOperator,
+)
+
+ints = st.integers(min_value=-10**6, max_value=10**6)
+int_lists = st.lists(ints, min_size=1, max_size=60)
+
+SELECTION_OPS = [MaxOperator(), MinOperator(), ArgMinOperator(abs)]
+INVERTIBLE_OPS = [
+    SumOperator(), CountOperator(), SumOfSquaresOperator(),
+]
+
+
+@given(a=ints, b=ints, c=ints)
+def test_associativity(a, b, c):
+    for op in SELECTION_OPS + INVERTIBLE_OPS:
+        la, lb, lc = op.lift(a), op.lift(b), op.lift(c)
+        left = op.combine(op.combine(la, lb), lc)
+        right = op.combine(la, op.combine(lb, lc))
+        assert left == right, op.name
+
+
+@given(a=ints)
+def test_identity_laws(a):
+    for op in SELECTION_OPS + INVERTIBLE_OPS + [
+        mean_operator(), variance_operator(), range_operator(),
+    ]:
+        lifted = op.lift(a)
+        assert op.combine(op.identity, lifted) == lifted, op.name
+        assert op.combine(lifted, op.identity) == lifted, op.name
+
+
+@given(a=ints, b=ints)
+def test_inverse_cancels_combine(a, b):
+    for op in INVERTIBLE_OPS + [IntProductOperator()]:
+        if op.name == "int_product" and (a == 0 or b == 0):
+            la, lb = op.lift(a), op.lift(b)
+            assert op.lower(
+                op.inverse(op.combine(la, lb), lb)
+            ) == op.lower(la)
+            continue
+        la, lb = op.lift(a), op.lift(b)
+        assert op.inverse(op.combine(la, lb), lb) == la, op.name
+
+
+@given(a=ints, b=ints)
+def test_selection_returns_an_argument(a, b):
+    """§3.1 note: for non-invertible ⊕, x ⊕ y ∈ {x, y}."""
+    for op in SELECTION_OPS:
+        assert op.combine(a, b) in (a, b), op.name
+
+
+@given(a=ints, b=ints)
+def test_dominates_consistent_with_combine(a, b):
+    for op in SELECTION_OPS:
+        assert op.dominates(a, b) == (op.combine(a, b) == b), op.name
+
+
+@given(values=int_lists)
+def test_fold_split_distributivity(values):
+    """Distributive property: fold(S) == fold(S1) ⊕ fold(S2)."""
+    for op in SELECTION_OPS + INVERTIBLE_OPS:
+        for split in (0, len(values) // 2, len(values)):
+            left = op.fold(values[:split])
+            right = op.fold(values[split:])
+            assert op.combine(left, right) == op.fold(values), op.name
+
+
+@given(values=int_lists)
+@settings(max_examples=50)
+def test_mean_and_variance_against_direct_formulas(values):
+    mean_op = mean_operator()
+    assert mean_op.lower(mean_op.fold(values)) == (
+        sum(values) / len(values)
+    )
+    var_op = variance_operator()
+    mean = sum(values) / len(values)
+    direct = sum((v - mean) ** 2 for v in values) / len(values)
+    folded = var_op.lower(var_op.fold(values))
+    assert math.isclose(folded, direct, rel_tol=1e-6, abs_tol=1e-6)
+
+
+@given(values=int_lists)
+@settings(max_examples=50)
+def test_stddev_is_sqrt_variance(values):
+    stddev_op = stddev_operator()
+    var_op = variance_operator()
+    assert math.isclose(
+        stddev_op.lower(stddev_op.fold(values)),
+        math.sqrt(var_op.lower(var_op.fold(values))),
+        rel_tol=1e-9,
+        abs_tol=1e-12,
+    )
+
+
+@given(values=int_lists)
+def test_range_never_negative(values):
+    op = range_operator()
+    assert op.lower(op.fold(values)) >= 0

@@ -1,0 +1,84 @@
+"""Unit tests for the Recalc oracle and Naive final aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import fold_seeded, validate_ranges
+from repro.baselines.naive import NaiveAggregator, NaiveMultiAggregator
+from repro.baselines.recalc import RecalcAggregator, RecalcMultiAggregator
+from repro.errors import InvalidQueryError
+from repro.operators.instrumented import CountingOperator
+from repro.operators.invertible import SumOperator
+from repro.operators.noninvertible import MaxOperator
+
+
+class TestFoldSeeded:
+    def test_seeds_with_first_value(self):
+        op = CountingOperator(SumOperator())
+        assert fold_seeded(op, [1, 2, 3, 4]) == 10
+        assert op.combines == 3  # n - 1, the paper's Naive accounting
+
+    def test_empty_returns_identity(self):
+        assert fold_seeded(SumOperator(), []) == 0
+
+
+class TestValidateRanges:
+    def test_sorted_descending_and_deduped(self):
+        assert validate_ranges([3, 1, 3, 2]) == [3, 2, 1]
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(InvalidQueryError):
+            validate_ranges([])
+        with pytest.raises(InvalidQueryError):
+            validate_ranges([2, 0])
+
+
+class TestRecalc:
+    def test_window_slides(self):
+        agg = RecalcAggregator(SumOperator(), 3)
+        assert agg.run([1, 2, 3, 4, 5]) == [1, 3, 6, 9, 12]
+
+    def test_multi_answers_every_range(self):
+        agg = RecalcMultiAggregator(MaxOperator(), [1, 3])
+        assert agg.step(5) == {1: 5, 3: 5}
+        assert agg.step(2) == {1: 2, 3: 5}
+        assert agg.step(1) == {1: 1, 3: 5}
+        assert agg.step(4) == {1: 4, 3: 4}
+
+
+class TestNaive:
+    def test_matches_recalc(self):
+        stream = [5, -2, 7, 7, 0, 3, -9, 1]
+        for window in (1, 2, 3, 8):
+            assert (
+                NaiveAggregator(SumOperator(), window).run(stream)
+                == RecalcAggregator(SumOperator(), window).run(stream)
+            )
+
+    def test_op_count_is_n_minus_1(self):
+        op = CountingOperator(SumOperator())
+        agg = NaiveAggregator(op, 8)
+        for value in range(20):
+            agg.step(value)
+        op.reset()
+        agg.step(99)
+        assert op.ops == 7  # Table 1: n - 1 per slide
+
+    def test_memory_is_n_words(self):
+        assert NaiveAggregator(SumOperator(), 33).memory_words() == 33
+
+    def test_multi_memory_independent_of_query_count(self):
+        few = NaiveMultiAggregator(SumOperator(), [8, 4])
+        many = NaiveMultiAggregator(SumOperator(), list(range(1, 9)))
+        assert few.memory_words() == many.memory_words() == 8
+
+    def test_multi_quadratic_ops(self):
+        n = 8
+        op = CountingOperator(SumOperator())
+        agg = NaiveMultiAggregator(op, list(range(1, n + 1)))
+        for value in range(3 * n):
+            agg.step(value)
+        op.reset()
+        agg.step(0)
+        assert op.ops == n * n // 2 - n // 2  # Table 1

@@ -1,0 +1,82 @@
+"""Unit tests for B-Int (base intervals)."""
+
+from __future__ import annotations
+
+from repro.baselines.bint import BIntAggregator, BIntMultiAggregator
+from repro.baselines.recalc import RecalcAggregator
+from repro.operators.instrumented import CountingOperator
+from repro.operators.invertible import SumOperator
+from repro.operators.noninvertible import MinOperator
+from tests.conftest import int_stream
+
+
+def test_matches_recalc():
+    stream = int_stream(200, seed=9)
+    for window in (1, 2, 7, 16, 33):
+        assert (
+            BIntAggregator(SumOperator(), window).run(stream)
+            == RecalcAggregator(SumOperator(), window).run(stream)
+        )
+
+
+def test_level_structure():
+    agg = BIntAggregator(SumOperator(), 8)
+    levels = agg._intervals.levels
+    assert [len(level) for level in levels] == [8, 4, 2, 1]
+
+
+def test_update_touches_every_level():
+    op = CountingOperator(SumOperator())
+    agg = BIntAggregator(op, 64)
+    for value in range(128):
+        agg.push(value)
+    op.reset()
+    agg.push(1)
+    # One combine per non-base level: log2(64) = 6.
+    assert op.ops == 6
+
+
+def test_query_cost_bounded_by_2_log_n(subtests=None):
+    op = CountingOperator(SumOperator())
+    agg = BIntAggregator(op, 64)
+    for value in range(200):
+        agg.push(value)
+    op.reset()
+    agg.query()
+    assert op.ops <= 2 * 6 + 2
+
+
+def test_constant_factor_slower_than_flatfat():
+    """Section 4.1: same asymptotics as FlatFAT, slower by a constant."""
+    from repro.baselines.flatfat import FlatFATAggregator
+
+    stream = int_stream(600, seed=10)
+    window = 64
+
+    def total_ops(make):
+        op = CountingOperator(SumOperator())
+        agg = make(op)
+        for value in stream:
+            agg.step(value)
+        return op.ops
+
+    flatfat_ops = total_ops(lambda op: FlatFATAggregator(op, window))
+    bint_ops = total_ops(lambda op: BIntAggregator(op, window))
+    assert flatfat_ops < bint_ops <= 4 * flatfat_ops
+
+
+def test_multi_query_matches_recalc():
+    stream = int_stream(60, seed=11)
+    ranges = [1, 3, 5, 9]
+    agg = BIntMultiAggregator(MinOperator(), ranges)
+    reference = {r: RecalcAggregator(MinOperator(), r) for r in ranges}
+    for value in stream:
+        answers = agg.step(value)
+        for r, ref in reference.items():
+            assert answers[r] == ref.step(value)
+
+
+def test_memory_counts_all_levels():
+    # 2 * 2^ceil(log n) - 1 interval slots.
+    assert BIntAggregator(SumOperator(), 8).memory_words() == 15
+    assert BIntAggregator(SumOperator(), 9).memory_words() == 31

@@ -1,0 +1,127 @@
+"""Unit tests for the chunked-node deque (paper §4.2 storage)."""
+
+from __future__ import annotations
+
+from collections import deque as pydeque
+
+import pytest
+
+from repro.errors import WindowStateError
+from repro.structures.chunked_deque import ChunkedDeque, optimal_chunk_size
+
+
+def test_fifo_round_trip():
+    d = ChunkedDeque(chunk_size=4)
+    for value in range(10):
+        d.push_back(value)
+    assert [d.pop_front() for _ in range(10)] == list(range(10))
+    assert len(d) == 0
+
+
+def test_lifo_round_trip():
+    d = ChunkedDeque(chunk_size=4)
+    for value in range(10):
+        d.push_back(value)
+    assert [d.pop_back() for _ in range(10)] == list(range(9, -1, -1))
+
+
+def test_front_and_back():
+    d = ChunkedDeque(chunk_size=2)
+    d.push_back("a")
+    assert d.front == "a" and d.back == "a"
+    d.push_back("b")
+    assert d.front == "a" and d.back == "b"
+
+
+def test_empty_access_raises():
+    d = ChunkedDeque()
+    with pytest.raises(WindowStateError):
+        d.pop_front()
+    with pytest.raises(WindowStateError):
+        d.pop_back()
+    with pytest.raises(WindowStateError):
+        _ = d.front
+    with pytest.raises(WindowStateError):
+        _ = d.back
+
+
+def test_iteration_order_front_to_back():
+    d = ChunkedDeque(chunk_size=3)
+    for value in range(8):
+        d.push_back(value)
+    d.pop_front()
+    d.pop_front()
+    assert list(d) == list(range(2, 8))
+
+
+def test_mixed_operations_match_reference_deque():
+    import random
+
+    rng = random.Random(5)
+    d = ChunkedDeque(chunk_size=3)
+    ref: pydeque = pydeque()
+    for step in range(2000):
+        action = rng.random()
+        if action < 0.5 or not ref:
+            d.push_back(step)
+            ref.append(step)
+        elif action < 0.75:
+            assert d.pop_front() == ref.popleft()
+        else:
+            assert d.pop_back() == ref.pop()
+        assert len(d) == len(ref)
+        if ref:
+            assert d.front == ref[0]
+            assert d.back == ref[-1]
+    assert list(d) == list(ref)
+
+
+def test_chunk_count_tracks_allocation():
+    d = ChunkedDeque(chunk_size=4)
+    assert d.chunk_count == 0
+    d.push_back(1)
+    assert d.chunk_count == 1
+    for value in range(4):
+        d.push_back(value)
+    assert d.chunk_count == 2
+    while d:
+        d.pop_front()
+    assert d.chunk_count == 0
+
+
+def test_memory_words_formula():
+    d = ChunkedDeque(chunk_size=4, words_per_item=2)
+    for value in range(5):  # 2 chunks allocated
+        d.push_back(value)
+    assert d.allocated_slots() == 8
+    assert d.memory_words() == 8 * 2 + 2 * 2
+
+
+def test_empty_deque_costs_nothing():
+    d = ChunkedDeque(chunk_size=4)
+    assert d.memory_words() == 0
+
+
+def test_invalid_parameters():
+    with pytest.raises(WindowStateError):
+        ChunkedDeque(chunk_size=0)
+    with pytest.raises(WindowStateError):
+        ChunkedDeque(words_per_item=0)
+
+
+def test_bool_protocol():
+    d = ChunkedDeque()
+    assert not d
+    d.push_back(1)
+    assert d
+
+
+class TestOptimalChunkSize:
+    def test_sqrt_rule(self):
+        assert optimal_chunk_size(1024) == 32
+        assert optimal_chunk_size(100) == 10
+
+    def test_small_windows(self):
+        assert optimal_chunk_size(0) == 1
+        assert optimal_chunk_size(1) == 1
+        assert optimal_chunk_size(3) == 1

@@ -1,0 +1,99 @@
+"""Unit tests for the circular buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WindowStateError
+from repro.structures.circular_buffer import CircularBuffer
+
+
+def test_push_returns_expiring_value():
+    buf = CircularBuffer(3, fill=0)
+    assert buf.push(1) == 0  # fill expires first
+    assert buf.push(2) == 0
+    assert buf.push(3) == 0
+    assert buf.push(4) == 1  # now real values expire FIFO
+    assert buf.push(5) == 2
+
+
+def test_position_wraps():
+    buf = CircularBuffer(3)
+    assert buf.position == 0
+    for value in range(5):
+        buf.push(value)
+    assert buf.position == 5 % 3
+
+
+def test_len_caps_at_capacity():
+    buf = CircularBuffer(3)
+    assert len(buf) == 0
+    buf.push(1)
+    assert len(buf) == 1
+    for value in range(10):
+        buf.push(value)
+    assert len(buf) == 3
+
+
+def test_is_warm():
+    buf = CircularBuffer(2)
+    assert not buf.is_warm
+    buf.push(1)
+    assert not buf.is_warm
+    buf.push(2)
+    assert buf.is_warm
+
+
+def test_peek_expiring_matches_next_push():
+    buf = CircularBuffer(3, fill=-1)
+    for value in range(4):
+        assert buf.peek_expiring() == buf.push(value)
+
+
+def test_at_offset():
+    buf = CircularBuffer(4, fill=0)
+    for value in (10, 20, 30):
+        buf.push(value)
+    assert buf.at_offset(1) == 30
+    assert buf.at_offset(2) == 20
+    assert buf.at_offset(3) == 10
+    assert buf.at_offset(4) == 0  # unwritten slot = fill
+
+
+def test_at_offset_bounds():
+    buf = CircularBuffer(3)
+    with pytest.raises(WindowStateError):
+        buf.at_offset(0)
+    with pytest.raises(WindowStateError):
+        buf.at_offset(4)
+
+
+def test_last_iterates_oldest_first():
+    buf = CircularBuffer(3)
+    for value in (1, 2, 3, 4, 5):
+        buf.push(value)
+    assert list(buf.last(3)) == [3, 4, 5]
+    assert list(buf.last(2)) == [4, 5]
+    assert list(buf.last(0)) == []
+
+
+def test_last_bounds():
+    buf = CircularBuffer(3)
+    with pytest.raises(WindowStateError):
+        list(buf.last(4))
+
+
+def test_iter_matches_len():
+    buf = CircularBuffer(4, fill=None)
+    buf.push("a")
+    buf.push("b")
+    assert list(buf) == ["a", "b"]
+
+
+def test_memory_words_is_capacity():
+    assert CircularBuffer(17).memory_words() == 17
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(WindowStateError):
+        CircularBuffer(0)

@@ -1,0 +1,112 @@
+"""Directed unit tests of DABA's internal region machinery.
+
+The differential and property suites pin DABA's observable behaviour;
+these tests walk the freeze / merge / swap paths explicitly, including
+the safety valves that normal ``push`` scheduling never exercises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.daba import DABAAggregator
+from repro.errors import WindowStateError
+from repro.operators.invertible import SumOperator
+
+
+def test_cold_start_first_insert_freezes_and_converts():
+    agg = DABAAggregator(SumOperator(), 8)
+    agg.push(5)
+    # The single element was frozen, swept (trivially), and is
+    # queryable; nothing is mid-flight.
+    assert agg.query() == 5
+    assert agg.rebuilds == 1
+
+
+def test_warmup_merges_keep_frozen_at_least_back_sized():
+    agg = DABAAggregator(SumOperator(), 64)
+    for value in range(40):  # warm-up only, no evictions
+        agg.push(value)
+        frozen = len(agg._frozen) if agg._frozen is not None else 0
+        merging = (
+            len(agg._merging) if agg._merging is not None else 0
+        )
+        back = len(agg._back)
+        # The next front (frozen ∪ merging) never falls behind the
+        # back by more than the merge guard allows.
+        assert frozen + merging + len(agg._front) - agg._head >= back - 1
+
+
+def test_merge_guard_respects_completion_deadline():
+    """No merge starts once 3·len(back) would exceed the window."""
+    window = 12
+    agg = DABAAggregator(SumOperator(), window)
+    for value in range(window):
+        agg.push(value)
+        if agg._merging is not None:
+            assert 3 * len(agg._merging) <= window
+
+
+def test_steady_state_alternates_freeze_and_swap():
+    window = 16
+    agg = DABAAggregator(SumOperator(), window)
+    for value in range(10 * window):
+        agg.push(value)
+    # Roughly one freeze per half-window period in steady state.
+    assert agg.rebuilds >= 10
+    assert agg.forced_finishes == 0
+
+
+def test_manual_evict_mid_rebuild_uses_the_safety_valve():
+    agg = DABAAggregator(SumOperator(), 32)
+    for value in range(32):
+        agg.push(value)
+    # Drain the front far faster than the 1-evict-per-push schedule.
+    drained = 0
+    while len(agg) > 1:
+        agg.evict()
+        drained += 1
+    assert drained == 31
+    assert agg.query() == 31  # only the newest value remains
+    # The off-schedule evictions may legitimately force sweeps.
+    assert agg.forced_finishes >= 0
+
+
+def test_evict_everything_then_raise():
+    agg = DABAAggregator(SumOperator(), 4)
+    for value in (1, 2, 3):
+        agg.push(value)
+    for _ in range(3):
+        agg.evict()
+    with pytest.raises(WindowStateError):
+        agg.evict()
+
+
+def test_evict_then_push_resumes_cleanly():
+    agg = DABAAggregator(SumOperator(), 4)
+    for value in (1, 2, 3, 4):
+        agg.push(value)
+    agg.evict()
+    agg.evict()
+    assert agg.query() == 7  # 3 + 4
+    for value in (5, 6):
+        agg.push(value)
+    assert agg.query() == 3 + 4 + 5 + 6
+    # Window refills and stays exact afterwards.
+    for value in (7, 8, 9):
+        agg.push(value)
+    assert agg.query() == 6 + 7 + 8 + 9
+
+
+def test_window_of_two_cycles_regions_correctly():
+    agg = DABAAggregator(SumOperator(), 2)
+    answers = [agg.step(v) for v in range(10)]
+    assert answers == [0, 1, 3, 5, 7, 9, 11, 13, 15, 17]
+    assert agg.forced_finishes == 0
+
+
+def test_len_counts_all_regions():
+    agg = DABAAggregator(SumOperator(), 16)
+    for index, value in enumerate(range(30), start=1):
+        agg.push(value)
+        assert len(agg) == min(index, 16)

@@ -1,0 +1,135 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.datasets.adversarial import (
+    ascending_stream,
+    deque_filler,
+    descending_stream,
+    worst_case_slide_ops,
+)
+from repro.datasets.debs12 import (
+    SAMPLE_RATE_HZ,
+    STATE_FIELDS,
+    Debs12Generator,
+    debs12_array,
+    debs12_events,
+    debs12_values,
+)
+from repro.datasets.synthetic import (
+    ascending,
+    constant,
+    descending,
+    gaussian,
+    materialise,
+    sawtooth,
+    uniform,
+    uniform_ints,
+)
+
+
+class TestDebs12:
+    def test_schema(self):
+        event = next(iter(debs12_events(1)))
+        assert event.position == 1
+        assert event.timestamp == 0.0
+        assert len(event.energy) == 3
+        assert len(event.states) == STATE_FIELDS
+
+    def test_hundred_hertz_timestamps(self):
+        events = list(debs12_events(3))
+        deltas = [
+            events[i + 1].timestamp - events[i].timestamp
+            for i in range(2)
+        ]
+        assert deltas == pytest.approx([1 / SAMPLE_RATE_HZ] * 2)
+
+    def test_deterministic_under_seed(self):
+        assert debs12_array(100, seed=5) == debs12_array(100, seed=5)
+        assert debs12_array(100, seed=5) != debs12_array(100, seed=6)
+
+    def test_energy_strictly_positive(self):
+        assert all(v > 0 for v in debs12_values(2000))
+
+    def test_readings_differ(self):
+        a = debs12_array(50, reading=0)
+        b = debs12_array(50, reading=1)
+        assert a != b
+
+    def test_autocorrelation_present(self):
+        """Consecutive samples must be correlated (AR(1) shape)."""
+        values = debs12_array(2000)
+        mean = sum(values) / len(values)
+        num = sum(
+            (values[i] - mean) * (values[i + 1] - mean)
+            for i in range(len(values) - 1)
+        )
+        den = sum((v - mean) ** 2 for v in values)
+        assert num / den > 0.5
+
+    def test_invalid_reading_rejected(self):
+        with pytest.raises(ValueError):
+            debs12_array(10, reading=3)
+
+    def test_states_optional(self):
+        generator = Debs12Generator(include_states=False)
+        assert next(generator).states == ()
+
+
+class TestSynthetic:
+    def test_uniform_bounds_and_determinism(self):
+        values = materialise(uniform(500, low=2.0, high=3.0, seed=1))
+        assert all(2.0 <= v < 3.0 for v in values)
+        assert values == materialise(
+            uniform(500, low=2.0, high=3.0, seed=1)
+        )
+
+    def test_uniform_ints(self):
+        values = materialise(uniform_ints(500, -5, 5, seed=2))
+        assert all(isinstance(v, int) and -5 <= v <= 5 for v in values)
+
+    def test_gaussian_mean(self):
+        values = materialise(gaussian(5000, mu=10.0, seed=3))
+        assert sum(values) / len(values) == pytest.approx(10.0, abs=0.2)
+
+    def test_monotone_streams(self):
+        up = materialise(ascending(10))
+        down = materialise(descending(10, start=9))
+        assert up == sorted(up)
+        assert down == sorted(down, reverse=True)
+
+    def test_sawtooth_period(self):
+        values = materialise(sawtooth(8, period=4))
+        assert values == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_constant(self):
+        assert materialise(constant(3, 7.0)) == [7.0, 7.0, 7.0]
+
+
+class TestAdversarial:
+    def test_deque_filler_cycle_shape(self):
+        window = 8
+        cycle = list(itertools.islice(deque_filler(window, 1), window))
+        descending_part, spike = cycle[:-1], cycle[-1]
+        assert descending_part == sorted(descending_part, reverse=True)
+        assert spike > max(descending_part)
+
+    def test_deque_filler_spikes_grow_across_cycles(self):
+        window = 4
+        values = list(deque_filler(window, cycles=3))
+        spikes = values[window - 1:: window]
+        assert spikes == sorted(spikes)
+        assert len(values) == 3 * window
+
+    def test_streams_are_monotone(self):
+        down = list(descending_stream(10))
+        up = list(ascending_stream(10))
+        assert down == sorted(down, reverse=True)
+        assert up == sorted(up)
+
+    def test_worst_case_slide_ops_length(self):
+        assert len(worst_case_slide_ops(16)) == 16

@@ -1,0 +1,42 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    InvalidOperatorError,
+    InvalidQueryError,
+    OutOfOrderError,
+    PlanError,
+    ReproError,
+    UnknownOperatorError,
+    WindowStateError,
+)
+
+ALL_ERRORS = [
+    InvalidQueryError,
+    InvalidOperatorError,
+    WindowStateError,
+    OutOfOrderError,
+    PlanError,
+    UnknownOperatorError,
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS)
+def test_all_derive_from_repro_error(error):
+    assert issubclass(error, ReproError)
+
+
+def test_stdlib_compatible_bases():
+    """Callers catching builtin exception types still work."""
+    assert issubclass(InvalidQueryError, ValueError)
+    assert issubclass(InvalidOperatorError, TypeError)
+    assert issubclass(WindowStateError, RuntimeError)
+    assert issubclass(UnknownOperatorError, KeyError)
+
+
+def test_one_catch_all():
+    with pytest.raises(ReproError):
+        raise PlanError("boom")

@@ -1,0 +1,32 @@
+"""Unit tests for the Exp 3 spike-structure companion table."""
+
+from __future__ import annotations
+
+from repro.experiments.exp3_latency import spike_structure_table
+
+
+def test_companion_table_shape_and_claims():
+    table = spike_structure_table(window=32, slides=1024)
+    rows = {row[0]: row for row in table.rows}
+    assert set(rows) == {
+        "naive", "flatfat", "bint", "flatfit", "twostacks", "daba",
+        "slickdeque",
+    }
+    # The flip/reset algorithms are flagged periodic with ~n period.
+    assert rows["twostacks"][4] == "yes"
+    assert int(rows["twostacks"][3]) == 32
+    assert rows["flatfit"][4] == "yes"
+    assert int(rows["flatfit"][3]) in (32, 33)
+    # The flat algorithms have no spikes at all.
+    for name in ("naive", "flatfat", "daba", "slickdeque"):
+        assert rows[name][4] == "no", name
+        assert rows[name][3] == "-", name
+    # SlickDeque (Inv) is exactly 2/2.
+    assert rows["slickdeque"][1] == "2.000"
+    assert rows["slickdeque"][2] == "2"
+
+
+def test_companion_table_renders():
+    text = spike_structure_table(window=16, slides=256).render()
+    assert "spike period" in text
+    assert "slickdeque" in text

@@ -1,0 +1,101 @@
+"""Unit tests for the invertibility-dispatch facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.recalc import RecalcAggregator, RecalcMultiAggregator
+from repro.core.facade import (
+    ComponentwiseAggregator,
+    ComponentwiseMultiAggregator,
+    make_slickdeque,
+    make_slickdeque_multi,
+)
+from repro.core.slickdeque_inv import SlickDequeInv, SlickDequeInvMulti
+from repro.core.slickdeque_noninv import (
+    SlickDequeNonInv,
+    SlickDequeNonInvMulti,
+)
+from repro.errors import InvalidOperatorError
+from repro.operators.algebraic import mean_operator, range_operator
+from repro.operators.base import AggregateOperator
+from repro.operators.invertible import SumOperator
+from repro.operators.noninvertible import MaxOperator
+from tests.conftest import int_stream
+
+
+def test_invertible_routes_to_inv():
+    assert isinstance(make_slickdeque(SumOperator(), 8), SlickDequeInv)
+    assert isinstance(
+        make_slickdeque(mean_operator(), 8), SlickDequeInv
+    )
+
+
+def test_selection_routes_to_noninv():
+    assert isinstance(
+        make_slickdeque(MaxOperator(), 8), SlickDequeNonInv
+    )
+
+
+def test_algebraic_noninvertible_routes_componentwise():
+    agg = make_slickdeque(range_operator(), 8)
+    assert isinstance(agg, ComponentwiseAggregator)
+
+
+def test_multi_dispatch():
+    assert isinstance(
+        make_slickdeque_multi(SumOperator(), [4]), SlickDequeInvMulti
+    )
+    assert isinstance(
+        make_slickdeque_multi(MaxOperator(), [4]),
+        SlickDequeNonInvMulti,
+    )
+    assert isinstance(
+        make_slickdeque_multi(range_operator(), [4]),
+        ComponentwiseMultiAggregator,
+    )
+
+
+class _Holistic(AggregateOperator):
+    """Neither invertible nor selection-type nor composed."""
+
+    name = "pseudo_median"
+
+    @property
+    def identity(self):
+        return ()
+
+    def combine(self, older, newer):  # pragma: no cover - unused
+        return older + (newer,)
+
+
+def test_unsupported_operator_raises():
+    with pytest.raises(InvalidOperatorError, match="Section 3.1"):
+        make_slickdeque(_Holistic(), 8)
+    with pytest.raises(InvalidOperatorError, match="Section 3.1"):
+        make_slickdeque_multi(_Holistic(), [8])
+
+
+def test_componentwise_range_matches_recalc():
+    stream = int_stream(150, seed=71)
+    for window in (1, 4, 9):
+        assert (
+            make_slickdeque(range_operator(), window).run(stream)
+            == RecalcAggregator(range_operator(), window).run(stream)
+        )
+
+
+def test_componentwise_multi_range_matches_recalc():
+    stream = int_stream(120, seed=72)
+    ranges = [1, 3, 7]
+    got = make_slickdeque_multi(range_operator(), ranges).run(stream)
+    expected = RecalcMultiAggregator(range_operator(), ranges).run(stream)
+    assert got == expected
+
+
+def test_componentwise_memory_is_sum_of_parts():
+    agg = make_slickdeque(range_operator(), 16)
+    assert isinstance(agg, ComponentwiseAggregator)
+    assert agg.memory_words() == sum(
+        part.memory_words() for part in agg._parts
+    )

@@ -1,0 +1,106 @@
+"""Unit tests for FlatFIT (index traverser with path compression)."""
+
+from __future__ import annotations
+
+from repro.baselines.flatfit import (
+    FlatFITAggregator,
+    FlatFITMultiAggregator,
+)
+from repro.baselines.recalc import RecalcAggregator
+from repro.operators.instrumented import CountingOperator, SlideOpRecorder
+from repro.operators.invertible import SumOperator
+from repro.operators.noninvertible import MaxOperator
+from tests.conftest import int_stream
+
+
+def test_matches_recalc():
+    stream = int_stream(300, seed=21)
+    for window in (1, 2, 3, 8, 17, 64):
+        assert (
+            FlatFITAggregator(SumOperator(), window).run(stream)
+            == RecalcAggregator(SumOperator(), window).run(stream)
+        )
+
+
+def test_amortized_three_ops_per_slide():
+    """Table 1: amortized 3 (asymptotically) in a single-query run."""
+    op = CountingOperator(SumOperator())
+    agg = FlatFITAggregator(op, 64)
+    rec = SlideOpRecorder(op)
+    for value in int_stream(64 * 40, seed=22):
+        agg.step(value)
+        rec.mark_slide()
+    steady = rec.per_slide[2 * 64:]
+    assert sum(steady) / len(steady) < 3.5
+
+
+def test_window_reset_spike_is_n_minus_1():
+    """The periodic reset costs n-1 ops — FlatFIT's latency spike."""
+    op = CountingOperator(SumOperator())
+    agg = FlatFITAggregator(op, 32)
+    rec = SlideOpRecorder(op)
+    for value in int_stream(32 * 20, seed=23):
+        agg.step(value)
+        rec.mark_slide()
+    steady = rec.per_slide[2 * 32:]
+    assert max(steady) == 32 - 1
+
+
+def test_path_compression_makes_repeat_queries_cheap():
+    op = CountingOperator(SumOperator())
+    agg = FlatFITAggregator(op, 16)
+    for value in range(32):
+        agg.step(value)
+    op.reset()
+    agg.query()
+    first_cost = op.ops
+    op.reset()
+    agg.query()  # same head, fully compressed chain
+    assert op.ops <= 1 < max(2, first_cost + 1)
+
+
+def test_multi_query_matches_recalc():
+    stream = int_stream(100, seed=24)
+    ranges = list(range(1, 13))
+    agg = FlatFITMultiAggregator(MaxOperator(), ranges)
+    reference = {r: RecalcAggregator(MaxOperator(), r) for r in ranges}
+    for value in stream:
+        answers = agg.step(value)
+        for r, ref in reference.items():
+            assert answers[r] == ref.step(value)
+
+
+def test_max_multi_query_ops_near_n():
+    """Table 1: max-multi-query FlatFIT costs ~n-1 ops per slide."""
+    n = 16
+    op = CountingOperator(SumOperator())
+    agg = FlatFITMultiAggregator(op, list(range(1, n + 1)))
+    for value in int_stream(5 * n, seed=25):
+        agg.step(value)
+    op.reset()
+    agg.step(7)
+    assert op.ops <= n
+    assert op.ops >= n - 1
+
+
+def test_memory_follows_paper_stack_bound():
+    # Single query: 2n + 2 (§4.2: stack grows to at most 2 values).
+    agg = FlatFITAggregator(SumOperator(), 16)
+    assert agg.memory_words() == 2 * 16 + 2
+    # Two queries: 2n + n/2; three queries: 2n + n/4; max-multi: 2n + 2.
+    assert FlatFITMultiAggregator(
+        SumOperator(), [16, 8]
+    ).memory_words() == 2 * 16 + 8
+    assert FlatFITMultiAggregator(
+        SumOperator(), [16, 8, 4]
+    ).memory_words() == 2 * 16 + 4
+    assert FlatFITMultiAggregator(
+        SumOperator(), list(range(1, 17))
+    ).memory_words() == 2 * 16 + 2
+
+
+def test_stack_high_water_diagnostic_recorded():
+    agg = FlatFITAggregator(SumOperator(), 16)
+    for value in range(40):
+        agg.step(value)
+    assert agg._core.stack_high_water >= 2

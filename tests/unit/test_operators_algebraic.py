@@ -1,0 +1,119 @@
+"""Unit tests for algebraic (composed) operators."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.operators.algebraic import (
+    ComposedOperator,
+    InvertibleComposedOperator,
+    compose,
+    geometric_mean_operator,
+    mean_operator,
+    range_operator,
+    stddev_operator,
+    variance_operator,
+)
+from repro.operators.invertible import CountOperator, SumOperator
+from repro.operators.noninvertible import MaxOperator, MinOperator
+
+DATA = [4.0, 7.0, 1.0, 9.0, 9.0, 2.0]
+
+
+def test_mean_matches_statistics():
+    op = mean_operator()
+    assert op.lower(op.fold(DATA)) == pytest.approx(statistics.mean(DATA))
+
+
+def test_mean_is_invertible_composition():
+    op = mean_operator()
+    assert isinstance(op, InvertibleComposedOperator)
+    assert op.invertible
+
+
+def test_mean_inverse_slides_window():
+    op = mean_operator()
+    agg = op.fold(DATA)
+    agg = op.inverse(agg, op.lift(DATA[0]))
+    assert op.lower(agg) == pytest.approx(statistics.mean(DATA[1:]))
+
+
+def test_mean_empty_window_is_nan():
+    op = mean_operator()
+    assert math.isnan(op.lower(op.identity))
+
+
+def test_variance_matches_statistics():
+    op = variance_operator()
+    assert op.lower(op.fold(DATA)) == pytest.approx(
+        statistics.pvariance(DATA)
+    )
+
+
+def test_variance_clamps_floating_point_negatives():
+    op = variance_operator()
+    # A constant window has zero variance; cancellation must not
+    # produce a tiny negative number.
+    agg = op.fold([1e8 + 0.1] * 5)
+    assert op.lower(agg) >= 0.0
+
+
+def test_stddev_matches_statistics():
+    op = stddev_operator()
+    assert op.lower(op.fold(DATA)) == pytest.approx(
+        statistics.pstdev(DATA)
+    )
+
+
+def test_geometric_mean_matches_statistics():
+    op = geometric_mean_operator()
+    assert op.lower(op.fold(DATA)) == pytest.approx(
+        statistics.geometric_mean(DATA)
+    )
+
+
+def test_geometric_mean_requires_positive_values():
+    op = geometric_mean_operator()
+    with pytest.raises(ValueError):
+        op.lift(-1.0)
+
+
+def test_range_is_max_minus_min():
+    op = range_operator()
+    assert op.lower(op.fold(DATA)) == 8.0
+
+
+def test_range_is_not_invertible():
+    op = range_operator()
+    assert not op.invertible
+    assert not op.selects
+    assert isinstance(op, ComposedOperator)
+    assert not isinstance(op, InvertibleComposedOperator)
+    assert [c.name for c in op.components] == ["max", "min"]
+
+
+def test_compose_dispatches_on_component_invertibility():
+    invertible = compose(
+        "s+c", [SumOperator(), CountOperator()], lambda s, c: (s, c)
+    )
+    assert isinstance(invertible, InvertibleComposedOperator)
+    mixed = compose(
+        "m+s", [MaxOperator(), SumOperator()], lambda m, s: (m, s)
+    )
+    assert not isinstance(mixed, InvertibleComposedOperator)
+
+
+def test_composed_identity_and_lift_are_componentwise():
+    op = compose(
+        "mm", [MaxOperator(), MinOperator()], lambda a, b: (a, b)
+    )
+    assert op.lift(5) == (5, 5)
+    lifted = op.combine(op.identity, op.lift(5))
+    assert lifted == (5, 5)
+
+
+def test_composed_commutativity_flag():
+    assert mean_operator().commutative

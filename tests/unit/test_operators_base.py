@@ -1,0 +1,91 @@
+"""Unit tests for the aggregate-operator protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidOperatorError
+from repro.operators.base import (
+    AggregateOperator,
+    require_invertible,
+    require_selection,
+)
+from repro.operators.invertible import SumOperator
+from repro.operators.noninvertible import MaxOperator
+
+
+class _Concat(AggregateOperator):
+    """A deliberately non-commutative operator used by order tests."""
+
+    name = "concat"
+
+    @property
+    def identity(self):
+        return ""
+
+    def lift(self, value):
+        return str(value)
+
+    def combine(self, older, newer):
+        return older + newer
+
+
+def test_fold_is_left_to_right_for_non_commutative_ops():
+    assert _Concat().fold([1, 2, 3]) == "123"
+
+
+def test_fold_empty_yields_identity():
+    assert _Concat().fold([]) == ""
+    assert SumOperator().fold([]) == 0
+
+
+def test_fold_aggs_skips_lift():
+    op = _Concat()
+    assert op.fold_aggs(["ab", "cd"]) == "abcd"
+
+
+def test_default_lift_and_lower_are_identity():
+    op = SumOperator()
+    assert op.lift(41) == 41
+    assert op.lower(41) == 41
+
+
+def test_dominates_follows_combine_semantics():
+    op = MaxOperator()
+    assert op.dominates(3, 5)  # 3 ⊕ 5 == 5: 3 is dominated
+    assert op.dominates(5, 5)  # ties dominate (newer value wins)
+    assert not op.dominates(5, 3)
+
+
+def test_dominates_default_implementation_matches_override():
+    op = MaxOperator()
+    base = AggregateOperator.dominates
+    for incumbent in (-2, 0, 7):
+        for challenger in (-2, 0, 7):
+            assert op.dominates(incumbent, challenger) == base(
+                op, incumbent, challenger
+            )
+
+
+def test_require_invertible_accepts_sum():
+    op = SumOperator()
+    assert require_invertible(op) is op
+
+
+def test_require_invertible_rejects_max():
+    with pytest.raises(InvalidOperatorError, match="not invertible"):
+        require_invertible(MaxOperator())
+
+
+def test_require_selection_accepts_max():
+    op = MaxOperator()
+    assert require_selection(op) is op
+
+
+def test_require_selection_rejects_sum():
+    with pytest.raises(InvalidOperatorError, match="selection"):
+        require_selection(SumOperator())
+
+
+def test_repr_contains_name():
+    assert "sum" in repr(SumOperator())

@@ -1,0 +1,112 @@
+"""Unit tests for the boolean and bitwise operators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.recalc import RecalcAggregator
+from repro.core.facade import make_slickdeque
+from repro.errors import InvalidOperatorError
+from repro.operators.boolean import (
+    BitAndOperator,
+    BitOrOperator,
+    BoolAllOperator,
+    BoolAnyOperator,
+)
+from repro.operators.base import AggregateOperator
+from repro.registry import get_algorithm
+
+
+class TestBoolAll:
+    def test_fold(self):
+        op = BoolAllOperator()
+        assert op.fold([True, True, True]) is True
+        assert op.fold([True, False, True]) is False
+        assert op.fold([]) is True  # identity
+
+    def test_selection_semantics(self):
+        op = BoolAllOperator()
+        for a in (False, True):
+            for b in (False, True):
+                assert op.combine(a, b) in (a, b)
+
+    def test_dominates_matches_combine(self):
+        op = BoolAllOperator()
+        base = AggregateOperator.dominates
+        for a in (False, True):
+            for b in (False, True):
+                assert op.dominates(a, b) == base(op, a, b)
+
+    def test_lift_coerces(self):
+        assert BoolAllOperator().lift(0) is False
+        assert BoolAllOperator().lift(17) is True
+
+
+class TestBoolAny:
+    def test_fold(self):
+        op = BoolAnyOperator()
+        assert op.fold([False, False]) is False
+        assert op.fold([False, True, False]) is True
+        assert op.fold([]) is False
+
+    def test_dominates_matches_combine(self):
+        op = BoolAnyOperator()
+        base = AggregateOperator.dominates
+        for a in (False, True):
+            for b in (False, True):
+                assert op.dominates(a, b) == base(op, a, b)
+
+
+class TestSlidingBooleans:
+    def test_all_algorithms_agree_on_bool_windows(self):
+        rng = random.Random(3)
+        stream = [rng.random() < 0.8 for _ in range(300)]
+        for op_class in (BoolAllOperator, BoolAnyOperator):
+            expected = RecalcAggregator(op_class(), 8).run(stream)
+            for name in ("naive", "flatfat", "twostacks", "daba",
+                         "slickdeque"):
+                spec = get_algorithm(name)
+                got = spec.single(op_class(), 8).run(stream)
+                assert got == expected, (op_class.__name__, name)
+
+    def test_deque_occupancy_stays_tiny(self):
+        """For AND, only the Falses (plus one head) survive pops."""
+        window = make_slickdeque(BoolAllOperator(), 100)
+        stream = [True] * 50 + [False] + [True] * 49
+        for value in stream:
+            window.push(value)
+        assert window.occupancy <= 2
+
+
+class TestBitwise:
+    def test_fold(self):
+        assert BitAndOperator().fold([0b1110, 0b0111]) == 0b0110
+        assert BitOrOperator().fold([0b1000, 0b0011]) == 0b1011
+
+    def test_identities(self):
+        assert BitAndOperator().combine(-1, 42) == 42
+        assert BitOrOperator().combine(0, 42) == 42
+
+    def test_not_selection_type(self):
+        op = BitAndOperator()
+        assert not op.selects
+        assert op.combine(5, 3) not in (5, 3)
+
+    def test_slickdeque_refuses_bitwise(self):
+        """§3.1 boundary: the deque needs x ⊕ y ∈ {x, y}."""
+        with pytest.raises(InvalidOperatorError):
+            make_slickdeque(BitAndOperator(), 8)
+
+    def test_tree_baselines_handle_bitwise(self):
+        rng = random.Random(5)
+        stream = [rng.randrange(256) for _ in range(200)]
+        for op_class in (BitAndOperator, BitOrOperator):
+            expected = RecalcAggregator(op_class(), 16).run(stream)
+            for name in ("naive", "flatfat", "bint", "flatfit",
+                         "twostacks", "daba"):
+                spec = get_algorithm(name)
+                assert spec.single(op_class(), 16).run(stream) == (
+                    expected
+                ), (op_class.__name__, name)

@@ -1,0 +1,82 @@
+"""Unit tests for the operation-counting instrumentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.operators.instrumented import CountingOperator, SlideOpRecorder
+from repro.operators.invertible import SumOperator
+from repro.operators.noninvertible import MaxOperator
+
+
+def test_counts_combines_and_inverses_separately():
+    op = CountingOperator(SumOperator())
+    op.combine(1, 2)
+    op.combine(1, 2)
+    op.inverse(3, 2)
+    assert op.combines == 2
+    assert op.inverses == 1
+    assert op.ops == 3
+
+
+def test_reset():
+    op = CountingOperator(SumOperator())
+    op.combine(1, 2)
+    op.reset()
+    assert op.ops == 0
+
+
+def test_transparent_delegation():
+    op = CountingOperator(SumOperator())
+    assert op.identity == 0
+    assert op.lift(5) == 5
+    assert op.lower(5) == 5
+    assert op.combine(2, 3) == 5
+    assert op.inverse(5, 3) == 2
+
+
+def test_flags_mirror_inner():
+    counting_sum = CountingOperator(SumOperator())
+    assert counting_sum.invertible and not counting_sum.selects
+    counting_max = CountingOperator(MaxOperator())
+    assert counting_max.selects and not counting_max.invertible
+
+
+def test_dominates_charges_exactly_one_combine():
+    op = CountingOperator(MaxOperator())
+    assert op.dominates(1, 2)
+    assert op.ops == 1
+
+
+def test_inverse_on_noninvertible_inner_raises():
+    op = CountingOperator(MaxOperator())
+    with pytest.raises(AttributeError):
+        op.inverse(5, 3)
+
+
+class TestSlideOpRecorder:
+    def test_per_slide_deltas(self):
+        op = CountingOperator(SumOperator())
+        rec = SlideOpRecorder(op)
+        op.combine(1, 1)
+        assert rec.mark_slide() == 1
+        op.combine(1, 1)
+        op.combine(1, 1)
+        assert rec.mark_slide() == 2
+        assert rec.mark_slide() == 0
+        assert rec.per_slide == [1, 2, 0]
+        assert rec.slides == 3
+        assert rec.total_ops == 3
+        assert rec.amortized_ops == 1.0
+        assert rec.worst_case_ops == 2
+
+    def test_empty_recorder(self):
+        rec = SlideOpRecorder(CountingOperator(SumOperator()))
+        assert rec.amortized_ops == 0.0
+        assert rec.worst_case_ops == 0
+
+    def test_ignores_ops_before_attachment(self):
+        op = CountingOperator(SumOperator())
+        op.combine(1, 1)
+        rec = SlideOpRecorder(op)
+        assert rec.mark_slide() == 0

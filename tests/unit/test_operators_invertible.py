@@ -1,0 +1,106 @@
+"""Unit tests for the invertible distributive operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.operators.invertible import (
+    CountOperator,
+    IntProductOperator,
+    ProductOperator,
+    SumOfSquaresOperator,
+    SumOperator,
+)
+
+
+class TestSum:
+    def test_combine_and_inverse_round_trip(self):
+        op = SumOperator()
+        agg = op.combine(10, 5)
+        assert agg == 15
+        assert op.inverse(agg, 5) == 10
+
+    def test_identity(self):
+        op = SumOperator()
+        assert op.combine(op.identity, 7) == 7
+        assert op.combine(7, op.identity) == 7
+
+    def test_flags(self):
+        op = SumOperator()
+        assert op.invertible and op.commutative and not op.selects
+
+
+class TestCount:
+    def test_lift_maps_everything_to_one(self):
+        op = CountOperator()
+        assert op.lift(999) == 1
+        assert op.lift("anything") == 1
+
+    def test_fold_counts(self):
+        assert CountOperator().fold(["a", "b", "c"]) == 3
+
+    def test_inverse(self):
+        op = CountOperator()
+        assert op.inverse(3, 1) == 2
+
+
+class TestSumOfSquares:
+    def test_lift_squares(self):
+        assert SumOfSquaresOperator().lift(-4) == 16
+
+    def test_fold(self):
+        assert SumOfSquaresOperator().fold([1, 2, 3]) == 14
+
+
+class TestProduct:
+    def test_fold_without_zeros(self):
+        op = ProductOperator()
+        assert op.lower(op.fold([2, 3, 4])) == 24
+
+    def test_zero_handling(self):
+        op = ProductOperator()
+        agg = op.fold([2, 0, 5])
+        assert op.lower(agg) == 0
+        # Removing the zero restores the nonzero product exactly.
+        agg = op.inverse(agg, op.lift(0))
+        assert op.lower(agg) == 10
+
+    def test_inverse_after_zero_window_slides_out(self):
+        op = ProductOperator()
+        # Window [0, 4] -> slide out 0 -> window [4]
+        agg = op.fold([0, 4])
+        agg = op.inverse(agg, op.lift(0))
+        assert op.lower(agg) == 4
+
+    def test_identity_is_one_with_no_zeros(self):
+        op = ProductOperator()
+        assert op.lower(op.identity) == 1
+
+
+class TestIntProduct:
+    def test_exact_integer_division(self):
+        op = IntProductOperator()
+        agg = op.fold([3, 7, 11])
+        agg = op.inverse(agg, op.lift(7))
+        assert op.lower(agg) == 33
+        assert isinstance(op.lower(agg), int)
+
+    def test_long_window_stays_exact(self):
+        op = IntProductOperator()
+        values = list(range(1, 21))
+        agg = op.fold(values)
+        for value in values[:-1]:
+            agg = op.inverse(agg, op.lift(value))
+        assert op.lower(agg) == 20
+
+
+@pytest.mark.parametrize(
+    "op_class",
+    [SumOperator, CountOperator, SumOfSquaresOperator],
+)
+def test_inverse_property_on_integers(op_class):
+    op = op_class()
+    for a in range(-3, 4):
+        for b in range(-3, 4):
+            la, lb = op.lift(a), op.lift(b)
+            assert op.inverse(op.combine(la, lb), lb) == la

@@ -1,0 +1,124 @@
+"""Unit tests for the non-invertible (selection) operators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.operators.noninvertible import (
+    NEG_INF,
+    POS_INF,
+    AlphabeticalMaxOperator,
+    ArgMaxOperator,
+    ArgMinOperator,
+    MaxOperator,
+    MinOperator,
+    argmax_of_cosine,
+    argmin_of_square,
+)
+
+
+class TestSentinels:
+    def test_neg_inf_below_everything(self):
+        assert NEG_INF < 5
+        assert NEG_INF < -1e300
+        assert NEG_INF < "aardvark"
+        assert not NEG_INF > 5
+
+    def test_pos_inf_above_everything(self):
+        assert POS_INF > 5
+        assert POS_INF > 1e300
+        assert not POS_INF < 5
+
+    def test_sentinel_equality_and_hash(self):
+        assert NEG_INF == type(NEG_INF)()
+        assert hash(NEG_INF) == hash(type(NEG_INF)())
+        assert NEG_INF != POS_INF
+
+
+class TestMax:
+    def test_fold(self):
+        assert MaxOperator().fold([3, 9, 1]) == 9
+
+    def test_identity_folds_away(self):
+        op = MaxOperator()
+        assert op.combine(op.identity, -5) == -5
+
+    def test_selects_one_of_arguments(self):
+        op = MaxOperator()
+        for a in (1, 2):
+            for b in (1, 2):
+                assert op.combine(a, b) in (a, b)
+
+    def test_tie_prefers_newer(self):
+        class Tagged:
+            def __init__(self, value, tag):
+                self.value, self.tag = value, tag
+
+            def __lt__(self, other):
+                return self.value < other.value
+
+            def __gt__(self, other):
+                return self.value > other.value
+
+        older, newer = Tagged(5, "old"), Tagged(5, "new")
+        assert MaxOperator().combine(older, newer).tag == "new"
+
+    def test_works_on_strings(self):
+        assert AlphabeticalMaxOperator().fold(["pear", "apple"]) == "pear"
+
+    def test_dominates_fast_path(self):
+        op = MaxOperator()
+        assert op.dominates(4, 4)
+        assert op.dominates(3, 4)
+        assert not op.dominates(4, 3)
+
+
+class TestMin:
+    def test_fold(self):
+        assert MinOperator().fold([3, -9, 1]) == -9
+
+    def test_dominates(self):
+        op = MinOperator()
+        assert op.dominates(4, 4)
+        assert op.dominates(4, 3)
+        assert not op.dominates(3, 4)
+
+
+class TestArgOperators:
+    def test_argmax_of_cosine(self):
+        op = argmax_of_cosine()
+        # cos(0)=1 beats cos(pi)=-1 and cos(pi/2)=0.
+        assert op.fold([math.pi, 0.0, math.pi / 2]) == 0.0
+
+    def test_argmin_of_square(self):
+        op = argmin_of_square()
+        assert op.fold([4, -1, 3]) == -1
+
+    def test_argmax_identity(self):
+        op = ArgMaxOperator(abs)
+        assert op.combine(op.identity, -7) == -7
+
+    def test_argmin_identity(self):
+        op = ArgMinOperator(abs)
+        assert op.combine(op.identity, -7) == -7
+
+    def test_argmax_selects(self):
+        assert ArgMaxOperator(abs).selects
+
+    def test_custom_name(self):
+        assert ArgMaxOperator(abs, name="argmax_abs").name == "argmax_abs"
+
+    def test_dominates_uses_key(self):
+        op = ArgMaxOperator(abs)
+        assert op.dominates(3, -5)   # |−5| ≥ |3|
+        assert not op.dominates(-5, 3)
+
+
+@pytest.mark.parametrize(
+    "op", [MaxOperator(), MinOperator(), ArgMaxOperator(abs)]
+)
+def test_noninvertible_flags(op):
+    assert op.selects
+    assert not op.invertible

@@ -1,0 +1,55 @@
+"""Unit tests for the operator registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownOperatorError
+from repro.operators.base import AggregateOperator
+from repro.operators.invertible import SumOperator
+from repro.operators.registry import (
+    available_operators,
+    get_operator,
+    register_operator,
+)
+
+EXPECTED_NAMES = {
+    "sum", "count", "sum_of_squares", "product", "int_product",
+    "max", "min", "alpha_max", "argmax_cos", "argmin_x2",
+    "mean", "variance", "stddev", "geometric_mean", "range",
+}
+
+
+def test_all_paper_operators_are_registered():
+    assert EXPECTED_NAMES <= set(available_operators())
+
+
+def test_lookup_returns_fresh_instances():
+    assert get_operator("sum") is not get_operator("sum")
+
+
+def test_lookup_returns_operator_instances():
+    for name in available_operators():
+        assert isinstance(get_operator(name), AggregateOperator)
+
+
+def test_unknown_name_raises_with_known_list():
+    with pytest.raises(UnknownOperatorError, match="known operators"):
+        get_operator("median")  # holistic: out of scope, unregistered
+
+
+def test_register_custom_operator():
+    register_operator("test_custom_sum", SumOperator)
+    try:
+        assert isinstance(get_operator("test_custom_sum"), SumOperator)
+        assert "test_custom_sum" in available_operators()
+    finally:
+        # Keep the registry clean for other tests.
+        from repro.operators import registry
+
+        del registry._FACTORIES["test_custom_sum"]
+
+
+def test_available_operators_sorted():
+    names = available_operators()
+    assert names == sorted(names)

@@ -1,0 +1,70 @@
+"""Unit tests for the slightly-out-of-order handling (§3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OutOfOrderError
+from repro.operators.invertible import SumOperator
+from repro.operators.noninvertible import MaxOperator
+from repro.stream.outoforder import ReorderBuffer, absorbable
+
+
+class TestReorderBuffer:
+    def test_in_order_passthrough(self):
+        buffer = ReorderBuffer(slack=0)
+        released = []
+        for position in (1, 2, 3):
+            released.extend(buffer.push(position, position * 10))
+        assert released == [(1, 10), (2, 20), (3, 30)]
+
+    def test_reorders_within_slack(self):
+        buffer = ReorderBuffer(slack=2)
+        items = [(2, "b"), (1, "a"), (3, "c"), (4, "d")]
+        released = list(buffer.reorder(items))
+        assert released == [(1, "a"), (2, "b"), (3, "c"), (4, "d")]
+
+    def test_too_late_raises(self):
+        buffer = ReorderBuffer(slack=1)
+        list(buffer.push(1, "a"))
+        list(buffer.push(2, "b"))  # releases 1
+        list(buffer.push(3, "c"))  # releases 2
+        with pytest.raises(OutOfOrderError, match="position 1"):
+            list(buffer.push(1, "late"))
+
+    def test_late_handler_routes_instead_of_raising(self):
+        dropped = []
+        buffer = ReorderBuffer(
+            slack=0, on_late=lambda p, v: dropped.append((p, v))
+        )
+        list(buffer.push(2, "b"))
+        list(buffer.push(1, "late"))
+        assert dropped == [(1, "late")]
+
+    def test_drain_releases_everything(self):
+        buffer = ReorderBuffer(slack=10)
+        list(buffer.push(2, "b"))
+        list(buffer.push(1, "a"))
+        assert list(buffer.drain()) == [(1, "a"), (2, "b")]
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(OutOfOrderError):
+            ReorderBuffer(slack=-1)
+
+
+class TestAbsorbable:
+    def test_commutative_within_open_partial(self):
+        assert absorbable(SumOperator(), lateness=2,
+                          open_partial_length=5)
+        assert absorbable(MaxOperator(), lateness=0,
+                          open_partial_length=1)
+
+    def test_beyond_open_partial_not_absorbable(self):
+        assert not absorbable(SumOperator(), lateness=5,
+                              open_partial_length=5)
+
+    def test_non_commutative_never_absorbable(self):
+        from repro.operators.noninvertible import ArgMaxOperator
+
+        op = ArgMaxOperator(abs)  # declared non-commutative (ties)
+        assert not absorbable(op, lateness=0, open_partial_length=9)

@@ -1,0 +1,85 @@
+"""Unit tests for the Panes (Inv) alias and the reordered source."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.panes_inv import (
+    PanesInvAggregator,
+    SubtractOnEvictAggregator,
+)
+from repro.core.slickdeque_inv import SlickDequeInv
+from repro.errors import OutOfOrderError
+from repro.operators.instrumented import CountingOperator
+from repro.operators.invertible import SumOperator
+from repro.registry import available_algorithms, get_algorithm
+from repro.stream.source import reordered
+from tests.conftest import int_stream
+
+
+class TestPanesInv:
+    def test_registered_under_historical_name(self):
+        spec = get_algorithm("panes_inv")
+        assert spec.label == "Panes (Inv)"
+        assert spec.multi is None  # the multi-query map is SlickDeque's
+
+    def test_not_in_the_paper_comparison_set(self):
+        assert "panes_inv" not in available_algorithms()
+
+    def test_subtract_on_evict_is_the_same_algorithm(self):
+        assert SubtractOnEvictAggregator is PanesInvAggregator
+
+    def test_operation_for_operation_identical_to_slickdeque_inv(self):
+        stream = int_stream(300, seed=41)
+        counted_a = CountingOperator(SumOperator())
+        counted_b = CountingOperator(SumOperator())
+        panes = PanesInvAggregator(counted_a, 16)
+        slick = SlickDequeInv(counted_b, 16)
+        assert panes.run(stream) == slick.run(stream)
+        assert counted_a.combines == counted_b.combines
+        assert counted_a.inverses == counted_b.inverses
+
+
+class TestReorderedSource:
+    def test_restores_order_within_slack(self):
+        rng = random.Random(9)
+        values = list(range(1, 101))
+        shuffled = values[:]
+        # Local shuffles with displacement <= 3.
+        for i in range(0, 96, 4):
+            window = shuffled[i:i + 4]
+            rng.shuffle(window)
+            shuffled[i:i + 4] = window
+        stream = [(v, v * 10) for v in shuffled]
+        assert list(reordered(stream, slack=4)) == [
+            v * 10 for v in values
+        ]
+
+    def test_raises_beyond_slack(self):
+        stream = [(3, "c"), (4, "d"), (5, "e"), (1, "late")]
+        with pytest.raises(OutOfOrderError):
+            list(reordered(stream, slack=1))
+
+    def test_feeds_an_engine_correctly(self):
+        from repro.operators.registry import get_operator
+        from repro.stream.engine import StreamEngine
+        from repro.stream.sink import CollectSink
+        from repro.windows.query import Query
+
+        values = int_stream(60, seed=42)
+        # Swap adjacent pairs: lateness 1.
+        positioned = []
+        for i in range(0, 60, 2):
+            positioned.append((i + 2, values[i + 1]))
+            positioned.append((i + 1, values[i]))
+        sink = CollectSink()
+        engine = StreamEngine(
+            [Query(4, 2)], get_operator("sum"), sinks=[sink]
+        )
+        engine.run(reordered(positioned, slack=2))
+        expected = [
+            sum(values[max(0, t - 4):t]) for t in range(2, 61, 2)
+        ]
+        assert [a for _, _, a in sink.answers] == expected

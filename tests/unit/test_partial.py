@@ -1,0 +1,54 @@
+"""Unit tests for the partial aggregator."""
+
+from __future__ import annotations
+
+from repro.operators.invertible import SumOperator
+from repro.operators.noninvertible import MaxOperator
+from repro.windows.partial import PartialAggregator
+from repro.windows.plan import build_shared_plan
+from repro.windows.query import Query
+
+
+def test_partials_fold_their_segment():
+    plan = build_shared_plan([Query(6, 2), Query(8, 4)], "pairs")
+    pa = PartialAggregator(SumOperator(), plan)
+    completed = list(pa.feed_many(range(1, 9)))  # 1..8
+    assert [c.value for c in completed] == [1 + 2, 3 + 4, 5 + 6, 7 + 8]
+    assert [c.position for c in completed] == [2, 4, 6, 8]
+
+
+def test_steps_cycle_with_plan():
+    plan = build_shared_plan([Query(6, 2), Query(8, 4)], "pairs")
+    pa = PartialAggregator(SumOperator(), plan)
+    completed = list(pa.feed_many(range(8)))
+    offsets = [c.step.end_offset for c in completed]
+    assert offsets == [2, 4, 2, 4]
+
+
+def test_open_value_visible_mid_partial():
+    plan = build_shared_plan([Query(4, 2)], "pairs")
+    pa = PartialAggregator(MaxOperator(), plan)
+    assert pa.feed(7) is None
+    assert pa.open_value == 7
+    completed = pa.feed(3)
+    assert completed is not None
+    assert completed.value == 7
+    assert pa.open_value == MaxOperator().identity
+
+
+def test_positions_count_tuples():
+    plan = build_shared_plan([Query(9, 3)], "pairs")
+    pa = PartialAggregator(SumOperator(), plan)
+    list(pa.feed_many(range(7)))
+    assert pa.position == 7
+
+
+def test_uneven_pairs_fragments():
+    # Range 7, slide 3: fragments alternate lengths 2 and 1.
+    plan = build_shared_plan([Query(7, 3)], "pairs")
+    pa = PartialAggregator(SumOperator(), plan)
+    completed = list(pa.feed_many([1] * 6))
+    lengths = [c.step.length for c in completed]
+    assert sorted(set(lengths)) == [1, 2]
+    assert sum(lengths) == 6
+    assert [c.value for c in completed] == lengths  # ones sum to length

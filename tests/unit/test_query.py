@@ -1,0 +1,65 @@
+"""Unit tests for ACQ specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.windows.query import Query, max_range
+
+
+def test_default_name():
+    assert Query(6, 2).name == "q6/2"
+
+
+def test_custom_name():
+    assert Query(6, 2, name="revenue").name == "revenue"
+
+
+def test_validation():
+    with pytest.raises(InvalidQueryError):
+        Query(0, 1)
+    with pytest.raises(InvalidQueryError):
+        Query(1, 0)
+    with pytest.raises(InvalidQueryError):
+        Query(-5, 2)
+
+
+def test_fragments_pairs_rule():
+    # f2 = range % slide, f1 = slide - f2 (paper Section 2.1).
+    assert Query(8, 3).fragments == (1, 2)
+    assert Query(6, 2).fragments == (2, 0)
+    assert Query(5, 5).fragments == (5, 0)
+
+
+def test_reports_at_multiples_of_slide():
+    q = Query(6, 3)
+    assert not q.reports_at(1)
+    assert not q.reports_at(2)
+    assert q.reports_at(3)
+    assert q.reports_at(6)
+
+
+def test_window_at_steady_state():
+    q = Query(4, 2)
+    assert list(q.window_at(10)) == [7, 8, 9, 10]
+
+
+def test_window_at_warmup_clips_to_stream_start():
+    q = Query(10, 1)
+    assert list(q.window_at(3)) == [1, 2, 3]
+
+
+def test_ordering_and_hashing():
+    q_small, q_big = Query(3, 1), Query(5, 1)
+    assert q_small < q_big
+    assert len({Query(3, 1), Query(3, 1), q_big}) == 2
+
+
+def test_max_range():
+    assert max_range([Query(3, 1), Query(9, 2), Query(5, 5)]) == 9
+
+
+def test_max_range_empty():
+    with pytest.raises(InvalidQueryError):
+        max_range([])

@@ -1,0 +1,50 @@
+"""Unit tests for the algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownOperatorError
+from repro.operators.invertible import SumOperator
+from repro.registry import available_algorithms, get_algorithm
+
+PAPER_ALGORITHMS = [
+    "naive", "flatfat", "bint", "flatfit", "twostacks", "daba",
+    "slickdeque",
+]
+
+
+def test_all_compared_algorithms_registered():
+    assert available_algorithms() == PAPER_ALGORITHMS
+
+
+def test_multi_query_capability_matches_paper():
+    """Section 2.2: TwoStacks and DABA have no multi-query support."""
+    multi = available_algorithms(multi_query=True)
+    assert "twostacks" not in multi
+    assert "daba" not in multi
+    assert "slickdeque" in multi
+    assert "flatfit" in multi
+
+
+def test_recalc_is_registered_but_not_compared():
+    assert get_algorithm("recalc") is not None
+    assert "recalc" not in available_algorithms()
+
+
+def test_spec_builds_working_aggregator():
+    for name in PAPER_ALGORITHMS:
+        spec = get_algorithm(name)
+        aggregator = spec.single(SumOperator(), 4)
+        assert aggregator.step(5) == 5
+        assert aggregator.step(3) == 8
+
+
+def test_labels_match_paper_names():
+    assert get_algorithm("bint").label == "B-Int"
+    assert get_algorithm("slickdeque").label == "SlickDeque"
+
+
+def test_unknown_algorithm_raises():
+    with pytest.raises(UnknownOperatorError, match="known algorithms"):
+        get_algorithm("scotty")

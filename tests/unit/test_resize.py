@@ -1,0 +1,96 @@
+"""Unit tests for dynamic window resize (§3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive import NaiveAggregator
+from repro.baselines.recalc import RecalcAggregator
+from repro.baselines.twostacks import TwoStacksAggregator
+from repro.core.slickdeque_inv import SlickDequeInv
+from repro.core.slickdeque_noninv import (
+    ChunkedSlickDequeNonInv,
+    SlickDequeNonInv,
+)
+from repro.errors import InvalidQueryError
+from repro.operators.invertible import SumOperator
+from repro.operators.noninvertible import MaxOperator
+from tests.conftest import int_stream
+
+RESIZABLE_SUM = [RecalcAggregator, NaiveAggregator, SlickDequeInv]
+RESIZABLE_MAX = [
+    RecalcAggregator,
+    NaiveAggregator,
+    SlickDequeNonInv,
+    ChunkedSlickDequeNonInv,
+]
+
+
+def check_resize(make, operator_factory, old, new, seed):
+    """Resize mid-stream; answers must match a fresh window of the new
+    size fed the same retained history."""
+    stream = int_stream(200, seed=seed)
+    split = 120
+    subject = make(operator_factory(), old)
+    for value in stream[:split]:
+        subject.push(value)
+    subject.resize(new)
+    oracle = RecalcAggregator(operator_factory(), new)
+    # The oracle sees the retained history: the last min(old, new,
+    # split) values before the resize, then the tail of the stream.
+    retained = stream[:split][-min(old, new):]
+    for value in retained:
+        oracle.push(value)
+    for value in stream[split:]:
+        assert subject.step(value) == oracle.step(value)
+    assert subject.window == new
+
+
+@pytest.mark.parametrize("make", RESIZABLE_SUM)
+@pytest.mark.parametrize("old,new", [(8, 16), (16, 8), (8, 8), (20, 1)])
+def test_resize_sum(make, old, new):
+    check_resize(make, SumOperator, old, new, seed=old * 100 + new)
+
+
+@pytest.mark.parametrize("make", RESIZABLE_MAX)
+@pytest.mark.parametrize("old,new", [(8, 16), (16, 8), (12, 3)])
+def test_resize_max(make, old, new):
+    check_resize(make, MaxOperator, old, new, seed=old * 10 + new)
+
+
+def test_resize_immediately_shrinks_the_answer():
+    window = SlickDequeInv(SumOperator(), 4)
+    for value in (1, 2, 3, 4):
+        window.push(value)
+    assert window.query() == 10
+    window.resize(2)
+    assert window.query() == 7  # 3 + 4
+
+
+def test_noninv_shrink_drops_expired_head():
+    window = SlickDequeNonInv(MaxOperator(), 8)
+    for value in (9, 1, 2, 3):
+        window.push(value)
+    assert window.query() == 9
+    window.resize(3)
+    assert window.query() == 3  # the 9 fell out of the new window
+
+
+def test_resize_during_warmup():
+    window = SlickDequeInv(SumOperator(), 10)
+    window.push(5)
+    window.resize(3)
+    assert window.query() == 5
+    assert window.step(2) == 7
+
+
+def test_invalid_size_rejected():
+    window = SlickDequeInv(SumOperator(), 4)
+    with pytest.raises(InvalidQueryError):
+        window.resize(0)
+
+
+def test_unimplemented_resize_raises_not_implemented():
+    window = TwoStacksAggregator(SumOperator(), 4)
+    with pytest.raises(NotImplementedError, match="TwoStacks"):
+        window.resize(8)

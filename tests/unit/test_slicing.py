@@ -1,0 +1,109 @@
+"""Unit tests for the partial-aggregation techniques (PATs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+from repro.windows.query import Query
+from repro.windows.slicing import (
+    composite_slide,
+    cutty_edges,
+    edges_for,
+    pairs_edges,
+    panes_edges,
+    partial_lengths,
+    punctuation_count,
+)
+
+
+def test_composite_slide_is_lcm():
+    # Paper Example 1: slides 2 and 4 -> composite slide 4.
+    assert composite_slide([Query(6, 2), Query(8, 4)]) == 4
+    assert composite_slide([Query(7, 3), Query(5, 2)]) == 6
+
+
+def test_composite_slide_empty_rejected():
+    with pytest.raises(PlanError):
+        composite_slide([])
+
+
+class TestPanes:
+    def test_pane_is_gcd_of_ranges_and_slides(self):
+        queries = [Query(6, 2), Query(8, 4)]
+        cycle = composite_slide(queries)
+        # gcd(6, 8, 2, 4) = 2 -> edges every 2 tuples.
+        assert panes_edges(queries, cycle) == [2, 4]
+
+    def test_every_boundary_aligned(self):
+        queries = [Query(9, 3), Query(6, 3)]
+        cycle = composite_slide(queries)
+        edges = panes_edges(queries, cycle)
+        assert edges == [3]
+
+
+class TestPairs:
+    def test_example_from_paper(self):
+        # Range 7, slide 3: f2 = 1, f1 = 2 -> edges at phases 2 and 0.
+        queries = [Query(7, 3)]
+        assert pairs_edges(queries, 3) == [2, 3]
+
+    def test_divisible_range_needs_one_fragment(self):
+        queries = [Query(6, 3)]
+        assert pairs_edges(queries, 3) == [3]
+
+    def test_union_over_queries(self):
+        queries = [Query(3, 3), Query(4, 4)]
+        cycle = composite_slide(queries)
+        assert cycle == 12
+        # q3/3: ends at 3,6,9,12 (f2=0). q4/4: ends 4,8,12 (f2=0).
+        assert pairs_edges(queries, cycle) == [3, 4, 6, 8, 9, 12]
+
+    def test_pairs_never_more_than_two_fragments_per_slide(self):
+        for r in range(1, 20):
+            for s in range(1, 10):
+                edges = pairs_edges([Query(r, s)], s)
+                assert len(edges) <= 2
+
+
+class TestCutty:
+    def test_edges_only_at_window_starts(self):
+        # Range 7, slide 3: windows start at phase -7 ≡ 2 (mod 3).
+        assert cutty_edges([Query(7, 3)], 3) == [2]
+
+    def test_fewer_edges_than_pairs(self):
+        queries = [Query(7, 3), Query(5, 2)]
+        cycle = composite_slide(queries)
+        assert len(cutty_edges(queries, cycle)) <= len(
+            pairs_edges(queries, cycle)
+        )
+
+
+def test_edges_for_unknown_technique():
+    with pytest.raises(PlanError, match="unknown partial aggregation"):
+        edges_for("tumbling", [Query(4, 2)])
+
+
+def test_partial_lengths_sum_to_cycle():
+    for queries in (
+        [Query(7, 3), Query(5, 2)],
+        [Query(6, 2), Query(8, 4)],
+        [Query(13, 5)],
+    ):
+        for technique in ("panes", "pairs"):
+            cycle, edges = edges_for(technique, queries)
+            lengths = partial_lengths(edges, cycle)
+            assert sum(lengths) == cycle
+            assert all(length > 0 for length in lengths)
+
+
+def test_partial_lengths_empty_edges_rejected():
+    with pytest.raises(PlanError):
+        partial_lengths([], 4)
+
+
+def test_punctuation_counts():
+    queries = [Query(7, 3)]
+    assert punctuation_count("panes", queries) == 0
+    assert punctuation_count("pairs", queries) == 0
+    assert punctuation_count("cutty", queries) == 1

@@ -1,0 +1,98 @@
+"""Unit tests for SlickDeque (Inv) — Algorithm 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.recalc import RecalcAggregator, RecalcMultiAggregator
+from repro.core.slickdeque_inv import SlickDequeInv, SlickDequeInvMulti
+from repro.errors import InvalidOperatorError
+from repro.operators.algebraic import mean_operator
+from repro.operators.instrumented import CountingOperator
+from repro.operators.invertible import SumOperator
+from repro.operators.noninvertible import MaxOperator
+from tests.conftest import int_stream
+
+
+def test_paper_example_2():
+    """Figure 8: Q1 = Sum over 3, Q2 = Sum over 5, slide 1."""
+    stream = [6, 5, 0, 1, 3, 4, 2, 7]
+    agg = SlickDequeInvMulti(SumOperator(), [3, 5])
+    answers = agg.run(stream)
+    q1 = [a[3] for a in answers]
+    q2 = [a[5] for a in answers]
+    assert q1 == [6, 11, 11, 6, 4, 8, 9, 13]
+    assert q2 == [6, 11, 11, 12, 15, 13, 10, 17]
+
+
+def test_rejects_non_invertible_operator():
+    with pytest.raises(InvalidOperatorError):
+        SlickDequeInv(MaxOperator(), 8)
+    with pytest.raises(InvalidOperatorError):
+        SlickDequeInvMulti(MaxOperator(), [4])
+
+
+def test_exactly_two_ops_per_slide():
+    """Table 1: exact complexity 2 (one ⊕, one ⊖) per slide."""
+    op = CountingOperator(SumOperator())
+    agg = SlickDequeInv(op, 64)
+    for value in range(200):
+        agg.step(value)
+    op.reset()
+    agg.step(5)
+    assert op.combines == 1
+    assert op.inverses == 1
+
+
+def test_exactly_2n_ops_per_slide_multi():
+    """Table 1: 2n in the max-multi-query environment."""
+    n = 16
+    op = CountingOperator(SumOperator())
+    agg = SlickDequeInvMulti(op, list(range(1, n + 1)))
+    for value in range(50):
+        agg.step(value)
+    op.reset()
+    agg.step(5)
+    assert op.ops == 2 * n
+
+
+def test_matches_recalc():
+    stream = int_stream(300, seed=51)
+    for window in (1, 2, 9, 64):
+        assert (
+            SlickDequeInv(SumOperator(), window).run(stream)
+            == RecalcAggregator(SumOperator(), window).run(stream)
+        )
+
+
+def test_multi_matches_recalc():
+    stream = int_stream(150, seed=52)
+    ranges = [1, 2, 5, 11]
+    got = SlickDequeInvMulti(SumOperator(), ranges).run(stream)
+    expected = RecalcMultiAggregator(SumOperator(), ranges).run(stream)
+    assert got == expected
+
+
+def test_algebraic_mean_on_inv_path():
+    stream = int_stream(100, seed=53)
+    got = SlickDequeInv(mean_operator(), 7).run(stream)
+    expected = RecalcAggregator(mean_operator(), 7).run(stream)
+    assert got == pytest.approx(expected, nan_ok=True)
+
+
+def test_single_query_memory_is_n_plus_1():
+    """Section 4.2: n partials + the stored answer."""
+    assert SlickDequeInv(SumOperator(), 40).memory_words() == 41
+
+
+def test_multi_memory_is_n_plus_q():
+    agg = SlickDequeInvMulti(SumOperator(), [8, 4, 2])
+    assert agg.memory_words() == 8 + 3
+    # Max-multi-query: 2n (Section 4.2).
+    full = SlickDequeInvMulti(SumOperator(), list(range(1, 9)))
+    assert full.memory_words() == 2 * 8
+
+
+def test_same_range_queries_share_one_answer():
+    agg = SlickDequeInvMulti(SumOperator(), [5, 5, 5])
+    assert len(agg.ranges) == 1

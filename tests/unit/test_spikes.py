@@ -1,0 +1,74 @@
+"""Unit tests for the spike-analysis helpers."""
+
+from __future__ import annotations
+
+from repro.metrics.spikes import (
+    SpikeProfile,
+    dominant_period,
+    flip_period,
+    spike_gaps,
+    spike_positions,
+)
+
+
+def test_spike_positions_threshold_on_median():
+    series = [1, 1, 1, 10, 1, 1, 1, 10, 1]
+    assert spike_positions(series, threshold_ratio=4.0) == [3, 7]
+
+
+def test_spike_positions_flat_series_has_none():
+    assert spike_positions([5] * 20) == []
+
+
+def test_spike_positions_empty():
+    assert spike_positions([]) == []
+
+
+def test_spike_gaps_and_period():
+    positions = [3, 11, 19, 27]
+    assert spike_gaps(positions) == [8, 8, 8]
+    assert dominant_period(positions) == 8
+
+
+def test_dominant_period_requires_two_spikes():
+    assert dominant_period([5]) is None
+    assert dominant_period([]) is None
+
+
+def test_profile_periodic_detection():
+    series = [1] * 40
+    for index in (5, 13, 21, 29, 37):
+        series[index] = 30
+    profile = SpikeProfile.of(series)
+    assert profile.spike_count == 5
+    assert profile.period == 8
+    assert profile.periodic
+
+
+def test_profile_aperiodic_detection():
+    series = [1] * 40
+    for index in (3, 9, 25, 30):
+        series[index] = 30
+    profile = SpikeProfile.of(series)
+    assert not profile.periodic
+
+
+def test_profile_tolerates_jitter():
+    series = [1] * 40
+    for index in (5, 13, 22, 30):  # gaps 8, 9, 8
+        series[index] = 30
+    profile = SpikeProfile.of(series, period_tolerance=1)
+    assert profile.periodic
+
+
+def test_max_over_median():
+    profile = SpikeProfile.of([2, 2, 2, 20])
+    assert profile.max_over_median == 10.0
+
+
+def test_flip_period_convenience():
+    series = [1] * 30
+    for index in (4, 14, 24):
+        series[index] = 50
+    period, periodic = flip_period(series)
+    assert (period, periodic) == (10, True)

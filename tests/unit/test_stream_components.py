@@ -1,0 +1,87 @@
+"""Unit tests for stream sources, sinks, and records."""
+
+from __future__ import annotations
+
+from repro.stream.records import Record, SensorEvent
+from repro.stream.sink import (
+    CallbackSink,
+    CollectSink,
+    CountingSink,
+    LatestSink,
+)
+from repro.stream.source import Source, from_events, from_values
+from repro.windows.query import Query
+
+
+class TestRecords:
+    def test_record_fields(self):
+        record = Record(position=3, timestamp=0.03, value=42)
+        assert record.position == 3
+        assert record.value == 42
+
+    def test_sensor_event_reading(self):
+        event = SensorEvent(1, 0.0, (1.5, 2.5, 3.5))
+        assert event.reading(0) == 1.5
+        assert event.reading(2) == 3.5
+
+    def test_sensor_event_default_states(self):
+        assert SensorEvent(1, 0.0, (1.0, 2.0, 3.0)).states == ()
+
+
+class TestSource:
+    def test_plain_iteration(self):
+        assert list(from_values([1, 2, 3])) == [1, 2, 3]
+
+    def test_limit(self):
+        assert list(from_values(range(100), limit=3)) == [0, 1, 2]
+
+    def test_extract(self):
+        source = Source([(1, "a"), (2, "b")], extract=lambda t: t[0])
+        assert list(source) == [1, 2]
+
+    def test_from_events(self):
+        events = [
+            SensorEvent(1, 0.0, (10.0, 20.0, 30.0)),
+            SensorEvent(2, 0.01, (11.0, 21.0, 31.0)),
+        ]
+        assert list(from_events(events, reading=1)) == [20.0, 21.0]
+
+    def test_generator_source_is_single_use(self):
+        source = from_values(iter([1, 2]))
+        assert list(source) == [1, 2]
+        assert list(source) == []
+
+
+class TestSinks:
+    QUERY = Query(4, 2)
+
+    def test_collect_sink(self):
+        sink = CollectSink()
+        sink.emit(2, self.QUERY, 10)
+        sink.emit(4, self.QUERY, 20)
+        assert sink.answers == [(2, self.QUERY, 10), (4, self.QUERY, 20)]
+        assert sink.by_query() == {self.QUERY: [(2, 10), (4, 20)]}
+
+    def test_latest_sink(self):
+        sink = LatestSink()
+        sink.emit(2, self.QUERY, 10)
+        sink.emit(4, self.QUERY, 20)
+        assert sink.latest == {self.QUERY: (4, 20)}
+
+    def test_counting_sink(self):
+        sink = CountingSink()
+        for position in range(5):
+            sink.emit(position, self.QUERY, 0)
+        assert sink.count == 5
+
+    def test_callback_sink(self):
+        seen = []
+        closed = []
+        sink = CallbackSink(
+            lambda p, q, a: seen.append((p, a)),
+            on_close=lambda: closed.append(True),
+        )
+        sink.emit(1, self.QUERY, 7)
+        sink.close()
+        assert seen == [(1, 7)]
+        assert closed == [True]

@@ -1,0 +1,129 @@
+"""Unit tests for the stream engine and the Cutty pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+from repro.operators.registry import get_operator
+from repro.stream.engine import CuttyPipeline, StreamEngine
+from repro.stream.sink import CollectSink, CountingSink
+from repro.windows.query import Query
+from tests.conftest import int_stream
+
+
+def brute_answers(queries, operator_name, stream):
+    op = get_operator(operator_name)
+    out = []
+    for t in range(1, len(stream) + 1):
+        for q in sorted(queries, key=lambda q: -q.range_size):
+            if q.reports_at(t):
+                window = stream[max(0, t - q.range_size):t]
+                out.append((t, q, op.lower(op.fold(window))))
+    return out
+
+
+class TestStreamEngine:
+    STREAM = int_stream(160, seed=81)
+    QUERIES = [Query(6, 2), Query(8, 4), Query(5, 2)]
+
+    @pytest.mark.parametrize("operator_name", ["sum", "max", "mean"])
+    @pytest.mark.parametrize("mode", ["shared", "independent"])
+    def test_answers_match_brute_force(self, operator_name, mode):
+        sink = CollectSink()
+        engine = StreamEngine(
+            self.QUERIES,
+            get_operator(operator_name),
+            mode=mode,
+            sinks=[sink],
+        )
+        engine.run(self.STREAM)
+        assert sink.answers == brute_answers(
+            self.QUERIES, operator_name, self.STREAM
+        )
+
+    def test_independent_supports_any_algorithm(self):
+        for algorithm in ("naive", "flatfat", "daba"):
+            sink = CollectSink()
+            engine = StreamEngine(
+                self.QUERIES,
+                get_operator("sum"),
+                mode="independent",
+                algorithm=algorithm,
+                sinks=[sink],
+            )
+            engine.run(self.STREAM)
+            assert sink.answers == brute_answers(
+                self.QUERIES, "sum", self.STREAM
+            )
+
+    def test_counters(self):
+        engine = StreamEngine(
+            [Query(4, 2)], get_operator("sum"), sinks=[CountingSink()]
+        )
+        engine.run(self.STREAM)
+        assert engine.tuples_consumed == len(self.STREAM)
+        assert engine.answers_emitted == len(self.STREAM) // 2
+
+    def test_multiple_sinks_all_receive(self):
+        first, second = CountingSink(), CountingSink()
+        engine = StreamEngine(
+            [Query(4, 2)], get_operator("sum"), sinks=[first]
+        )
+        engine.add_sink(second)
+        engine.run(self.STREAM)
+        assert first.count == second.count > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PlanError, match="unknown engine mode"):
+            StreamEngine([Query(4, 2)], get_operator("sum"),
+                         mode="magic")
+
+    def test_panes_technique(self):
+        sink = CollectSink()
+        engine = StreamEngine(
+            self.QUERIES,
+            get_operator("max"),
+            technique="panes",
+            sinks=[sink],
+        )
+        engine.run(self.STREAM)
+        assert sink.answers == brute_answers(
+            self.QUERIES, "max", self.STREAM
+        )
+
+
+class TestCuttyPipeline:
+    STREAM = int_stream(120, seed=82)
+
+    @pytest.mark.parametrize("operator_name", ["sum", "max", "mean"])
+    @pytest.mark.parametrize(
+        "range_size,slide", [(6, 2), (7, 3), (3, 5), (5, 1), (4, 4)]
+    )
+    def test_matches_brute_force(self, operator_name, range_size, slide):
+        query = Query(range_size, slide)
+        pipeline = CuttyPipeline(query, get_operator(operator_name))
+        got = pipeline.run(self.STREAM)
+        expected = [
+            (t, a)
+            for t, _, a in brute_answers([query], operator_name,
+                                         self.STREAM)
+        ]
+        assert got == expected
+
+    def test_punctuations_counted(self):
+        query = Query(7, 3)
+        pipeline = CuttyPipeline(query, get_operator("sum"))
+        pipeline.run(self.STREAM)
+        # One punctuation per window start: one per slide.
+        assert pipeline.punctuations == len(self.STREAM) // 3
+
+    def test_range_below_slide_uses_open_partial_only(self):
+        query = Query(2, 5)
+        pipeline = CuttyPipeline(query, get_operator("sum"))
+        got = pipeline.run(self.STREAM)
+        expected = [
+            (t, a)
+            for t, _, a in brute_answers([query], "sum", self.STREAM)
+        ]
+        assert got == expected

@@ -1,0 +1,152 @@
+"""Unit tests for time-based windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidQueryError, OutOfOrderError
+from repro.operators.registry import get_operator
+from repro.windows.query import Query
+from repro.windows.timebased import (
+    TimeQuery,
+    TimeSlicer,
+    TimeWindowEngine,
+    slice_duration,
+)
+
+
+class TestTimeQuery:
+    def test_default_name(self):
+        assert TimeQuery(10.0, 2.0).name == "q10s/2s"
+
+    def test_validation(self):
+        with pytest.raises(InvalidQueryError):
+            TimeQuery(0.0, 1.0)
+        with pytest.raises(InvalidQueryError):
+            TimeQuery(1.0, -1.0)
+
+    def test_to_count_query(self):
+        query = TimeQuery(10.0, 2.0)
+        count = query.to_count_query(slice_seconds=2.0)
+        assert count == Query(5, 1, name="q10s/2s")
+
+    def test_to_count_query_misaligned_rejected(self):
+        with pytest.raises(InvalidQueryError, match="not multiples"):
+            TimeQuery(10.0, 3.0).to_count_query(slice_seconds=4.0)
+
+    def test_sub_resolution_duration_rejected(self):
+        with pytest.raises(InvalidQueryError, match="resolution"):
+            TimeQuery(0.0005, 0.0005).to_count_query(0.0005)
+
+
+class TestSliceDuration:
+    def test_gcd_of_durations(self):
+        queries = [TimeQuery(6.0, 2.0), TimeQuery(8.0, 4.0)]
+        assert slice_duration(queries) == pytest.approx(2.0)
+
+    def test_fractional_seconds_exact(self):
+        # 0.1 s is not exactly representable in binary; the integer
+        # tick conversion must still produce an exact 0.1 s slice.
+        queries = [TimeQuery(0.6, 0.2), TimeQuery(0.5, 0.1)]
+        assert slice_duration(queries) == pytest.approx(0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            slice_duration([])
+
+
+class TestTimeSlicer:
+    def test_slices_by_timestamp(self):
+        slicer = TimeSlicer(1.0)
+        closed = []
+        for timestamp, value in [(0.1, "a"), (0.9, "b"), (2.5, "c")]:
+            closed.extend(slicer.feed(timestamp, value))
+        closed.extend(slicer.flush())
+        assert closed == [(0, ["a", "b"]), (1, []), (2, ["c"])]
+
+    def test_empty_slices_emitted(self):
+        slicer = TimeSlicer(1.0)
+        closed = list(slicer.feed(3.5, "x"))
+        assert closed == [(0, []), (1, []), (2, [])]
+
+    def test_out_of_order_rejected(self):
+        slicer = TimeSlicer(1.0)
+        list(slicer.feed(5.0, "a"))
+        with pytest.raises(OutOfOrderError):
+            list(slicer.feed(4.0, "b"))
+
+    def test_before_origin_rejected(self):
+        slicer = TimeSlicer(1.0, origin=10.0)
+        with pytest.raises(OutOfOrderError):
+            list(slicer.feed(9.0, "a"))
+
+
+class TestTimeWindowEngine:
+    def brute(self, queries, operator_name, stream, horizon):
+        """Reference: evaluate each window over raw timestamps."""
+        op = get_operator(operator_name)
+        expected = []
+        for query in sorted(
+            queries,
+            key=lambda q: (-q.range_seconds, q.slide_seconds),
+        ):
+            boundaries = []
+            end = query.slide_seconds
+            while end <= horizon + 1e-9:
+                values = [
+                    v
+                    for t, v in stream
+                    if end - query.range_seconds <= t < end
+                ]
+                boundaries.append(
+                    (round(end, 9), query.name, op.lower(op.fold(values)))
+                )
+                end += query.slide_seconds
+            expected.extend(boundaries)
+        return sorted(expected)
+
+    def test_matches_brute_force(self):
+        stream = [
+            (0.2, 5), (0.7, 1), (1.1, 9), (2.0, 4), (2.9, 2),
+            (3.3, 8), (5.2, 7), (5.9, 3), (7.5, 6), (9.9, 5),
+        ]
+        queries = [TimeQuery(4.0, 2.0), TimeQuery(6.0, 3.0)]
+        engine = TimeWindowEngine(queries, get_operator("max"))
+        got = sorted(
+            (round(t, 9), q.name, a)
+            for t, q, a in engine.run(stream)
+            if t <= 9.0  # brute horizon: fully-elapsed slides only
+        )
+        expected = [
+            row for row in self.brute(queries, "max", stream, 10.0)
+            if row[0] <= 9.0
+        ]
+        assert got == expected
+
+    def test_sum_with_empty_slices(self):
+        stream = [(0.5, 10), (4.5, 20)]  # a long silent gap
+        engine = TimeWindowEngine(
+            [TimeQuery(2.0, 1.0)], get_operator("sum")
+        )
+        answers = {round(t, 6): a for t, _, a in engine.run(stream)}
+        assert answers[1.0] == 10
+        assert answers[2.0] == 10  # window [0, 2): only the first tuple
+        assert answers[3.0] == 0  # empty window
+        assert answers[4.0] == 0
+        assert answers[5.0] == 20
+
+    def test_slice_is_gcd(self):
+        engine = TimeWindowEngine(
+            [TimeQuery(6.0, 2.0), TimeQuery(9.0, 3.0)],
+            get_operator("sum"),
+        )
+        assert engine.slice_seconds == pytest.approx(1.0)
+
+    def test_mean_lowering(self):
+        stream = [(0.1, 2.0), (0.6, 4.0), (1.4, 9.0)]
+        engine = TimeWindowEngine(
+            [TimeQuery(1.0, 1.0)], get_operator("mean")
+        )
+        answers = [a for _, _, a in engine.run(stream)]
+        assert answers[0] == pytest.approx(3.0)
+        assert answers[1] == pytest.approx(9.0)

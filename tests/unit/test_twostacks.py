@@ -1,0 +1,93 @@
+"""Unit tests for TwoStacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.recalc import RecalcAggregator
+from repro.baselines.twostacks import TwoStacksAggregator
+from repro.errors import WindowStateError
+from repro.operators.instrumented import CountingOperator, SlideOpRecorder
+from repro.operators.invertible import SumOperator
+from repro.operators.noninvertible import MaxOperator
+from tests.conftest import int_stream
+
+
+def test_matches_recalc():
+    stream = int_stream(300, seed=31)
+    for window in (1, 2, 5, 16, 33):
+        assert (
+            TwoStacksAggregator(MaxOperator(), window).run(stream)
+            == RecalcAggregator(MaxOperator(), window).run(stream)
+        )
+
+
+def test_flip_happens_once_per_window_iteration():
+    window = 16
+    agg = TwoStacksAggregator(SumOperator(), window)
+    for value in int_stream(10 * window, seed=32):
+        agg.step(value)
+    # One flip per n evictions (plus at most one during warm-up).
+    assert 8 <= agg.flips <= 11
+
+
+def test_flip_spike_is_n_ops():
+    window = 32
+    op = CountingOperator(SumOperator())
+    agg = TwoStacksAggregator(op, window)
+    rec = SlideOpRecorder(op)
+    for value in int_stream(window * 10, seed=33):
+        agg.step(value)
+        rec.mark_slide()
+    steady = rec.per_slide[2 * window:]
+    assert max(steady) >= window  # the flip slide
+    amortized = sum(steady) / len(steady)
+    assert amortized < 3.5  # Table 1: amortized 3
+
+
+def test_size_never_exceeds_window():
+    agg = TwoStacksAggregator(MaxOperator(), 8)
+    for value in int_stream(100, seed=34):
+        agg.push(value)
+        assert len(agg) <= 8
+
+
+def test_evict_from_empty_raises():
+    agg = TwoStacksAggregator(MaxOperator(), 4)
+    with pytest.raises(WindowStateError):
+        agg.evict()
+
+
+def test_query_empty_window_is_identity():
+    agg = TwoStacksAggregator(SumOperator(), 4)
+    assert agg.query() == 0
+
+
+def test_non_commutative_order():
+    class Concat(MaxOperator):
+        name = "concat"
+        commutative = False
+        selects = False
+
+        @property
+        def identity(self):
+            return ""
+
+        def lift(self, value):
+            return str(value)
+
+        def combine(self, older, newer):
+            return older + newer
+
+    agg = TwoStacksAggregator(Concat(), 3)
+    expected = RecalcAggregator(Concat(), 3)
+    for value in "abcdefg":
+        assert agg.step(value) == expected.step(value)
+
+
+def test_memory_is_2n():
+    assert TwoStacksAggregator(SumOperator(), 21).memory_words() == 42
+
+
+def test_no_multi_query_support():
+    assert not TwoStacksAggregator.supports_multi_query

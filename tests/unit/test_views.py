@@ -1,0 +1,84 @@
+"""Unit tests for the operator views (raw / partial / slices)."""
+
+from __future__ import annotations
+
+from repro.operators.algebraic import ComposedOperator, range_operator
+from repro.operators.invertible import CountOperator, SumOperator
+from repro.operators.noninvertible import MaxOperator
+from repro.operators.algebraic import mean_operator
+from repro.operators.views import (
+    ComponentSlice,
+    PartialView,
+    RawView,
+    partial_view,
+    raw_view,
+)
+
+
+class TestRawView:
+    def test_keeps_aggregates_raw(self):
+        view = raw_view(mean_operator())
+        lifted = view.lift(4.0)
+        assert lifted == (4.0, 1)  # (sum, count), not finalized
+        assert view.lower(lifted) == (4.0, 1)
+
+    def test_flags_mirror_inner(self):
+        assert raw_view(SumOperator()).invertible
+        assert raw_view(MaxOperator()).selects
+        assert not raw_view(MaxOperator()).invertible
+
+    def test_idempotent(self):
+        view = raw_view(SumOperator())
+        assert raw_view(view) is view
+
+    def test_inverse_delegates(self):
+        view = raw_view(SumOperator())
+        assert view.inverse(5, 3) == 2
+
+    def test_dominates_delegates(self):
+        view = raw_view(MaxOperator())
+        assert view.dominates(3, 5)
+        assert not view.dominates(5, 3)
+
+
+class TestPartialView:
+    def test_skips_lift(self):
+        view = partial_view(CountOperator())
+        # Input is an already-lifted count; lifting again would reset
+        # it to 1.
+        assert view.lift(7) == 7
+        assert view.combine(7, 3) == 10
+
+    def test_identity_matches_inner(self):
+        view = partial_view(CountOperator())
+        assert view.identity == 0
+
+
+class TestComposedPartialView:
+    def test_noninvertible_composition_keeps_components(self):
+        view = partial_view(range_operator())
+        assert isinstance(view, ComposedOperator)
+        assert len(view.components) == 2
+        assert all(
+            isinstance(c, ComponentSlice) for c in view.components
+        )
+
+    def test_slices_select_their_slot(self):
+        view = partial_view(range_operator())
+        max_slice, min_slice = view.components
+        assert max_slice.lift((9, 2)) == 9
+        assert min_slice.lift((9, 2)) == 2
+        assert max_slice.selects and min_slice.selects
+
+    def test_lower_defers_finalizer(self):
+        view = partial_view(range_operator())
+        # lower returns the component tuple; the real operator's lower
+        # finalizes it.
+        agg = view.combine(view.lift((5, 1)), view.lift((9, 3)))
+        assert view.lower(agg) == (9, 1)
+        assert range_operator().lower(view.lower(agg)) == 8
+
+    def test_invertible_composition_stays_plain_partial_view(self):
+        view = partial_view(mean_operator())
+        assert isinstance(view, PartialView)
+        assert view.invertible
