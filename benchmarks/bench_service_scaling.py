@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Service scaling: sharded throughput, 1 → 8 worker processes.
+
+Sweeps the shard count of :class:`repro.service.AggregationService`
+over a fixed keyed integer stream with a heavy algebraic operator
+(StdDev) and reports end-to-end ingest throughput, in-worker fold
+throughput, and the single-process :class:`StreamEngine` baseline.
+
+On a multi-core host the ingest throughput should rise monotonically
+from 1 to ~core-count shards (the per-shard fold work is the dominant
+cost and runs in parallel); past the core count it flattens.  On a
+single-core host the sweep still exercises the full pipeline but
+cannot show parallel speedup — the results file records the host's
+core count so the numbers are read in context.
+
+Run:   PYTHONPATH=src python benchmarks/bench_service_scaling.py
+Also collectable as a quick pytest smoke test (not part of tier-1,
+which only collects tests/).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.operators.registry import get_operator
+from repro.service import AggregationService
+from repro.stream.engine import StreamEngine
+from repro.stream.sink import CountingSink
+from repro.windows.query import Query
+
+QUERIES = (Query(512, 64), Query(256, 32))
+OPERATOR = "stddev"
+RECORDS = 60_000
+SHARD_COUNTS = (1, 2, 4, 8)
+KEYS = 64
+
+
+def keyed_stream(count: int = RECORDS):
+    """Deterministic keyed integer readings."""
+    return [
+        (f"k{i % KEYS}", (i * 131 + 17) % 997 - 498)
+        for i in range(count)
+    ]
+
+
+def run_baseline(records):
+    """Single-process engine throughput over the same stream."""
+    sink = CountingSink()
+    engine = StreamEngine(QUERIES, get_operator(OPERATOR), sinks=[sink])
+    started = time.perf_counter()
+    engine.run(value for _, value in records)
+    elapsed = time.perf_counter() - started
+    return len(records) / elapsed, sink.count
+
+
+def run_sharded(records, num_shards):
+    """One sweep point: returns (ingest/s, fold/s, answers, restores)."""
+    service = AggregationService(
+        QUERIES,
+        get_operator(OPERATOR),
+        num_shards=num_shards,
+        batch_size=512,
+        queue_capacity=16,
+        checkpoint_interval=0,
+    )
+    service.submit_many(records)
+    result = service.close()
+    stats = result.stats
+    busy = sum(shard.busy_seconds for shard in stats.shards)
+    fold_rate = stats.records_processed / busy if busy else 0.0
+    return (
+        stats.ingest_throughput.per_second,
+        fold_rate,
+        stats.answers_emitted,
+        sum(shard.restores for shard in stats.shards),
+    )
+
+
+def main() -> str:
+    """Run the sweep and return the rendered report."""
+    records = keyed_stream()
+    lines = [
+        "Service scaling: sharded StdDev over "
+        f"{RECORDS:,} keyed integer records, queries "
+        f"{[(q.range_size, q.slide) for q in QUERIES]}, batch=512, "
+        "checkpoints off",
+        f"host cores: {os.cpu_count()} "
+        "(parallel speedup requires shards <= cores)",
+        "",
+    ]
+    baseline_rate, baseline_answers = run_baseline(records)
+    lines.append(
+        f"single-process StreamEngine baseline: "
+        f"{baseline_rate:>9,.0f} records/s, "
+        f"{baseline_answers} answers"
+    )
+    lines.append("")
+    header = (f"{'shards':>6}  {'ingest rec/s':>12}  "
+              f"{'fold rec/s':>12}  {'vs 1 shard':>10}  {'answers':>7}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    one_shard_rate = None
+    for num_shards in SHARD_COUNTS:
+        ingest, fold, answers, restores = run_sharded(
+            records, num_shards
+        )
+        assert answers == baseline_answers, (answers, baseline_answers)
+        assert restores == 0
+        if one_shard_rate is None:
+            one_shard_rate = ingest
+        lines.append(
+            f"{num_shards:>6}  {ingest:>12,.0f}  {fold:>12,.0f}  "
+            f"{ingest / one_shard_rate:>9.2f}x  {answers:>7}"
+        )
+    report = "\n".join(lines)
+    print(report)
+    return report
+
+
+def test_service_scaling_smoke():
+    """Tiny sweep: every shard count yields the baseline answer count."""
+    records = keyed_stream(4_000)
+    sink = CountingSink()
+    StreamEngine(QUERIES, get_operator(OPERATOR), sinks=[sink]).run(
+        value for _, value in records
+    )
+    for num_shards in (1, 2):
+        _, _, answers, restores = run_sharded(records, num_shards)
+        assert answers == sink.count
+        assert restores == 0
+
+
+if __name__ == "__main__":
+    main()

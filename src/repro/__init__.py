@@ -58,6 +58,7 @@ from repro.operators import (
     get_operator,
 )
 from repro.registry import available_algorithms, get_algorithm
+from repro.service import AggregationService, ServiceResult
 from repro.windows import (
     AcqSpec,
     CompatibleSharedEngine,
@@ -105,6 +106,9 @@ __all__ = [
     # registry
     "get_algorithm",
     "available_algorithms",
+    # sharded service
+    "AggregationService",
+    "ServiceResult",
     # errors
     "ReproError",
     "InvalidQueryError",

@@ -21,11 +21,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.errors import InvalidOperatorError
+from repro.errors import InvalidOperatorError, WindowStateError
 from repro.operators.base import AggregateOperator
 from repro.structures.circular_buffer import CircularBuffer
 from repro.windows.partial import PartialAggregator
-from repro.windows.plan import SharedPlan, build_shared_plan
+from repro.windows.plan import PlanCursor, SharedPlan, build_shared_plan
 from repro.windows.query import Query
 
 #: One emitted result: (stream position, query, answer).
@@ -130,6 +130,9 @@ class SharedSlickDeque:
         self.operator = operator
         self.plan = plan or build_shared_plan(self.queries, technique)
         self._partials = PartialAggregator(operator, self.plan)
+        # Lazily created by feed_partial(); feed() and feed_partial()
+        # are mutually exclusive drive modes for one instance.
+        self._partial_cursor: Optional[PlanCursor] = None
         if operator.invertible:
             self._engine: Any = _InvEngine(operator, self.plan)
         elif operator.selects:
@@ -146,8 +149,46 @@ class SharedSlickDeque:
         """The plan's window requirement in partials (``wSize``)."""
         return self.plan.w_size
 
+    def feed_partial(self, value: Any, position: int) -> List[Answer]:
+        """Advance one plan step with an already-folded partial.
+
+        The sharded service folds each slice's tuples inside shard
+        workers and recombines the per-shard partials across shards;
+        this entry point lets such an externally-merged partial drive
+        the final aggregation directly, bypassing the tuple-level
+        :class:`~repro.windows.partial.PartialAggregator`.  The caller
+        is responsible for handing over exactly one partial per plan
+        step, in plan order.
+
+        Args:
+            value: The completed partial (already lifted and combined).
+            position: 1-based global stream position of the slice end,
+                reported in the emitted answers.
+
+        Raises:
+            WindowStateError: when this instance already consumed raw
+                tuples through :meth:`feed`; the two drive modes cannot
+                be mixed on one instance.
+        """
+        if self._partials.position:
+            raise WindowStateError(
+                "feed_partial() cannot be mixed with feed() on the "
+                "same SharedSlickDeque instance"
+            )
+        if self._partial_cursor is None:
+            self._partial_cursor = PlanCursor(self.plan)
+        self._partial_cursor.get_next_partial_length()
+        step = self._partial_cursor.current_step
+        produced = self._engine.on_partial(value, step.answers)
+        return [(position, query, answer) for query, answer in produced]
+
     def feed(self, value: Any) -> List[Answer]:
         """Consume one tuple; return the answers it released."""
+        if self._partial_cursor is not None:
+            raise WindowStateError(
+                "feed() cannot be mixed with feed_partial() on the "
+                "same SharedSlickDeque instance"
+            )
         completed = self._partials.feed(value)
         if completed is None:
             return []

@@ -51,3 +51,25 @@ class PlanError(ReproError, ValueError):
 
 class UnknownOperatorError(ReproError, KeyError):
     """The operator registry has no entry under the requested name."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The sharded aggregation service was misconfigured or misused.
+
+    Raised for lifecycle violations (submitting to a closed service),
+    invalid service configuration (unknown backpressure policy or
+    execution mode, non-positive shard counts), and worker failures the
+    supervisor could not recover from.
+    """
+
+
+class MergeCapabilityError(ReproError, TypeError):
+    """Cross-shard merging would be unsound for this operator.
+
+    Global answers recombine per-shard partial aggregates with
+    ``combine``; that is exact only for operators with the
+    :attr:`~repro.operators.base.AggregateOperator.mergeable`
+    capability (order-insensitive partial recombination) and a
+    SlickDeque processing path (invertible or selection-type).
+    Operators without it must run in per-key mode instead.
+    """

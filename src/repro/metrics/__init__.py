@@ -34,6 +34,7 @@ from repro.metrics.stats import (
     Summary,
     drop_top_fraction,
     geometric_mean,
+    maybe_summary,
     percentile,
     ratio,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "measure_single_query",
     "measure_multi_query",
     "Summary",
+    "maybe_summary",
     "percentile",
     "drop_top_fraction",
     "geometric_mean",

@@ -74,6 +74,16 @@ class Summary:
         )
 
 
+def maybe_summary(values: Sequence[float]):
+    """A :class:`Summary` of ``values``, or ``None`` when empty.
+
+    Instrumentation that may legitimately collect zero samples (e.g.
+    the sharded service's batch latencies on an inline transport)
+    reports an absent summary instead of raising.
+    """
+    return Summary.of(values) if values else None
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean of strictly positive values."""
     if not values:

@@ -1,0 +1,165 @@
+"""Cross-shard combination of per-shard results.
+
+Global mode rests on one algebraic fact: a slice's whole-stream partial
+is the ``combine`` of the per-shard partials of the same slice, because
+the shards hold *disjoint* subsets of its tuples.  Recombining in shard
+order instead of stream order is exact precisely when the operator's
+partial recombination is order-insensitive — the
+:attr:`~repro.operators.base.AggregateOperator.mergeable` capability —
+and the final aggregation additionally needs a SlickDeque processing
+path (invertible or selection-type).  :func:`check_mergeable` enforces
+both up front so unsound merges are rejected at service construction,
+not detected as wrong answers.
+
+:class:`GlobalMerger` tracks each shard's slice watermark, finalises a
+slice once every shard has passed it, and drives the shared SlickDeque
+final aggregation through
+:meth:`~repro.core.multiquery.SharedSlickDeque.feed_partial`.  Both it
+and :class:`PerKeyCollator` are idempotent under replay — a recovered
+worker re-emits outputs it produced before dying, and the merger must
+not double-count them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.multiquery import Answer, SharedSlickDeque
+from repro.errors import MergeCapabilityError
+from repro.operators.base import AggregateOperator
+from repro.service.shard import ShardOutput
+from repro.service.slices import SliceClock
+from repro.windows.plan import build_shared_plan
+from repro.windows.query import Query
+
+
+def check_mergeable(operator: AggregateOperator) -> None:
+    """Reject operators whose cross-shard merge would be unsound.
+
+    Raises:
+        MergeCapabilityError: when partial recombination is
+            order-sensitive (not ``mergeable``) or the operator has no
+            SlickDeque final-aggregation path; such operators must run
+            in per-key mode.
+    """
+    if not operator.mergeable:
+        raise MergeCapabilityError(
+            f"operator {operator.name!r} does not support cross-shard "
+            "merging: its partial recombination is order-sensitive "
+            "(mergeable=False), so per-shard partials cannot be "
+            "combined into exact global answers; run the service in "
+            "per-key mode instead"
+        )
+    if not (operator.invertible or operator.selects):
+        raise MergeCapabilityError(
+            f"operator {operator.name!r} has no shared SlickDeque "
+            "processing path (neither invertible nor selection-type), "
+            "so merged partials cannot drive the global final "
+            "aggregation; run the service in per-key mode, or "
+            "decompose the operator per component"
+        )
+
+
+class GlobalMerger:
+    """Combine per-shard slice partials into global engine answers.
+
+    A slice is finalised once the minimum shard watermark passes it:
+    every shard has then shipped (and acknowledged) all of its records
+    for the slice, so the per-shard partials on hand are complete.
+    Shards with no records in a slice simply contribute nothing — the
+    fold starts from the operator identity.
+
+    Args:
+        queries: The service's ACQ set.
+        operator: The (mergeable) aggregate operator.
+        technique: Partial-aggregation technique of the shared plan.
+        num_shards: Number of shards feeding this merger.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        operator: AggregateOperator,
+        technique: str,
+        num_shards: int,
+    ):
+        check_mergeable(operator)
+        self.operator = operator
+        self.plan = build_shared_plan(queries, technique)
+        self.clock = SliceClock(self.plan)
+        self._final = SharedSlickDeque(
+            queries, operator, technique, plan=self.plan
+        )
+        self._watermarks = [0] * num_shards
+        self._pending: Dict[int, Dict[int, Any]] = {}
+        self._next_slice = 0
+        #: Global answers emitted so far.
+        self.answers_emitted = 0
+
+    @property
+    def merged_slices(self) -> int:
+        """Number of slices finalised so far."""
+        return self._next_slice
+
+    def on_output(self, output: ShardOutput) -> List[Answer]:
+        """Absorb one shard output; return newly-released answers."""
+        for index, value in output.partials:
+            if index >= self._next_slice:  # replays of merged slices
+                self._pending.setdefault(index, {})[
+                    output.shard_id
+                ] = value
+        watermarks = self._watermarks
+        if output.watermark > watermarks[output.shard_id]:
+            watermarks[output.shard_id] = output.watermark
+        return self._drain()
+
+    def _drain(self) -> List[Answer]:
+        answers: List[Answer] = []
+        frontier = min(self._watermarks)
+        operator = self.operator
+        while self._next_slice < frontier:
+            shard_partials = self._pending.pop(self._next_slice, {})
+            merged = operator.identity
+            for shard_id in sorted(shard_partials):
+                merged = operator.combine(
+                    merged, shard_partials[shard_id]
+                )
+            answers.extend(
+                self._final.feed_partial(
+                    merged, self.clock.end_position(self._next_slice)
+                )
+            )
+            self._next_slice += 1
+        self.answers_emitted += len(answers)
+        return answers
+
+
+class PerKeyCollator:
+    """Collect per-key answers, deduplicating replayed outputs.
+
+    Per-key answers are deterministic — a key's records are processed
+    in arrival order by exactly one shard — so a replayed answer is
+    byte-identical to the original and the first occurrence wins.
+    """
+
+    def __init__(self) -> None:
+        self._seen: set = set()
+        #: Answers per key, in emission order:
+        #: ``key -> [(position, query, answer), ...]``.
+        self.answers: Dict[Any, List[Tuple[int, Query, Any]]] = {}
+
+    def on_output(
+        self, output: ShardOutput
+    ) -> List[Tuple[Any, int, Query, Any]]:
+        """Absorb one shard output; return its previously-unseen answers."""
+        fresh: List[Tuple[Any, int, Query, Any]] = []
+        for key, position, query, answer in output.key_answers:
+            marker = (key, position, query)
+            if marker in self._seen:
+                continue
+            self._seen.add(marker)
+            self.answers.setdefault(key, []).append(
+                (position, query, answer)
+            )
+            fresh.append((key, position, query, answer))
+        return fresh

@@ -1,0 +1,207 @@
+"""Key-partitioned routing with micro-batch framing and load shedding.
+
+The ingestion front of the sharded service: records enter keyed, get a
+global 1-based position, and are hash-partitioned by key into per-shard
+buffers.  Buffers are framed into :class:`Batch` messages in *flush
+rounds* — whenever any shard's buffer reaches the configured batch size
+(or at end of stream) every shard's buffer is framed simultaneously, so
+each round carries one uniform slice **watermark** to all shards.  That
+uniformity is what lets the cross-shard merger finalise slices without
+per-shard punctuations.
+
+Load shedding lives here as pure, process-free helpers
+(:func:`drop_records`, :func:`thin_batch`); the transport layer decides
+*when* to shed (its queue is full) and these decide *what* to shed,
+keeping an exact dropped-record count either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.service.slices import SliceClock
+
+#: Backpressure policies for a full shard queue: ``block`` waits for
+#: capacity (lossless), ``drop`` sheds the whole batch's records,
+#: ``sample`` keeps every other record and ships the thinned batch.
+BACKPRESSURE_POLICIES = ("block", "drop", "sample")
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_FNV_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_hash(key: Any) -> int:
+    """64-bit FNV-1a over ``repr(key)`` — stable across processes.
+
+    The builtin ``hash`` is salted per process for strings (PEP 456),
+    which would scatter a key to different shards across restarts and
+    break checkpoint recovery; this hash is deterministic for any key
+    with a stable ``repr`` (strings, numbers, tuples thereof).
+    """
+    value = _FNV_OFFSET
+    for byte in repr(key).encode("utf-8"):
+        value = ((value ^ byte) * _FNV_PRIME) & _FNV_MASK
+    return value
+
+
+def shard_of(key: Any, num_shards: int) -> int:
+    """The shard owning ``key`` under stable hash partitioning."""
+    return stable_hash(key) % num_shards
+
+
+@dataclass
+class Batch:
+    """One framed micro-batch for one shard.
+
+    Attributes:
+        shard: Destination shard index.
+        seq: Per-shard batch sequence number, 1-based and gapless in
+            ship order — the unit of acknowledgement and replay.
+        watermark: Slices fully closed by the global stream at frame
+            time (every record of those slices has been framed, across
+            all shards of the same flush round).
+        positions: Global 1-based positions of the records.
+        keys: Record keys, parallel to ``positions``.
+        values: Record payloads, parallel to ``positions``.
+    """
+
+    shard: int
+    seq: int
+    watermark: int
+    positions: List[int] = field(default_factory=list)
+    keys: List[Any] = field(default_factory=list)
+    values: List[Any] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        """Number of records framed in this batch."""
+        return len(self.positions)
+
+
+def drop_records(batch: Batch) -> Tuple[Batch, int]:
+    """Shed every record, keeping the batch as a watermark carrier.
+
+    The empty frame must still be delivered — sequence numbers stay
+    gapless and the watermark keeps the cross-shard merge progressing —
+    but it occupies one queue slot with near-zero payload.
+    """
+    dropped = len(batch)
+    return Batch(batch.shard, batch.seq, batch.watermark), dropped
+
+
+def thin_batch(batch: Batch, keep_every: int = 2) -> Tuple[Batch, int]:
+    """Deterministically keep every ``keep_every``-th record.
+
+    Used by the ``sample`` backpressure policy: under pressure the
+    batch is halved (by default) instead of fully shed, trading answer
+    fidelity for bounded queue growth without losing batch framing.
+    """
+    if keep_every < 2:
+        raise ServiceError(
+            f"thin_batch keep_every must be >= 2, got {keep_every}"
+        )
+    kept = slice(None, None, keep_every)
+    thinned = Batch(
+        batch.shard,
+        batch.seq,
+        batch.watermark,
+        batch.positions[kept],
+        batch.keys[kept],
+        batch.values[kept],
+    )
+    return thinned, len(batch) - len(thinned)
+
+
+class Router:
+    """Assign global positions and frame per-shard micro-batches.
+
+    Args:
+        num_shards: Number of shard partitions.
+        batch_size: Records buffered per shard before a flush round is
+            triggered.
+        clock: The service's :class:`SliceClock` in global-merge mode;
+            ``None`` in per-key mode (no watermarks needed, empty
+            batches are skipped).
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        batch_size: int,
+        clock: Optional[SliceClock] = None,
+    ):
+        if num_shards < 1:
+            raise ServiceError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        if batch_size < 1:
+            raise ServiceError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        self.num_shards = num_shards
+        self.batch_size = batch_size
+        self._clock = clock
+        self._positions: List[List[int]] = [[] for _ in range(num_shards)]
+        self._keys: List[List[Any]] = [[] for _ in range(num_shards)]
+        self._values: List[List[Any]] = [[] for _ in range(num_shards)]
+        self._seqs = [0] * num_shards
+        self._sent_watermarks = [0] * num_shards
+        #: Global positions assigned so far (== records submitted).
+        self.position = 0
+        #: Flush rounds completed.
+        self.flush_rounds = 0
+
+    def put(self, key: Any, value: Any) -> List[Batch]:
+        """Route one record; return the batches a full buffer released."""
+        self.position += 1
+        shard = shard_of(key, self.num_shards)
+        self._positions[shard].append(self.position)
+        self._keys[shard].append(key)
+        self._values[shard].append(value)
+        if len(self._positions[shard]) >= self.batch_size:
+            return self.flush()
+        return []
+
+    def flush(self) -> List[Batch]:
+        """Frame every shard's buffer into batches (one flush round).
+
+        In global-merge mode every shard receives a frame carrying the
+        round's watermark — an empty frame when the shard has no
+        buffered records but the watermark advanced — so slice
+        finalisation never stalls on an idle shard.  In per-key mode
+        empty frames carry no information and are skipped.
+        """
+        watermark = (
+            self._clock.slices_closed_by(self.position)
+            if self._clock is not None
+            else 0
+        )
+        batches: List[Batch] = []
+        for shard in range(self.num_shards):
+            buffered = self._positions[shard]
+            if not buffered:
+                if (
+                    self._clock is None
+                    or self._sent_watermarks[shard] == watermark
+                ):
+                    continue
+            self._seqs[shard] += 1
+            batches.append(
+                Batch(
+                    shard,
+                    self._seqs[shard],
+                    watermark,
+                    self._positions[shard],
+                    self._keys[shard],
+                    self._values[shard],
+                )
+            )
+            self._sent_watermarks[shard] = watermark
+            self._positions[shard] = []
+            self._keys[shard] = []
+            self._values[shard] = []
+        if batches:
+            self.flush_rounds += 1
+        return batches

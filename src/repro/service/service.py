@@ -1,0 +1,326 @@
+"""The sharded aggregation service facade.
+
+:class:`AggregationService` glues the subsystem together: a
+:class:`~repro.service.partition.Router` frames keyed records into
+micro-batches, a transport (process-backed
+:class:`~repro.service.supervisor.Supervisor` or in-process
+:class:`~repro.service.supervisor.InlineTransport`) runs the shard
+pipelines, and a merge layer turns shard outputs into answers —
+globally merged for mergeable operators, per key otherwise.
+
+Usage::
+
+    from repro import AggregationService, Query, get_operator
+
+    service = AggregationService(
+        [Query(8, 4), Query(6, 2)], get_operator("sum"), num_shards=4
+    )
+    for key, value in keyed_stream:
+        service.submit(key, value)
+        for position, query, answer in service.poll():
+            ...
+    result = service.close()     # remaining answers + stats
+
+In global mode the emitted ``(position, query, answer)`` triples are
+identical to a single-process :class:`~repro.stream.engine.StreamEngine`
+run over the same records in submission order (exactly, for exact-value
+streams such as integers; floating-point answers may differ by
+rounding, since cross-shard recombination reorders the fold).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.multiquery import Answer
+from repro.errors import ServiceError
+from repro.metrics import Summary, ThroughputResult, maybe_summary
+from repro.service.merge import GlobalMerger, PerKeyCollator
+from repro.service.partition import Router
+from repro.service.shard import SHARD_MODES, ShardConfig
+from repro.service.slices import SliceClock
+from repro.service.supervisor import InlineTransport, Supervisor
+from repro.operators.base import AggregateOperator
+from repro.windows.plan import build_shared_plan
+from repro.windows.query import Query
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Per-shard instrumentation, aggregated from acknowledgements."""
+
+    shard_id: int
+    records: int
+    batches: int
+    busy_seconds: float
+    checkpoints: int
+    restores: int
+    dropped: int
+
+    @property
+    def throughput(self) -> ThroughputResult:
+        """Records folded per busy second inside the worker."""
+        return ThroughputResult(
+            slides=self.records, seconds=self.busy_seconds
+        )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Whole-service instrumentation for one run."""
+
+    shards: Tuple[ShardStats, ...]
+    records_submitted: int
+    records_processed: int
+    dropped_records: int
+    answers_emitted: int
+    elapsed_seconds: float
+    #: Ship-to-acknowledge latency per batch (process transport only).
+    batch_latency: Optional[Summary]
+
+    @property
+    def ingest_throughput(self) -> ThroughputResult:
+        """Submitted records per wall-clock second, end to end."""
+        return ThroughputResult(
+            slides=self.records_submitted, seconds=self.elapsed_seconds
+        )
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Everything :meth:`AggregationService.close` hands back.
+
+    Attributes:
+        answers: Global-mode answers ``(position, query, answer)`` in
+            plan order; empty in per-key mode.
+        per_key: Per-key-mode answers grouped by key (positions are
+            per-key stream positions); empty in global mode.
+        stats: Run instrumentation.
+    """
+
+    answers: List[Answer]
+    per_key: Dict[Any, List[Tuple[int, Query, Any]]]
+    stats: ServiceStats
+
+
+class AggregationService:
+    """Sharded, multi-process sliding-window aggregation.
+
+    Args:
+        queries: The ACQ set, shared by every shard.
+        operator: The aggregate operator.  Global mode requires the
+            ``mergeable`` capability plus a SlickDeque path; per-key
+            mode accepts any engine-supported operator.
+        num_shards: Worker (partition) count.
+        technique: Partial-aggregation technique (``panes``/``pairs``).
+        mode: ``"global"`` for merged whole-stream answers,
+            ``"per_key"`` for independent per-key windows.
+        batch_size: Records per shard buffered before a flush round.
+        queue_capacity: Inbound queue bound per shard, in batches.
+        backpressure: ``"block"`` (lossless), ``"drop"`` or
+            ``"sample"`` (load shedding with exact drop counts).
+        checkpoint_interval: Shard checkpoint period in batches
+            (``0`` disables checkpointing; recovery then replays the
+            whole retained history).
+        transport: ``"process"`` (real workers, fault tolerance) or
+            ``"inline"`` (synchronous in-process shards, deterministic).
+        shard_delay_seconds: Test/benchmark knob — artificial per-batch
+            worker delay for simulating slow consumers.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[Query],
+        operator: AggregateOperator,
+        num_shards: int = 4,
+        technique: str = "pairs",
+        mode: str = "global",
+        batch_size: int = 64,
+        queue_capacity: int = 8,
+        backpressure: str = "block",
+        checkpoint_interval: int = 16,
+        transport: str = "process",
+        shard_delay_seconds: float = 0.0,
+    ):
+        if num_shards < 1:
+            raise ServiceError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        if mode not in SHARD_MODES:
+            raise ServiceError(
+                f"unknown service mode {mode!r}; expected one of "
+                f"{SHARD_MODES}"
+            )
+        self.queries = tuple(queries)
+        self.operator = operator
+        self.mode = mode
+        self.num_shards = num_shards
+        self._merger: Optional[GlobalMerger] = None
+        self._collator: Optional[PerKeyCollator] = None
+        clock = None
+        if mode == "global":
+            self._merger = GlobalMerger(
+                self.queries, operator, technique, num_shards
+            )
+            clock = self._merger.clock
+        else:
+            # Validate the plan eagerly (same errors as global mode).
+            build_shared_plan(self.queries, technique)
+            self._collator = PerKeyCollator()
+        self._router = Router(num_shards, batch_size, clock)
+        configs = [
+            ShardConfig(
+                shard_id=shard,
+                num_shards=num_shards,
+                queries=self.queries,
+                operator=operator,
+                technique=technique,
+                mode=mode,
+                checkpoint_interval=checkpoint_interval,
+                throttle_seconds=shard_delay_seconds,
+            )
+            for shard in range(num_shards)
+        ]
+        if transport == "process":
+            self._transport: Any = Supervisor(
+                configs, queue_capacity, backpressure
+            )
+        elif transport == "inline":
+            self._transport = InlineTransport(
+                configs, queue_capacity, backpressure
+            )
+        else:
+            raise ServiceError(
+                f"unknown transport {transport!r}; expected 'process' "
+                "or 'inline'"
+            )
+        self._answers: List[Answer] = []
+        self._fresh_answers: List[Answer] = []
+        self._fresh_per_key: List[Tuple[Any, int, Query, Any]] = []
+        self._closed = False
+        self._started_at = time.perf_counter()
+
+    # -- ingestion --------------------------------------------------
+
+    def submit(self, key: Any, value: Any) -> None:
+        """Ingest one keyed record."""
+        if self._closed:
+            raise ServiceError("cannot submit to a closed service")
+        for batch in self._router.put(key, value):
+            self._transport.ship(batch)
+
+    def submit_many(self, records: Iterable[Tuple[Any, Any]]) -> None:
+        """Ingest an iterable of ``(key, value)`` pairs."""
+        for key, value in records:
+            self.submit(key, value)
+
+    # -- answers ----------------------------------------------------
+
+    def _absorb(self, outputs) -> None:
+        for output in outputs:
+            if self._merger is not None:
+                released = self._merger.on_output(output)
+                self._answers.extend(released)
+                self._fresh_answers.extend(released)
+            else:
+                self._fresh_per_key.extend(
+                    self._collator.on_output(output)
+                )
+
+    def poll(self) -> List[Answer]:
+        """Return answers released since the last poll.
+
+        Global mode returns ``(position, query, answer)`` triples;
+        per-key mode returns ``(key, position, query, answer)``
+        tuples.  Dead workers are detected (and recovered) here and in
+        :meth:`submit`, so ingest-only phases still self-heal.
+        """
+        self._absorb(self._transport.poll())
+        if self._merger is not None:
+            fresh: List[Any] = self._fresh_answers
+            self._fresh_answers = []
+        else:
+            fresh = self._fresh_per_key
+            self._fresh_per_key = []
+        return fresh
+
+    # -- shutdown ---------------------------------------------------
+
+    def close(self, timeout: float = 60.0) -> ServiceResult:
+        """Flush, stop every worker, and return the complete result."""
+        if self._closed:
+            raise ServiceError("service already closed")
+        self._closed = True
+        for batch in self._router.flush():
+            self._transport.ship(batch)
+        self._transport.stop()
+        self._absorb(self._transport.drain_until_stopped(timeout))
+        elapsed = time.perf_counter() - self._started_at
+        shards = tuple(
+            ShardStats(
+                shard_id=handle.config.shard_id,
+                records=handle.records,
+                batches=handle.batches,
+                busy_seconds=handle.busy_seconds,
+                checkpoints=handle.checkpoints,
+                restores=handle.restores,
+                dropped=handle.dropped,
+            )
+            for handle in self._transport.handles
+        )
+        latencies: List[float] = []
+        for handle in self._transport.handles:
+            latencies.extend(handle.latencies)
+        per_key = (
+            dict(self._collator.answers)
+            if self._collator is not None
+            else {}
+        )
+        answers_emitted = len(self._answers) + sum(
+            len(rows) for rows in per_key.values()
+        )
+        stats = ServiceStats(
+            shards=shards,
+            records_submitted=self._router.position,
+            records_processed=sum(s.records for s in shards),
+            dropped_records=sum(s.dropped for s in shards),
+            answers_emitted=answers_emitted,
+            elapsed_seconds=elapsed,
+            batch_latency=maybe_summary(latencies),
+        )
+        return ServiceResult(
+            answers=list(self._answers), per_key=per_key, stats=stats
+        )
+
+    def abort(self) -> None:
+        """Hard-stop the service, abandoning in-flight work."""
+        self._closed = True
+        self._transport.terminate()
+
+    # -- introspection ----------------------------------------------
+
+    def shard_pids(self) -> List[Optional[int]]:
+        """Worker process ids (``None`` entries on inline transport).
+
+        Exposed for fault-injection tests and operational tooling.
+        """
+        pids: List[Optional[int]] = []
+        for handle in self._transport.handles:
+            process = getattr(handle, "process", None)
+            pids.append(process.pid if process is not None else None)
+        return pids
+
+    def __enter__(self) -> "AggregationService":
+        """Context-manager entry: the service itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close cleanly on success, abort on error."""
+        if self._closed:
+            return
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()

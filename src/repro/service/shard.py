@@ -1,0 +1,260 @@
+"""Shard worker: the per-partition computation and its process loop.
+
+A shard owns the records of the keys hashed to it and runs one of two
+pipelines over them:
+
+* **global mode** — fold each record into the per-slice partial of its
+  global position (the shard-local half of the engine's partial
+  aggregation); completed partials are shipped to the parent, where the
+  cross-shard merger recombines them and drives the shared SlickDeque
+  final aggregation.
+* **per-key mode** — one full :class:`~repro.stream.engine.StreamEngine`
+  pipeline per key (shared SlickDeque plan each), emitting exact
+  per-key answers for any operator, mergeable or not.
+
+:class:`ShardState` is the *pure* computation state — a plain picklable
+object, so :mod:`repro.stream.checkpoint` snapshots it byte-for-byte and
+the supervisor can restore a killed worker and replay its un-checkpointed
+batches.  :func:`shard_main` is the process entry point wrapping that
+state in a queue-driven loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.operators.base import Agg, AggregateOperator
+from repro.service.partition import Batch
+from repro.service.slices import SliceClock
+from repro.stream.checkpoint import restore, snapshot
+from repro.stream.engine import StreamEngine
+from repro.stream.sink import CollectSink
+from repro.windows.plan import build_shared_plan
+from repro.windows.query import Query
+
+#: Execution modes a shard can run.
+SHARD_MODES = ("global", "per_key")
+
+#: Control message asking a worker to flush its last output and exit.
+STOP = "stop"
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a worker process needs to build its pipeline.
+
+    Attributes:
+        shard_id: This shard's index in ``0..num_shards-1``.
+        num_shards: Total shard count (for context in errors/stats).
+        queries: The ACQ set, shared by all shards.
+        operator: The aggregate operator (must be picklable for
+            checkpointing and for ``spawn`` start methods).
+        technique: Partial-aggregation technique (``panes``/``pairs``).
+        mode: ``"global"`` or ``"per_key"`` (see module docstring).
+        checkpoint_interval: Snapshot the shard state every this many
+            batches; ``0`` disables checkpointing.
+        throttle_seconds: Artificial per-batch delay — a test/benchmark
+            knob that makes backpressure deterministic by simulating a
+            slow consumer.  ``0.0`` in production use.
+    """
+
+    shard_id: int
+    num_shards: int
+    queries: Tuple[Query, ...]
+    operator: AggregateOperator
+    technique: str = "pairs"
+    mode: str = "global"
+    checkpoint_interval: int = 16
+    throttle_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in SHARD_MODES:
+            raise ServiceError(
+                f"unknown shard mode {self.mode!r}; expected one of "
+                f"{SHARD_MODES}"
+            )
+        if self.checkpoint_interval < 0:
+            raise ServiceError(
+                "checkpoint_interval must be >= 0, got "
+                f"{self.checkpoint_interval}"
+            )
+
+
+@dataclass
+class ShardOutput:
+    """One processed batch's results, shipped parent-ward.
+
+    Also serves as the batch acknowledgement: ``seq`` tells the
+    supervisor the worker's state now reflects every batch up to it.
+
+    Attributes:
+        shard_id: Producing shard.
+        seq: Sequence number of the acknowledged batch.
+        watermark: Slices the shard has closed (mirrors the batch).
+        partials: Global mode — ``(slice_index, partial)`` pairs closed
+            by this batch, ascending by index.
+        key_answers: Per-key mode — ``(key, position, query, answer)``
+            tuples (positions are per-key stream positions).
+        records: Records folded from this batch.
+        busy_seconds: Wall time spent processing the batch.
+        snapshot: A checkpoint of the post-batch shard state, when the
+            checkpoint interval elapsed.
+    """
+
+    shard_id: int
+    seq: int
+    watermark: int
+    partials: List[Tuple[int, Agg]] = field(default_factory=list)
+    key_answers: List[Tuple[Any, int, Query, Any]] = field(
+        default_factory=list
+    )
+    records: int = 0
+    busy_seconds: float = 0.0
+    snapshot: Optional[bytes] = None
+
+
+@dataclass
+class ShardStopped:
+    """A worker's final message before exiting its loop.
+
+    ``error`` carries the repr of an unexpected exception; the
+    supervisor treats such an exit like a crash and recovers.
+    """
+
+    shard_id: int
+    error: Optional[str] = None
+
+
+class ShardState:
+    """The picklable computation state of one shard (checkpoint unit)."""
+
+    def __init__(self, config: ShardConfig):
+        self.config = config
+        self.processed_seq = 0
+        self.records = 0
+        plan = build_shared_plan(config.queries, config.technique)
+        if config.mode == "global":
+            self._clock: Optional[SliceClock] = SliceClock(plan)
+            self._accumulators: Dict[int, Agg] = {}
+            self._engines: Dict[Any, StreamEngine] = {}
+            self._sinks: Dict[Any, CollectSink] = {}
+        else:
+            self._clock = None
+            self._accumulators = {}
+            self._engines = {}
+            self._sinks = {}
+
+    def _engine_for(self, key: Any) -> StreamEngine:
+        engine = self._engines.get(key)
+        if engine is None:
+            sink = CollectSink()
+            engine = StreamEngine(
+                self.config.queries,
+                self.config.operator,
+                technique=self.config.technique,
+                mode="shared",
+                sinks=[sink],
+            )
+            self._engines[key] = engine
+            self._sinks[key] = sink
+        return engine
+
+    def process(self, batch: Batch) -> ShardOutput:
+        """Fold one batch into the shard state and emit its output.
+
+        Replayed batches the state already reflects (``seq`` at or
+        below :attr:`processed_seq`) are acknowledged with an empty
+        output, keeping recovery idempotent.
+        """
+        if batch.seq <= self.processed_seq:
+            return ShardOutput(
+                self.config.shard_id, batch.seq, batch.watermark
+            )
+        output = ShardOutput(
+            self.config.shard_id,
+            batch.seq,
+            batch.watermark,
+            records=len(batch),
+        )
+        operator = self.config.operator
+        if self.config.mode == "global":
+            accumulators = self._accumulators
+            clock = self._clock
+            identity = operator.identity
+            for position, value in zip(batch.positions, batch.values):
+                index = clock.slice_of(position)
+                accumulators[index] = operator.combine(
+                    accumulators.get(index, identity),
+                    operator.lift(value),
+                )
+            closed = sorted(
+                index for index in accumulators if index < batch.watermark
+            )
+            output.partials = [
+                (index, accumulators.pop(index)) for index in closed
+            ]
+        else:
+            for key, value in zip(batch.keys, batch.values):
+                engine = self._engine_for(key)
+                engine.feed(value)
+                sink = self._sinks[key]
+                if sink.answers:
+                    output.key_answers.extend(
+                        (key, position, query, answer)
+                        for position, query, answer in sink.answers
+                    )
+                    sink.answers.clear()
+        self.processed_seq = batch.seq
+        self.records += len(batch)
+        return output
+
+
+def shard_main(
+    config: ShardConfig,
+    in_queue: Any,
+    out_queue: Any,
+    initial_snapshot: Optional[bytes] = None,
+) -> None:
+    """Worker-process entry point: restore, then loop over batches.
+
+    Args:
+        config: The shard's pipeline configuration.
+        in_queue: Bounded queue of :class:`Batch` messages and the
+            :data:`STOP` sentinel.
+        out_queue: Unbounded queue of :class:`ShardOutput` /
+            :class:`ShardStopped` messages.
+        initial_snapshot: Checkpoint bytes to resume from (recovery);
+            ``None`` starts from a fresh state.
+    """
+    try:
+        if initial_snapshot is not None:
+            state = restore(initial_snapshot, expected_type="ShardState")
+        else:
+            state = ShardState(config)
+        batches_since_checkpoint = 0
+        while True:
+            message = in_queue.get()
+            if message == STOP:
+                out_queue.put(ShardStopped(config.shard_id))
+                return
+            if config.throttle_seconds:
+                time.sleep(config.throttle_seconds)
+            started = time.perf_counter()
+            output = state.process(message)
+            output.busy_seconds = time.perf_counter() - started
+            batches_since_checkpoint += 1
+            if (
+                config.checkpoint_interval
+                and batches_since_checkpoint >= config.checkpoint_interval
+            ):
+                output.snapshot = snapshot(state)
+                batches_since_checkpoint = 0
+            out_queue.put(output)
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover - signals
+        raise
+    except BaseException as error:  # pragma: no cover - crash reporting
+        out_queue.put(ShardStopped(config.shard_id, error=repr(error)))
+        raise

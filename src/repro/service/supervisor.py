@@ -1,0 +1,359 @@
+"""Worker lifecycle: spawning, backpressure, failure detection, recovery.
+
+The supervisor owns one worker process per shard, connected by a
+bounded inbound queue (batches) and an unbounded outbound queue
+(outputs).  Three responsibilities live here:
+
+* **Backpressure** — a full inbound queue triggers the configured
+  policy: ``block`` (lossless, waits for capacity), ``drop`` (sheds the
+  batch's records, ships the empty frame so watermarks and sequence
+  numbers stay intact), or ``sample`` (ships a deterministically
+  thinned batch).  Dropped records are counted exactly, per shard.
+* **At-least-once delivery with idempotent effects** — every shipped
+  batch is retained until a worker checkpoint covers it; shard outputs
+  double as acknowledgements.  What was actually shipped (post-shedding)
+  is what is retained, so a replay reproduces byte-identical outputs.
+* **Recovery** — a worker that exits without being asked to is
+  respawned from its last checkpoint (or from scratch), its retained
+  batches are re-enqueued in order, and the merge layer's idempotency
+  absorbs any duplicate outputs.
+
+:class:`InlineTransport` is the process-free twin used by fast
+deterministic tests: same interface, shards run in the caller's
+process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.service.partition import (
+    BACKPRESSURE_POLICIES,
+    Batch,
+    drop_records,
+    thin_batch,
+)
+from repro.service.shard import (
+    STOP,
+    ShardConfig,
+    ShardOutput,
+    ShardState,
+    ShardStopped,
+    shard_main,
+)
+
+#: Seconds between liveness checks while waiting on a full queue.
+_PUT_TIMEOUT = 0.05
+
+
+def _context():
+    """The multiprocessing context: ``fork`` when available.
+
+    Fork keeps worker startup cheap and lets non-picklable operators
+    run (checkpointing still requires picklability); platforms without
+    it (Windows) fall back to the default start method.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class WorkerHandle:
+    """Bookkeeping for one shard worker."""
+
+    def __init__(self, config: ShardConfig):
+        self.config = config
+        self.process: Optional[Any] = None
+        self.in_queue: Optional[Any] = None
+        self.out_queue: Optional[Any] = None
+        #: Batches shipped but not yet covered by a checkpoint.
+        self.retained: List[Batch] = []
+        self.snapshot: Optional[bytes] = None
+        self.snapshot_seq = 0
+        self.acked_seq = 0
+        self.stop_sent = False
+        self.stopped = False
+        #: Ship timestamps per in-flight sequence number.
+        self.enqueue_times: Dict[int, float] = {}
+        # Stats accumulators (fresh acknowledgements only).
+        self.records = 0
+        self.batches = 0
+        self.busy_seconds = 0.0
+        self.checkpoints = 0
+        self.restores = 0
+        self.dropped = 0
+        self.latencies: List[float] = []
+
+
+class Supervisor:
+    """Process transport: one worker per shard, with fault recovery.
+
+    Args:
+        configs: One :class:`ShardConfig` per shard, index-aligned.
+        queue_capacity: Bound of each shard's inbound queue, in
+            batches; this is where backpressure originates.
+        backpressure: ``"block"``, ``"drop"`` or ``"sample"``.
+    """
+
+    def __init__(
+        self,
+        configs: List[ShardConfig],
+        queue_capacity: int = 8,
+        backpressure: str = "block",
+    ):
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ServiceError(
+                f"unknown backpressure policy {backpressure!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}"
+            )
+        if queue_capacity < 1:
+            raise ServiceError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        self._ctx = _context()
+        self._queue_capacity = queue_capacity
+        self._backpressure = backpressure
+        self._pending_outputs: List[ShardOutput] = []
+        self.handles = [WorkerHandle(config) for config in configs]
+        for handle in self.handles:
+            self._spawn(handle, initial_snapshot=None, replay=())
+
+    # -- spawning and recovery -------------------------------------
+
+    def _spawn(self, handle, initial_snapshot, replay) -> None:
+        handle.in_queue = self._ctx.Queue(maxsize=self._queue_capacity)
+        handle.out_queue = self._ctx.Queue()
+        handle.process = self._ctx.Process(
+            target=shard_main,
+            args=(
+                handle.config,
+                handle.in_queue,
+                handle.out_queue,
+                initial_snapshot,
+            ),
+            daemon=True,
+            name=f"repro-shard-{handle.config.shard_id}",
+        )
+        handle.process.start()
+        for batch in replay:
+            self._put(handle, batch)
+        if handle.stop_sent:
+            self._put(handle, STOP)
+
+    def _recover(self, handle: WorkerHandle) -> None:
+        """Respawn a dead worker from its checkpoint and replay."""
+        self._drain_handle(handle)  # salvage outputs already produced
+        self._discard_queues(handle)
+        handle.restores += 1
+        handle.enqueue_times.clear()
+        self._spawn(
+            handle,
+            initial_snapshot=handle.snapshot,
+            replay=list(handle.retained),
+        )
+
+    def _discard_queues(self, handle: WorkerHandle) -> None:
+        for q in (handle.in_queue, handle.out_queue):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        handle.in_queue = None
+        handle.out_queue = None
+
+    def _check(self, handle: WorkerHandle) -> None:
+        """Recover ``handle`` if its process died unexpectedly."""
+        process = handle.process
+        if handle.stopped or process is None or process.is_alive():
+            return
+        if handle.stop_sent and process.exitcode == 0:
+            # Clean exit; the ShardStopped message may still be queued.
+            return
+        self._recover(handle)
+
+    # -- shipping with backpressure --------------------------------
+
+    def _put(self, handle: WorkerHandle, message: Any) -> None:
+        """Blocking put that survives (and triggers) worker recovery."""
+        while True:
+            try:
+                handle.in_queue.put(message, timeout=_PUT_TIMEOUT)
+                return
+            except queue_module.Full:
+                self._check(handle)
+
+    def ship(self, batch: Batch) -> None:
+        """Deliver one batch under the configured backpressure policy."""
+        handle = self.handles[batch.shard]
+        try:
+            handle.in_queue.put_nowait(batch)
+        except queue_module.Full:
+            if self._backpressure == "drop":
+                batch, dropped = drop_records(batch)
+                handle.dropped += dropped
+            elif self._backpressure == "sample":
+                batch, dropped = thin_batch(batch)
+                handle.dropped += dropped
+            self._put(handle, batch)
+        # Retain exactly what was shipped so replays are identical.
+        handle.retained.append(batch)
+        handle.enqueue_times[batch.seq] = time.perf_counter()
+
+    # -- draining outputs ------------------------------------------
+
+    def _absorb(self, handle: WorkerHandle, message: Any) -> None:
+        if isinstance(message, ShardStopped):
+            if message.error is None and handle.stop_sent:
+                handle.stopped = True
+            # An errored stop is followed by a nonzero exit; _check
+            # recovers the worker once the process object reports dead.
+            return
+        output: ShardOutput = message
+        self._pending_outputs.append(output)
+        if output.seq > handle.acked_seq:
+            handle.acked_seq = output.seq
+            handle.records += output.records
+            handle.batches += 1
+            handle.busy_seconds += output.busy_seconds
+            shipped_at = handle.enqueue_times.pop(output.seq, None)
+            if shipped_at is not None:
+                handle.latencies.append(
+                    time.perf_counter() - shipped_at
+                )
+        if output.snapshot is not None and output.seq > handle.snapshot_seq:
+            handle.snapshot = output.snapshot
+            handle.snapshot_seq = output.seq
+            handle.checkpoints += 1
+            handle.retained = [
+                b for b in handle.retained if b.seq > output.seq
+            ]
+            output.snapshot = None  # merged layers never need the bytes
+
+    def _drain_handle(self, handle: WorkerHandle) -> None:
+        out_queue = handle.out_queue
+        if out_queue is None:
+            return
+        while True:
+            try:
+                message = out_queue.get_nowait()
+            except queue_module.Empty:
+                return
+            except (EOFError, OSError):  # pragma: no cover - torn pipe
+                return
+            self._absorb(handle, message)
+
+    def poll(self) -> List[ShardOutput]:
+        """Drain worker outputs, recovering any dead workers en route."""
+        for handle in self.handles:
+            self._drain_handle(handle)
+            self._check(handle)
+        outputs = self._pending_outputs
+        self._pending_outputs = []
+        return outputs
+
+    # -- shutdown ---------------------------------------------------
+
+    def stop(self) -> None:
+        """Ask every worker to finish its queue and exit."""
+        for handle in self.handles:
+            if not handle.stop_sent:
+                handle.stop_sent = True
+                self._put(handle, STOP)
+
+    def drain_until_stopped(self, timeout: float = 60.0) -> List[ShardOutput]:
+        """Collect outputs until every worker confirmed its stop.
+
+        Raises:
+            ServiceError: when a worker fails to stop within
+                ``timeout`` seconds (after recoveries).
+        """
+        deadline = time.monotonic() + timeout
+        outputs: List[ShardOutput] = []
+        while True:
+            outputs.extend(self.poll())
+            if all(handle.stopped for handle in self.handles):
+                break
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    "shard workers did not stop within "
+                    f"{timeout} seconds"
+                )
+            time.sleep(0.002)
+        for handle in self.handles:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            self._discard_queues(handle)
+        return outputs
+
+    def terminate(self) -> None:
+        """Hard-kill every worker (abandoning in-flight work)."""
+        for handle in self.handles:
+            process = handle.process
+            if process is not None and process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+            self._discard_queues(handle)
+            handle.stopped = True
+
+
+class InlineTransport:
+    """Run every shard synchronously in the caller's process.
+
+    The deterministic twin of :class:`Supervisor` used by property
+    tests and debugging: identical interface and identical results for
+    the partition/merge math, with no queues, processes, checkpoints or
+    backpressure (nothing is ever dropped).
+    """
+
+    def __init__(
+        self,
+        configs: List[ShardConfig],
+        queue_capacity: int = 8,
+        backpressure: str = "block",
+    ):
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ServiceError(
+                f"unknown backpressure policy {backpressure!r}; "
+                f"expected one of {BACKPRESSURE_POLICIES}"
+            )
+        self.handles = [WorkerHandle(config) for config in configs]
+        self._states = [ShardState(config) for config in configs]
+        self._pending: List[ShardOutput] = []
+
+    def ship(self, batch: Batch) -> None:
+        """Process one batch immediately."""
+        handle = self.handles[batch.shard]
+        started = time.perf_counter()
+        output = self._states[batch.shard].process(batch)
+        output.busy_seconds = time.perf_counter() - started
+        handle.acked_seq = output.seq
+        handle.records += output.records
+        handle.batches += 1
+        handle.busy_seconds += output.busy_seconds
+        self._pending.append(output)
+
+    def poll(self) -> List[ShardOutput]:
+        """Return outputs produced since the last poll."""
+        outputs = self._pending
+        self._pending = []
+        return outputs
+
+    def stop(self) -> None:
+        """Mark every (synchronous) shard as stopped."""
+        for handle in self.handles:
+            handle.stop_sent = True
+            handle.stopped = True
+
+    def drain_until_stopped(self, timeout: float = 60.0) -> List[ShardOutput]:
+        """Return any remaining outputs (always already complete)."""
+        return self.poll()
+
+    def terminate(self) -> None:
+        """No processes to kill; marks shards stopped."""
+        self.stop()

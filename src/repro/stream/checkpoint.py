@@ -33,6 +33,15 @@ class CheckpointError(ReproError, RuntimeError):
     """A snapshot could not be written or restored."""
 
 
+def _library_version() -> str:
+    # Imported lazily: the package root does not import this module, but
+    # modules imported during ``repro/__init__`` (e.g. the sharded
+    # service) do, and ``__version__`` is only bound at the end of it.
+    from repro import __version__
+
+    return __version__
+
+
 def snapshot(aggregator: Any) -> bytes:
     """Serialise an aggregator (or engine) to bytes.
 
@@ -50,6 +59,7 @@ def snapshot(aggregator: Any) -> bytes:
             "magic": _MAGIC,
             "version": FORMAT_VERSION,
             "type": type(aggregator).__name__,
+            "library_version": _library_version(),
         },
         protocol=4,
     )
@@ -80,8 +90,10 @@ def restore(data: bytes, expected_type: str = "") -> Any:
         ) from error
     if header["version"] != FORMAT_VERSION:
         raise CheckpointError(
-            f"checkpoint format v{header['version']} is not supported "
-            f"by this library (v{FORMAT_VERSION})"
+            f"checkpoint format v{header['version']} (written by repro "
+            f"{header.get('library_version', 'unknown')}) is not "
+            f"supported by this library (repro {_library_version()}, "
+            f"format v{FORMAT_VERSION})"
         )
     if expected_type and header["type"] != expected_type:
         raise CheckpointError(

@@ -1,0 +1,77 @@
+"""Unit tests: checkpoint format-header failure modes.
+
+Complements the integration resume-equivalence suite with the two
+documented failure paths: a version-mismatched header must name both
+library versions involved, and unpicklable operator state (the
+lambda-key ``ArgMaxOperator`` limitation) must fail loudly at snapshot
+time.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro
+from repro.operators.noninvertible import ArgMaxOperator
+from repro.registry import get_algorithm
+from repro.stream.checkpoint import (
+    _MAGIC,
+    FORMAT_VERSION,
+    CheckpointError,
+    restore,
+    snapshot,
+)
+
+
+def _checkpoint_with_version(version, library_version="9.9.9"):
+    header = pickle.dumps(
+        {
+            "magic": _MAGIC,
+            "version": version,
+            "type": "SlickDequeInv",
+            "library_version": library_version,
+        },
+        protocol=4,
+    )
+    payload = pickle.dumps([1, 2, 3], protocol=4)
+    return len(header).to_bytes(4, "big") + header + payload
+
+
+def test_version_mismatch_error_names_both_library_versions():
+    data = _checkpoint_with_version(FORMAT_VERSION + 1)
+    with pytest.raises(CheckpointError) as excinfo:
+        restore(data)
+    message = str(excinfo.value)
+    assert f"v{FORMAT_VERSION + 1}" in message
+    assert "9.9.9" in message  # the writer's library version
+    assert repro.__version__ in message  # this library's version
+    assert f"format v{FORMAT_VERSION}" in message
+
+
+def test_version_mismatch_without_recorded_writer_version():
+    data = _checkpoint_with_version(
+        FORMAT_VERSION + 1, library_version=None
+    )
+    with pytest.raises(CheckpointError) as excinfo:
+        restore(data)
+    assert repro.__version__ in str(excinfo.value)
+
+
+def test_snapshot_header_records_library_version():
+    data = snapshot(get_algorithm("slickdeque").single(
+        repro.get_operator("sum"), 4
+    ))
+    header_length = int.from_bytes(data[:4], "big")
+    header = pickle.loads(data[4:4 + header_length])
+    assert header["library_version"] == repro.__version__
+
+
+def test_lambda_key_argmax_cannot_be_checkpointed():
+    operator = ArgMaxOperator(lambda x: x * x, name="argmax_lambda")
+    aggregator = get_algorithm("slickdeque").single(operator, 8)
+    aggregator.run([3, -5, 2])
+    with pytest.raises(CheckpointError) as excinfo:
+        snapshot(aggregator)
+    assert "cannot snapshot" in str(excinfo.value)

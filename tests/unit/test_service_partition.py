@@ -1,0 +1,202 @@
+"""Unit tests: hash partitioning, batch framing, slice arithmetic,
+load-shedding helpers, and the cross-shard merge capability check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MergeCapabilityError, ServiceError
+from repro.operators.algebraic import mean_operator, range_operator
+from repro.operators.positional import FirstOperator, LastOperator
+from repro.operators.registry import get_operator
+from repro.service.merge import check_mergeable
+from repro.service.partition import (
+    Batch,
+    Router,
+    drop_records,
+    shard_of,
+    stable_hash,
+    thin_batch,
+)
+from repro.service.shard import ShardConfig
+from repro.service.slices import SliceClock
+from repro.windows.partial import PartialAggregator
+from repro.windows.plan import build_shared_plan
+from repro.windows.query import Query
+
+QUERIES = (Query(8, 4), Query(6, 2))
+
+
+# -- hash partitioning ----------------------------------------------
+
+
+def test_stable_hash_is_deterministic_across_runs():
+    # FNV-1a over repr: these constants must never change, or restored
+    # checkpoints would see keys migrate between shards.
+    assert stable_hash("sensor-1") == 0x7DA0B3B92DB1CB7F
+    assert stable_hash(42) == 0x07EE7E07B4B19223
+    assert stable_hash(("eu", 7)) == 0x9D060A0985577E43
+
+
+def test_stable_hash_differs_from_salted_builtin_behaviour():
+    # Same key, same shard — the entire recovery design rests on this.
+    for key in ("a", "b", "sensor-99", 123, (1, "x")):
+        assert shard_of(key, 5) == shard_of(key, 5)
+        assert 0 <= shard_of(key, 5) < 5
+
+
+def test_shard_of_spreads_keys_reasonably():
+    shards = [shard_of(f"key-{i}", 4) for i in range(400)]
+    counts = [shards.count(s) for s in range(4)]
+    assert all(count > 40 for count in counts), counts
+
+
+# -- batch framing --------------------------------------------------
+
+
+def _clock():
+    return SliceClock(build_shared_plan(QUERIES, "pairs"))
+
+
+def test_router_frames_gapless_sequences_per_shard():
+    router = Router(num_shards=3, batch_size=4, clock=_clock())
+    shipped = []
+    for i in range(100):
+        shipped.extend(router.put(f"k{i % 7}", i))
+    shipped.extend(router.flush())
+    per_shard = {}
+    for batch in shipped:
+        per_shard.setdefault(batch.shard, []).append(batch.seq)
+    for shard, seqs in per_shard.items():
+        assert seqs == list(range(1, len(seqs) + 1)), shard
+
+
+def test_router_assigns_global_positions_exactly_once():
+    router = Router(num_shards=4, batch_size=5, clock=_clock())
+    shipped = []
+    for i in range(61):
+        shipped.extend(router.put(f"k{i % 9}", i))
+    shipped.extend(router.flush())
+    positions = sorted(
+        position for batch in shipped for position in batch.positions
+    )
+    assert positions == list(range(1, 62))
+
+
+def test_router_flush_round_carries_uniform_watermark_to_all_shards():
+    router = Router(num_shards=3, batch_size=4, clock=_clock())
+    shipped = []
+    for i in range(24):
+        shipped.extend(router.put(f"k{i % 5}", i))
+    rounds = {}
+    for batch in shipped:
+        rounds.setdefault(batch.watermark, set()).add(batch.shard)
+    # Every flush round reached all three shards (empty frames count).
+    for watermark, shards in rounds.items():
+        assert shards == {0, 1, 2}, (watermark, shards)
+
+
+def test_router_per_key_mode_skips_empty_frames():
+    router = Router(num_shards=8, batch_size=2, clock=None)
+    shipped = []
+    for i in range(10):
+        shipped.extend(router.put("always-same-key", i))
+    shipped.extend(router.flush())
+    assert shipped  # one busy shard
+    assert all(len(batch) > 0 for batch in shipped)
+    assert len({batch.shard for batch in shipped}) == 1
+
+
+def test_router_rejects_bad_configuration():
+    with pytest.raises(ServiceError):
+        Router(num_shards=0, batch_size=4)
+    with pytest.raises(ServiceError):
+        Router(num_shards=2, batch_size=0)
+
+
+# -- load-shedding helpers ------------------------------------------
+
+
+def _batch():
+    return Batch(0, 7, 3, [1, 2, 3, 4, 5], list("abcde"), [10, 20, 30, 40, 50])
+
+
+def test_drop_records_keeps_frame_and_counts_exactly():
+    empty, dropped = drop_records(_batch())
+    assert dropped == 5
+    assert len(empty) == 0
+    assert (empty.shard, empty.seq, empty.watermark) == (0, 7, 3)
+
+
+def test_thin_batch_keeps_every_other_record_deterministically():
+    thinned, dropped = thin_batch(_batch())
+    assert dropped == 2
+    assert thinned.positions == [1, 3, 5]
+    assert thinned.keys == ["a", "c", "e"]
+    assert thinned.values == [10, 30, 50]
+    with pytest.raises(ServiceError):
+        thin_batch(_batch(), keep_every=1)
+
+
+# -- slice arithmetic -----------------------------------------------
+
+
+@pytest.mark.parametrize("technique", ["panes", "pairs"])
+@pytest.mark.parametrize(
+    "queries",
+    [QUERIES, (Query(5, 3),), (Query(12, 4), Query(9, 3), Query(4, 2))],
+)
+def test_slice_clock_matches_partial_aggregator_boundaries(
+    queries, technique
+):
+    plan = build_shared_plan(queries, technique)
+    clock = SliceClock(plan)
+    folder = PartialAggregator(get_operator("count"), plan)
+    boundaries = []
+    for position in range(1, 161):
+        if folder.feed(0) is not None:
+            boundaries.append(position)
+    for index, end in enumerate(boundaries):
+        assert clock.end_position(index) == end
+        assert clock.step_of(index) == plan.steps[index % len(plan.steps)]
+    for position in range(1, 161):
+        expected_closed = sum(1 for end in boundaries if end <= position)
+        assert clock.slices_closed_by(position) == expected_closed
+        containing = sum(1 for end in boundaries if end < position)
+        assert clock.slice_of(position) == containing
+
+
+# -- merge capability -----------------------------------------------
+
+
+def test_mergeable_defaults_follow_commutativity():
+    assert get_operator("sum").mergeable
+    assert get_operator("max").mergeable
+    assert mean_operator().mergeable
+    assert not FirstOperator().mergeable
+    assert not LastOperator().mergeable
+
+
+def test_check_mergeable_accepts_the_paper_operators():
+    for name in ("sum", "count", "max", "min", "mean", "stddev"):
+        check_mergeable(get_operator(name))
+
+
+def test_check_mergeable_rejects_order_sensitive_operators():
+    with pytest.raises(MergeCapabilityError, match="per-key mode"):
+        check_mergeable(FirstOperator())
+
+
+def test_check_mergeable_rejects_operators_without_engine_path():
+    # Range is commutative but neither invertible nor selection-type.
+    with pytest.raises(MergeCapabilityError, match="processing path"):
+        check_mergeable(range_operator())
+
+
+def test_shard_config_validates_mode_and_interval():
+    with pytest.raises(ServiceError):
+        ShardConfig(0, 1, QUERIES, get_operator("sum"), mode="bogus")
+    with pytest.raises(ServiceError):
+        ShardConfig(
+            0, 1, QUERIES, get_operator("sum"), checkpoint_interval=-1
+        )
