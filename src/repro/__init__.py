@@ -46,7 +46,9 @@ from repro.errors import (
     InvalidQueryError,
     OutOfOrderError,
     PlanError,
+    PoisonRecordError,
     ReproError,
+    ShardFailedError,
     UnknownOperatorError,
     WindowStateError,
 )
@@ -58,7 +60,8 @@ from repro.operators import (
     get_operator,
 )
 from repro.registry import available_algorithms, get_algorithm
-from repro.service import AggregationService, ServiceResult
+from repro.service import AggregationService, FaultInjector, ServiceResult
+from repro.stream.sink import DeadLetter, DeadLetterSink
 from repro.windows import (
     AcqSpec,
     CompatibleSharedEngine,
@@ -109,6 +112,9 @@ __all__ = [
     # sharded service
     "AggregationService",
     "ServiceResult",
+    "FaultInjector",
+    "DeadLetter",
+    "DeadLetterSink",
     # errors
     "ReproError",
     "InvalidQueryError",
@@ -117,4 +123,6 @@ __all__ = [
     "OutOfOrderError",
     "PlanError",
     "UnknownOperatorError",
+    "PoisonRecordError",
+    "ShardFailedError",
 ]

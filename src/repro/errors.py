@@ -63,6 +63,39 @@ class ServiceError(ReproError, RuntimeError):
     """
 
 
+class PoisonRecordError(ReproError, RuntimeError):
+    """A record's value raised inside the aggregate operator.
+
+    The shard catches the underlying exception per record, wraps it in
+    this type, and quarantines the record to the service's dead-letter
+    sink instead of letting it kill the worker.  The original exception
+    is preserved as ``__cause__`` (same process) and as the formatted
+    ``cause`` attribute (across process boundaries, where tracebacks
+    do not travel).
+    """
+
+    def __init__(self, message: str, cause: str = ""):
+        super().__init__(message)
+        #: ``repr`` of the originating exception (picklable).
+        self.cause = cause
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.cause))
+
+
+class ShardFailedError(ReproError, RuntimeError):
+    """A shard exhausted its restart budget (or lost all checkpoints).
+
+    The supervisor stops retrying such a shard: its worker is torn
+    down, records routed to it are shed to the dead-letter sink, and
+    its keys are reported as degraded through the service stats.  The
+    error type itself is raised only when recovery is *impossible in
+    principle* (e.g. both the current and fallback checkpoint
+    generations are corrupt) and the caller asked for fail-fast
+    behaviour.
+    """
+
+
 class MergeCapabilityError(ReproError, TypeError):
     """Cross-shard merging would be unsound for this operator.
 

@@ -31,6 +31,7 @@ from repro.metrics.spikes import (
     spike_positions,
 )
 from repro.metrics.stats import (
+    Reservoir,
     Summary,
     drop_top_fraction,
     geometric_mean,
@@ -58,6 +59,7 @@ __all__ = [
     "ThroughputResult",
     "measure_single_query",
     "measure_multi_query",
+    "Reservoir",
     "Summary",
     "maybe_summary",
     "percentile",

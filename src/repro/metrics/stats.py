@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -82,6 +83,62 @@ def maybe_summary(values: Sequence[float]):
     reports an absent summary instead of raising.
     """
     return Summary.of(values) if values else None
+
+
+class Reservoir:
+    """Bounded uniform sample of an unbounded measurement stream.
+
+    Algorithm R reservoir sampling: the first ``capacity`` values are
+    kept verbatim; each later value replaces a uniformly-chosen slot
+    with probability ``capacity / seen``, so at any point the retained
+    values are a uniform sample of everything observed.  Long-running
+    instrumentation (e.g. the sharded service's per-batch latencies)
+    stays O(capacity) in memory instead of growing one float per event
+    forever, while percentile summaries remain representative of the
+    whole run — unlike a keep-last-N deque, which forgets warm-up
+    behaviour entirely.
+
+    Deterministic for a fixed ``seed`` and input sequence.
+    """
+
+    def __init__(self, capacity: int = 1024, seed: int = 0):
+        if capacity < 1:
+            raise ValueError(
+                f"reservoir capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        #: Total values offered, retained or not.
+        self.seen = 0
+        self._values: List[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        """Offer one value to the sample."""
+        self.seen += 1
+        if len(self._values) < self.capacity:
+            self._values.append(float(value))
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self._values[slot] = float(value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Offer every value of ``values`` in order."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def values(self) -> List[float]:
+        """The retained sample (a copy, insertion order not meaningful)."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        """Number of values currently retained (≤ capacity)."""
+        return len(self._values)
+
+    def __iter__(self):
+        """Iterate over the retained sample."""
+        return iter(self._values)
 
 
 def geometric_mean(values: Sequence[float]) -> float:

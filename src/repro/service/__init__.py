@@ -19,8 +19,17 @@ Public surface:
 * :class:`GlobalMerger`, :class:`PerKeyCollator`,
   :func:`check_mergeable` — cross-shard combination.
 * :class:`Supervisor`, :class:`InlineTransport` — worker lifecycle.
+* :class:`FaultInjector`, :class:`WorkerFaultPlan`, :func:`poison` —
+  deterministic fault injection for chaos testing.
 """
 
+from repro.service.chaos import (
+    ChaosEvent,
+    FaultInjector,
+    PoisonValue,
+    WorkerFaultPlan,
+    poison,
+)
 from repro.service.merge import (
     GlobalMerger,
     PerKeyCollator,
@@ -42,8 +51,10 @@ from repro.service.service import (
     ShardStats,
 )
 from repro.service.shard import (
+    POISON_POLICIES,
     SHARD_MODES,
     ShardConfig,
+    ShardHeartbeat,
     ShardOutput,
     ShardState,
     ShardStopped,
@@ -68,9 +79,16 @@ __all__ = [
     "ShardConfig",
     "ShardState",
     "ShardOutput",
+    "ShardHeartbeat",
     "ShardStopped",
     "shard_main",
     "SHARD_MODES",
+    "POISON_POLICIES",
+    "ChaosEvent",
+    "FaultInjector",
+    "PoisonValue",
+    "WorkerFaultPlan",
+    "poison",
     "GlobalMerger",
     "PerKeyCollator",
     "check_mergeable",

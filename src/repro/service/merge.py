@@ -93,6 +93,8 @@ class GlobalMerger:
         self._watermarks = [0] * num_shards
         self._pending: Dict[int, Dict[int, Any]] = {}
         self._next_slice = 0
+        #: Shards declared failed: excluded from the watermark frontier.
+        self._failed: set = set()
         #: Global answers emitted so far.
         self.answers_emitted = 0
 
@@ -100,6 +102,29 @@ class GlobalMerger:
     def merged_slices(self) -> int:
         """Number of slices finalised so far."""
         return self._next_slice
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard has failed (answers since then are partial).
+
+        Once a shard fails, slices finalise from the surviving shards'
+        partials only: every answer emitted from that point on reflects
+        the stream *minus* the failed shard's un-merged records and
+        must be treated as stale/degraded by the caller.
+        """
+        return bool(self._failed)
+
+    def mark_failed(self, shard_id: int) -> List[Answer]:
+        """Stop waiting on a failed shard's watermark.
+
+        The shard's already-absorbed partials still participate (they
+        are exact for the records it acknowledged), but slices are now
+        finalised without waiting for it — otherwise one dead shard
+        would wedge the global frontier forever.  Returns any answers
+        released by the frontier advancing.
+        """
+        self._failed.add(shard_id)
+        return self._drain()
 
     def on_output(self, output: ShardOutput) -> List[Answer]:
         """Absorb one shard output; return newly-released answers."""
@@ -115,7 +140,12 @@ class GlobalMerger:
 
     def _drain(self) -> List[Answer]:
         answers: List[Answer] = []
-        frontier = min(self._watermarks)
+        active = [
+            watermark
+            for shard_id, watermark in enumerate(self._watermarks)
+            if shard_id not in self._failed
+        ]
+        frontier = min(active) if active else self._next_slice
         operator = self.operator
         while self._next_slice < frontier:
             shard_partials = self._pending.pop(self._next_slice, {})

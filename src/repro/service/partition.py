@@ -148,6 +148,9 @@ class Router:
         self._values: List[List[Any]] = [[] for _ in range(num_shards)]
         self._seqs = [0] * num_shards
         self._sent_watermarks = [0] * num_shards
+        #: Distinct keys routed to each shard so far — consulted when a
+        #: shard fails, to report exactly whose answers are degraded.
+        self.seen_keys: List[set] = [set() for _ in range(num_shards)]
         #: Global positions assigned so far (== records submitted).
         self.position = 0
         #: Flush rounds completed.
@@ -157,6 +160,7 @@ class Router:
         """Route one record; return the batches a full buffer released."""
         self.position += 1
         shard = shard_of(key, self.num_shards)
+        self.seen_keys[shard].add(key)
         self._positions[shard].append(self.position)
         self._keys[shard].append(key)
         self._values[shard].append(value)

@@ -26,12 +26,20 @@ identical to a single-process :class:`~repro.stream.engine.StreamEngine`
 run over the same records in submission order (exactly, for exact-value
 streams such as integers; floating-point answers may differ by
 rounding, since cross-shard recombination reorders the fold).
+
+Failure handling (see ``docs/fault_tolerance.md`` for the full model):
+poison records are quarantined to the service's
+:class:`~repro.stream.sink.DeadLetterSink`; crashed workers are
+restored from CRC-verified checkpoints within a per-shard restart
+budget; a shard that exhausts the budget is reported in
+``stats.failed_shards`` with its keys in ``stats.degraded_keys``,
+and the rest of the service keeps answering.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.multiquery import Answer
@@ -43,6 +51,7 @@ from repro.service.shard import SHARD_MODES, ShardConfig
 from repro.service.slices import SliceClock
 from repro.service.supervisor import InlineTransport, Supervisor
 from repro.operators.base import AggregateOperator
+from repro.stream.sink import DeadLetter, DeadLetterSink
 from repro.windows.plan import build_shared_plan
 from repro.windows.query import Query
 
@@ -58,6 +67,12 @@ class ShardStats:
     checkpoints: int
     restores: int
     dropped: int
+    #: Stall-detector kills (worker alive but silent past the timeout).
+    stalls: int = 0
+    #: Checkpoint generations rejected by their CRC32 check.
+    corrupt_checkpoints: int = 0
+    #: The shard exhausted its restart budget and was abandoned.
+    failed: bool = False
 
     @property
     def throughput(self) -> ThroughputResult:
@@ -77,8 +92,22 @@ class ServiceStats:
     dropped_records: int
     answers_emitted: int
     elapsed_seconds: float
-    #: Ship-to-acknowledge latency per batch (process transport only).
+    #: Ship-to-acknowledge latency per batch (process transport only;
+    #: a bounded uniform sample on long runs).
     batch_latency: Optional[Summary]
+    #: Records quarantined to the dead-letter sink (poison records
+    #: plus the backlog of any failed shard).
+    dead_letters: int = 0
+    #: Shards that exhausted their restart budget, ascending.
+    failed_shards: Tuple[int, ...] = ()
+    #: Keys whose answers are degraded/stale: every key routed to a
+    #: failed shard, plus per-key-mode keys poisoned mid-stream.
+    degraded_keys: Tuple[Any, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any part of the run's answers must be treated as stale."""
+        return bool(self.failed_shards or self.degraded_keys)
 
     @property
     def ingest_throughput(self) -> ThroughputResult:
@@ -98,11 +127,14 @@ class ServiceResult:
         per_key: Per-key-mode answers grouped by key (positions are
             per-key stream positions); empty in global mode.
         stats: Run instrumentation.
+        dead_letters: Quarantined records, in quarantine order (also
+            available on the service's dead-letter sink).
     """
 
     answers: List[Answer]
     per_key: Dict[Any, List[Tuple[int, Query, Any]]]
     stats: ServiceStats
+    dead_letters: List[DeadLetter] = field(default_factory=list)
 
 
 class AggregationService:
@@ -128,6 +160,23 @@ class AggregationService:
             ``"inline"`` (synchronous in-process shards, deterministic).
         shard_delay_seconds: Test/benchmark knob — artificial per-batch
             worker delay for simulating slow consumers.
+        max_restarts: Worker recoveries allowed per shard before the
+            shard is declared failed and its keys degraded.
+        restart_backoff: Base seconds of the exponential pre-respawn
+            backoff (doubles per consecutive restore, capped).
+        stall_timeout: Seconds of worker silence (with work
+            outstanding) before the stall detector kills and recovers
+            it; ``0`` disables stall detection.
+        heartbeat_interval: Worker idle-heartbeat period feeding the
+            stall detector; ``0`` disables heartbeats.
+        poison_policy: ``"quarantine"`` (default) routes poison
+            records to the dead-letter sink; ``"raise"`` lets them
+            kill the worker (debugging only).
+        dead_letter_sink: Sink receiving quarantined records; a fresh
+            :class:`~repro.stream.sink.DeadLetterSink` by default.
+        injector: Optional
+            :class:`~repro.service.chaos.FaultInjector` wired through
+            the supervisor's lifecycle hooks (tests only).
     """
 
     def __init__(
@@ -143,6 +192,13 @@ class AggregationService:
         checkpoint_interval: int = 16,
         transport: str = "process",
         shard_delay_seconds: float = 0.0,
+        max_restarts: int = 5,
+        restart_backoff: float = 0.05,
+        stall_timeout: float = 10.0,
+        heartbeat_interval: float = 0.25,
+        poison_policy: str = "quarantine",
+        dead_letter_sink: Optional[DeadLetterSink] = None,
+        injector: Optional[Any] = None,
     ):
         if num_shards < 1:
             raise ServiceError(
@@ -157,6 +213,12 @@ class AggregationService:
         self.operator = operator
         self.mode = mode
         self.num_shards = num_shards
+        #: Quarantine for poison records and failed-shard backlogs.
+        self.dead_letters = (
+            dead_letter_sink
+            if dead_letter_sink is not None
+            else DeadLetterSink()
+        )
         self._merger: Optional[GlobalMerger] = None
         self._collator: Optional[PerKeyCollator] = None
         clock = None
@@ -180,12 +242,24 @@ class AggregationService:
                 mode=mode,
                 checkpoint_interval=checkpoint_interval,
                 throttle_seconds=shard_delay_seconds,
+                heartbeat_interval=heartbeat_interval,
+                poison_policy=poison_policy,
             )
             for shard in range(num_shards)
         ]
+        self._failed_shards: Dict[int, str] = {}
+        self._degraded_keys: List[Any] = []
+        self._letter_positions: set = set()
         if transport == "process":
             self._transport: Any = Supervisor(
-                configs, queue_capacity, backpressure
+                configs,
+                queue_capacity,
+                backpressure,
+                injector=injector,
+                max_restarts=max_restarts,
+                restart_backoff=restart_backoff,
+                stall_timeout=stall_timeout,
+                on_shard_failed=self._on_shard_failed,
             )
         elif transport == "inline":
             self._transport = InlineTransport(
@@ -216,10 +290,41 @@ class AggregationService:
         for key, value in records:
             self.submit(key, value)
 
+    # -- failure reporting ------------------------------------------
+
+    def _on_shard_failed(self, shard_id: int, reason: str) -> None:
+        """Supervisor callback: record the failure, unwedge the merge."""
+        self._failed_shards[shard_id] = reason
+        for key in sorted(
+            self._router.seen_keys[shard_id], key=repr
+        ):
+            self._mark_degraded(key)
+        if self._merger is not None:
+            released = self._merger.mark_failed(shard_id)
+            self._answers.extend(released)
+            self._fresh_answers.extend(released)
+
+    def _mark_degraded(self, key: Any) -> None:
+        if key not in self._degraded_keys:
+            self._degraded_keys.append(key)
+
+    def _quarantine(self, letters: Iterable[DeadLetter]) -> None:
+        """Deduplicate (replays re-emit letters) and sink dead letters."""
+        for letter in letters:
+            if letter.position in self._letter_positions:
+                continue
+            self._letter_positions.add(letter.position)
+            self.dead_letters.quarantine(letter)
+
     # -- answers ----------------------------------------------------
 
     def _absorb(self, outputs) -> None:
+        self._quarantine(self._transport.take_dead_letters())
         for output in outputs:
+            if output.dead_letters:
+                self._quarantine(output.dead_letters)
+            for key in output.degraded_keys:
+                self._mark_degraded(key)
             if self._merger is not None:
                 released = self._merger.on_output(output)
                 self._answers.extend(released)
@@ -267,6 +372,11 @@ class AggregationService:
                 checkpoints=handle.checkpoints,
                 restores=handle.restores,
                 dropped=handle.dropped,
+                stalls=getattr(handle, "stalls", 0),
+                corrupt_checkpoints=getattr(
+                    handle, "corrupt_checkpoints", 0
+                ),
+                failed=getattr(handle, "failed", False),
             )
             for handle in self._transport.handles
         )
@@ -289,9 +399,15 @@ class AggregationService:
             answers_emitted=answers_emitted,
             elapsed_seconds=elapsed,
             batch_latency=maybe_summary(latencies),
+            dead_letters=len(self.dead_letters),
+            failed_shards=tuple(sorted(self._failed_shards)),
+            degraded_keys=tuple(self._degraded_keys),
         )
         return ServiceResult(
-            answers=list(self._answers), per_key=per_key, stats=stats
+            answers=list(self._answers),
+            per_key=per_key,
+            stats=stats,
+            dead_letters=list(self.dead_letters.letters),
         )
 
     def abort(self) -> None:
@@ -311,6 +427,10 @@ class AggregationService:
             process = getattr(handle, "process", None)
             pids.append(process.pid if process is not None else None)
         return pids
+
+    def failed_shards(self) -> Dict[int, str]:
+        """Shards that exhausted their restart budget, with reasons."""
+        return dict(self._failed_shards)
 
     def __enter__(self) -> "AggregationService":
         """Context-manager entry: the service itself."""

@@ -12,31 +12,46 @@ pipelines over them:
   pipeline per key (shared SlickDeque plan each), emitting exact
   per-key answers for any operator, mergeable or not.
 
+Failure hardening lives at the record level: a value that raises inside
+the operator (a *poison record*) is caught per record, quarantined as a
+:class:`~repro.stream.sink.DeadLetter` on the batch's output, and never
+kills the worker.  Global-mode folds go through a temporary, so the
+accumulator is untouched by a poisoned record; per-key mode pre-checks
+``lift`` before feeding the key's engine, and if the engine itself
+raises mid-feed the key is marked *degraded* (its engine state can no
+longer be trusted) and subsequent records for it are quarantined too.
+
 :class:`ShardState` is the *pure* computation state — a plain picklable
 object, so :mod:`repro.stream.checkpoint` snapshots it byte-for-byte and
 the supervisor can restore a killed worker and replay its un-checkpointed
 batches.  :func:`shard_main` is the process entry point wrapping that
-state in a queue-driven loop.
+state in a queue-driven loop that heartbeats while idle and before each
+batch, so the supervisor can tell a slow worker from a wedged one.
 """
 
 from __future__ import annotations
 
+import queue as queue_module
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import ServiceError
+from repro.errors import PoisonRecordError, ServiceError
 from repro.operators.base import Agg, AggregateOperator
 from repro.service.partition import Batch
 from repro.service.slices import SliceClock
 from repro.stream.checkpoint import restore, snapshot
 from repro.stream.engine import StreamEngine
-from repro.stream.sink import CollectSink
+from repro.stream.sink import CollectSink, DeadLetter
 from repro.windows.plan import build_shared_plan
 from repro.windows.query import Query
 
 #: Execution modes a shard can run.
 SHARD_MODES = ("global", "per_key")
+
+#: What a shard does with a poison record: quarantine it to the
+#: dead-letter sink, or raise (kill the worker — debugging only).
+POISON_POLICIES = ("quarantine", "raise")
 
 #: Control message asking a worker to flush its last output and exit.
 STOP = "stop"
@@ -59,6 +74,18 @@ class ShardConfig:
         throttle_seconds: Artificial per-batch delay — a test/benchmark
             knob that makes backpressure deterministic by simulating a
             slow consumer.  ``0.0`` in production use.
+        heartbeat_interval: Seconds between idle heartbeats from the
+            worker loop; also bounds how long the loop blocks on its
+            inbound queue.  ``0`` disables heartbeats (the worker
+            blocks indefinitely while idle).
+        poison_policy: ``"quarantine"`` (default) dead-letters poison
+            records; ``"raise"`` re-raises them as
+            :class:`~repro.errors.PoisonRecordError` (killing the
+            worker — useful when debugging an unexpected poison
+            source, never in production).
+        chaos: Optional worker-side
+            :class:`~repro.service.chaos.WorkerFaultPlan` applied
+            before each batch (fault-injection tests only).
     """
 
     shard_id: int
@@ -69,6 +96,9 @@ class ShardConfig:
     mode: str = "global"
     checkpoint_interval: int = 16
     throttle_seconds: float = 0.0
+    heartbeat_interval: float = 0.25
+    poison_policy: str = "quarantine"
+    chaos: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.mode not in SHARD_MODES:
@@ -80,6 +110,16 @@ class ShardConfig:
             raise ServiceError(
                 "checkpoint_interval must be >= 0, got "
                 f"{self.checkpoint_interval}"
+            )
+        if self.poison_policy not in POISON_POLICIES:
+            raise ServiceError(
+                f"unknown poison policy {self.poison_policy!r}; "
+                f"expected one of {POISON_POLICIES}"
+            )
+        if self.heartbeat_interval < 0:
+            raise ServiceError(
+                "heartbeat_interval must be >= 0, got "
+                f"{self.heartbeat_interval}"
             )
 
 
@@ -98,7 +138,11 @@ class ShardOutput:
             by this batch, ascending by index.
         key_answers: Per-key mode — ``(key, position, query, answer)``
             tuples (positions are per-key stream positions).
-        records: Records folded from this batch.
+        records: Records successfully folded from this batch (poison
+            records are excluded — they appear in ``dead_letters``).
+        dead_letters: Records of this batch quarantined as poison.
+        degraded_keys: Keys newly marked degraded by this batch
+            (per-key mode, when a poisoned engine had to be dropped).
         busy_seconds: Wall time spent processing the batch.
         snapshot: A checkpoint of the post-batch shard state, when the
             checkpoint interval elapsed.
@@ -112,6 +156,8 @@ class ShardOutput:
         default_factory=list
     )
     records: int = 0
+    dead_letters: List[DeadLetter] = field(default_factory=list)
+    degraded_keys: List[Any] = field(default_factory=list)
     busy_seconds: float = 0.0
     snapshot: Optional[bytes] = None
 
@@ -128,6 +174,29 @@ class ShardStopped:
     error: Optional[str] = None
 
 
+@dataclass
+class ShardHeartbeat:
+    """Liveness signal from the worker loop.
+
+    Sent while idle (every ``heartbeat_interval`` seconds with no
+    inbound batch) and immediately before each batch is processed.
+    The supervisor uses the *absence* of these — together with absent
+    outputs — to distinguish a wedged worker from a merely slow one:
+    a slow shard keeps heartbeating between batches, a wedged one goes
+    silent.
+
+    Attributes:
+        shard_id: Originating shard.
+        seq: The batch about to be processed (``busy=True``) or the
+            last processed batch (``busy=False``, idle heartbeat).
+        busy: Whether the worker is entering a batch fold.
+    """
+
+    shard_id: int
+    seq: int
+    busy: bool = False
+
+
 class ShardState:
     """The picklable computation state of one shard (checkpoint unit)."""
 
@@ -136,6 +205,8 @@ class ShardState:
         self.processed_seq = 0
         self.records = 0
         plan = build_shared_plan(config.queries, config.technique)
+        #: Keys whose per-key engine was poisoned mid-feed and dropped.
+        self.degraded_keys: set = set()
         if config.mode == "global":
             self._clock: Optional[SliceClock] = SliceClock(plan)
             self._accumulators: Dict[int, Agg] = {}
@@ -162,12 +233,39 @@ class ShardState:
             self._sinks[key] = sink
         return engine
 
+    def _quarantine(
+        self,
+        output: ShardOutput,
+        key: Any,
+        value: Any,
+        position: int,
+        error: BaseException,
+    ) -> None:
+        """Dead-letter one poison record (or re-raise under ``"raise"``)."""
+        if self.config.poison_policy == "raise":
+            raise PoisonRecordError(
+                f"poison record for key {key!r} at position {position} "
+                f"in shard {self.config.shard_id}: {error!r}",
+                cause=repr(error),
+            ) from error
+        output.dead_letters.append(
+            DeadLetter(
+                key=key,
+                value=value,
+                position=position,
+                shard_id=self.config.shard_id,
+                error=repr(error),
+            )
+        )
+
     def process(self, batch: Batch) -> ShardOutput:
         """Fold one batch into the shard state and emit its output.
 
         Replayed batches the state already reflects (``seq`` at or
         below :attr:`processed_seq`) are acknowledged with an empty
-        output, keeping recovery idempotent.
+        output, keeping recovery idempotent.  Poison records are
+        quarantined per record (see the module docstring) and never
+        tear down the fold.
         """
         if batch.seq <= self.processed_seq:
             return ShardOutput(
@@ -177,19 +275,29 @@ class ShardState:
             self.config.shard_id,
             batch.seq,
             batch.watermark,
-            records=len(batch),
         )
         operator = self.config.operator
+        folded = 0
         if self.config.mode == "global":
             accumulators = self._accumulators
             clock = self._clock
             identity = operator.identity
-            for position, value in zip(batch.positions, batch.values):
+            for position, key, value in zip(
+                batch.positions, batch.keys, batch.values
+            ):
                 index = clock.slice_of(position)
-                accumulators[index] = operator.combine(
-                    accumulators.get(index, identity),
-                    operator.lift(value),
-                )
+                try:
+                    # Fold through a temporary: a poisoned record
+                    # leaves the accumulator exactly as it was.
+                    combined = operator.combine(
+                        accumulators.get(index, identity),
+                        operator.lift(value),
+                    )
+                except Exception as error:
+                    self._quarantine(output, key, value, position, error)
+                    continue
+                accumulators[index] = combined
+                folded += 1
             closed = sorted(
                 index for index in accumulators if index < batch.watermark
             )
@@ -197,9 +305,39 @@ class ShardState:
                 (index, accumulators.pop(index)) for index in closed
             ]
         else:
-            for key, value in zip(batch.keys, batch.values):
+            for position, key, value in zip(
+                batch.positions, batch.keys, batch.values
+            ):
+                if key in self.degraded_keys:
+                    self._quarantine(
+                        output,
+                        key,
+                        value,
+                        position,
+                        PoisonRecordError(
+                            f"key {key!r} degraded by an earlier "
+                            "poison record; engine state discarded"
+                        ),
+                    )
+                    continue
+                try:
+                    operator.lift(value)
+                except Exception as error:
+                    self._quarantine(output, key, value, position, error)
+                    continue
                 engine = self._engine_for(key)
-                engine.feed(value)
+                try:
+                    engine.feed(value)
+                except Exception as error:
+                    # The engine mutated state before raising: its
+                    # window contents can no longer be trusted.
+                    self._engines.pop(key, None)
+                    self._sinks.pop(key, None)
+                    self.degraded_keys.add(key)
+                    output.degraded_keys.append(key)
+                    self._quarantine(output, key, value, position, error)
+                    continue
+                folded += 1
                 sink = self._sinks[key]
                 if sink.answers:
                     output.key_answers.extend(
@@ -207,8 +345,9 @@ class ShardState:
                         for position, query, answer in sink.answers
                     )
                     sink.answers.clear()
+        output.records = folded
         self.processed_seq = batch.seq
-        self.records += len(batch)
+        self.records += folded
         return output
 
 
@@ -225,7 +364,7 @@ def shard_main(
         in_queue: Bounded queue of :class:`Batch` messages and the
             :data:`STOP` sentinel.
         out_queue: Unbounded queue of :class:`ShardOutput` /
-            :class:`ShardStopped` messages.
+            :class:`ShardHeartbeat` / :class:`ShardStopped` messages.
         initial_snapshot: Checkpoint bytes to resume from (recovery);
             ``None`` starts from a fresh state.
     """
@@ -234,12 +373,32 @@ def shard_main(
             state = restore(initial_snapshot, expected_type="ShardState")
         else:
             state = ShardState(config)
+        fault_plan = config.chaos
+        heartbeat = config.heartbeat_interval
         batches_since_checkpoint = 0
         while True:
-            message = in_queue.get()
+            try:
+                message = in_queue.get(
+                    timeout=heartbeat if heartbeat else None
+                )
+            except queue_module.Empty:
+                out_queue.put(
+                    ShardHeartbeat(
+                        config.shard_id, state.processed_seq, busy=False
+                    )
+                )
+                continue
             if message == STOP:
                 out_queue.put(ShardStopped(config.shard_id))
                 return
+            if heartbeat:
+                # Announce the fold *before* starting it, so the
+                # supervisor can date any subsequent silence.
+                out_queue.put(
+                    ShardHeartbeat(config.shard_id, message.seq, busy=True)
+                )
+            if fault_plan is not None:
+                fault_plan.apply(message.seq)
             if config.throttle_seconds:
                 time.sleep(config.throttle_seconds)
             started = time.perf_counter()

@@ -2,7 +2,7 @@
 
 The supervisor owns one worker process per shard, connected by a
 bounded inbound queue (batches) and an unbounded outbound queue
-(outputs).  Three responsibilities live here:
+(outputs).  Its responsibilities:
 
 * **Backpressure** — a full inbound queue triggers the configured
   policy: ``block`` (lossless, waits for capacity), ``drop`` (sheds the
@@ -10,13 +10,34 @@ bounded inbound queue (batches) and an unbounded outbound queue
   numbers stay intact), or ``sample`` (ships a deterministically
   thinned batch).  Dropped records are counted exactly, per shard.
 * **At-least-once delivery with idempotent effects** — every shipped
-  batch is retained until a worker checkpoint covers it; shard outputs
-  double as acknowledgements.  What was actually shipped (post-shedding)
-  is what is retained, so a replay reproduces byte-identical outputs.
+  batch is retained until *two* worker checkpoint generations cover it;
+  shard outputs double as acknowledgements.  What was actually shipped
+  (post-shedding) is what is retained, so a replay reproduces
+  byte-identical outputs.
 * **Recovery** — a worker that exits without being asked to is
   respawned from its last checkpoint (or from scratch), its retained
   batches are re-enqueued in order, and the merge layer's idempotency
-  absorbs any duplicate outputs.
+  absorbs any duplicate outputs.  Checkpoints are CRC32-verified before
+  being trusted: a corrupt current generation falls back to the
+  previous one (retention keeps exactly enough batches to replay from
+  there); when both generations are corrupt the shard is failed rather
+  than silently restarted with missing history.
+* **Stall detection** — workers heartbeat while idle and before each
+  batch.  A shard with outstanding work that has been silent longer
+  than ``stall_timeout`` is wedged (as opposed to slow — slow shards
+  keep heartbeating between batches): its process is killed and
+  recovered like a crash.
+* **Restart budget** — each recovery consumes one unit of
+  ``max_restarts`` and is preceded by an exponential backoff.  A shard
+  that exhausts the budget becomes **failed**: its worker is torn
+  down for good, records routed to it are shed to the dead-letter
+  queue, and the failure is reported upward (the service marks the
+  shard's keys degraded) instead of being retried forever.
+
+Fault injection threads through the optional ``injector``
+(:class:`~repro.service.chaos.FaultInjector`): kills after chosen
+batches, kills at spawn, checkpoint bit-flips, and queue-put delays
+all fire from the hooks here.
 
 :class:`InlineTransport` is the process-free twin used by fast
 deterministic tests: same interface, shards run in the caller's
@@ -28,9 +49,10 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_module
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ShardFailedError
+from repro.metrics.stats import Reservoir
 from repro.service.partition import (
     BACKPRESSURE_POLICIES,
     Batch,
@@ -40,14 +62,23 @@ from repro.service.partition import (
 from repro.service.shard import (
     STOP,
     ShardConfig,
+    ShardHeartbeat,
     ShardOutput,
     ShardState,
     ShardStopped,
     shard_main,
 )
+from repro.stream.checkpoint import CheckpointError, verify
+from repro.stream.sink import DeadLetter
 
 #: Seconds between liveness checks while waiting on a full queue.
 _PUT_TIMEOUT = 0.05
+
+#: Retained batch-latency samples per shard (reservoir capacity).
+_LATENCY_SAMPLES = 1024
+
+#: Upper bound on one exponential-backoff sleep before a respawn.
+_BACKOFF_CAP = 2.0
 
 
 def _context():
@@ -71,13 +102,25 @@ class WorkerHandle:
         self.process: Optional[Any] = None
         self.in_queue: Optional[Any] = None
         self.out_queue: Optional[Any] = None
-        #: Batches shipped but not yet covered by a checkpoint.
+        #: Batches shipped but not yet covered by two checkpoint
+        #: generations (the fallback generation must stay replayable).
         self.retained: List[Batch] = []
         self.snapshot: Optional[bytes] = None
         self.snapshot_seq = 0
+        #: Previous checkpoint generation (last known good fallback).
+        self.prev_snapshot: Optional[bytes] = None
+        self.prev_snapshot_seq = 0
         self.acked_seq = 0
+        #: Highest batch sequence number shipped toward the worker.
+        self.shipped_seq = 0
         self.stop_sent = False
         self.stopped = False
+        #: The shard exhausted its restart budget (terminal).
+        self.failed = False
+        #: Human-readable reason the shard failed, when it did.
+        self.failure_reason = ""
+        #: Monotonic time of the last message (output/heartbeat) seen.
+        self.last_message = time.monotonic()
         #: Ship timestamps per in-flight sequence number.
         self.enqueue_times: Dict[int, float] = {}
         # Stats accumulators (fresh acknowledgements only).
@@ -87,7 +130,13 @@ class WorkerHandle:
         self.checkpoints = 0
         self.restores = 0
         self.dropped = 0
-        self.latencies: List[float] = []
+        self.stalls = 0
+        self.corrupt_checkpoints = 0
+        #: Bounded uniform sample of ship-to-ack latencies; seeded per
+        #: shard so runs are reproducible.
+        self.latencies = Reservoir(
+            _LATENCY_SAMPLES, seed=config.shard_id
+        )
 
 
 class Supervisor:
@@ -98,6 +147,19 @@ class Supervisor:
         queue_capacity: Bound of each shard's inbound queue, in
             batches; this is where backpressure originates.
         backpressure: ``"block"``, ``"drop"`` or ``"sample"``.
+        injector: Optional fault injector (tests only); its hooks fire
+            at spawn, ship, and checkpoint-absorb time.
+        max_restarts: Recoveries allowed per shard before it is
+            declared failed.  ``0`` fails a shard on its first crash.
+        restart_backoff: Base of the exponential pre-respawn sleep
+            (``restart_backoff * 2**(restores-1)``, capped); ``0``
+            respawns immediately.
+        stall_timeout: Seconds of worker silence (with work
+            outstanding) before the worker is declared wedged and
+            recovered; ``0`` disables stall detection.
+        on_shard_failed: Callback ``(shard_id, reason)`` invoked once
+            when a shard exhausts its budget (or loses both checkpoint
+            generations).
     """
 
     def __init__(
@@ -105,6 +167,11 @@ class Supervisor:
         configs: List[ShardConfig],
         queue_capacity: int = 8,
         backpressure: str = "block",
+        injector: Optional[Any] = None,
+        max_restarts: int = 5,
+        restart_backoff: float = 0.05,
+        stall_timeout: float = 10.0,
+        on_shard_failed: Optional[Callable[[int, str], None]] = None,
     ):
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ServiceError(
@@ -115,10 +182,20 @@ class Supervisor:
             raise ServiceError(
                 f"queue_capacity must be >= 1, got {queue_capacity}"
             )
+        if max_restarts < 0:
+            raise ServiceError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
         self._ctx = _context()
         self._queue_capacity = queue_capacity
         self._backpressure = backpressure
+        self._injector = injector
+        self._max_restarts = max_restarts
+        self._restart_backoff = restart_backoff
+        self._stall_timeout = stall_timeout
+        self._on_shard_failed = on_shard_failed
         self._pending_outputs: List[ShardOutput] = []
+        self._pending_letters: List[DeadLetter] = []
         self.handles = [WorkerHandle(config) for config in configs]
         for handle in self.handles:
             self._spawn(handle, initial_snapshot=None, replay=())
@@ -126,12 +203,15 @@ class Supervisor:
     # -- spawning and recovery -------------------------------------
 
     def _spawn(self, handle, initial_snapshot, replay) -> None:
+        config = handle.config
+        if self._injector is not None:
+            config = self._injector.worker_config(config)
         handle.in_queue = self._ctx.Queue(maxsize=self._queue_capacity)
         handle.out_queue = self._ctx.Queue()
         handle.process = self._ctx.Process(
             target=shard_main,
             args=(
-                handle.config,
+                config,
                 handle.in_queue,
                 handle.out_queue,
                 initial_snapshot,
@@ -140,21 +220,125 @@ class Supervisor:
             name=f"repro-shard-{handle.config.shard_id}",
         )
         handle.process.start()
+        handle.last_message = time.monotonic()
+        if self._injector is not None:
+            self._injector.on_spawned(
+                handle.process, handle.config.shard_id
+            )
         for batch in replay:
+            if handle.failed:  # budget exhausted mid-replay
+                return
             self._put(handle, batch)
-        if handle.stop_sent:
+        if handle.stop_sent and not handle.failed:
             self._put(handle, STOP)
 
     def _recover(self, handle: WorkerHandle) -> None:
-        """Respawn a dead worker from its checkpoint and replay."""
+        """Respawn a dead worker from its checkpoint and replay.
+
+        Consumes one unit of the restart budget; exhausting it (or
+        losing both checkpoint generations to corruption) fails the
+        shard instead of respawning.
+        """
         self._drain_handle(handle)  # salvage outputs already produced
         self._discard_queues(handle)
+        if handle.restores >= self._max_restarts:
+            self._fail(
+                handle,
+                f"restart budget of {self._max_restarts} exhausted",
+            )
+            return
         handle.restores += 1
+        if self._restart_backoff:
+            time.sleep(
+                min(
+                    self._restart_backoff * 2 ** (handle.restores - 1),
+                    _BACKOFF_CAP,
+                )
+            )
         handle.enqueue_times.clear()
+        initial_snapshot, complete = self._select_snapshot(handle)
+        if not complete:
+            self._fail(
+                handle,
+                "both checkpoint generations are corrupt; the batches "
+                "needed to rebuild the shard state are gone",
+            )
+            return
         self._spawn(
             handle,
-            initial_snapshot=handle.snapshot,
+            initial_snapshot=initial_snapshot,
             replay=list(handle.retained),
+        )
+
+    def _select_snapshot(self, handle: WorkerHandle):
+        """The newest trustworthy checkpoint generation for recovery.
+
+        Returns ``(snapshot_bytes_or_None, complete)`` where
+        ``complete`` says whether a fresh/fallback start plus the
+        retained batches reconstructs the full shard history.  The
+        current generation is CRC-verified first; a corrupt one falls
+        back to the previous generation (retention keeps every batch
+        after it, so the replay is complete).
+        """
+        if handle.snapshot is None:
+            return None, True  # never checkpointed: replay covers all
+        try:
+            verify(handle.snapshot)
+            return handle.snapshot, True
+        except CheckpointError:
+            handle.corrupt_checkpoints += 1
+        if handle.prev_snapshot is None:
+            # The only generation was corrupt, but it was the *first*
+            # checkpoint: retention still reaches back to genesis.
+            return None, handle.prev_snapshot_seq == 0
+        try:
+            verify(handle.prev_snapshot)
+            return handle.prev_snapshot, True
+        except CheckpointError:
+            handle.corrupt_checkpoints += 1
+        return None, False
+
+    def _fail(self, handle: WorkerHandle, reason: str) -> None:
+        """Give up on a shard: tear it down and shed its backlog."""
+        if handle.failed:
+            return
+        handle.failed = True
+        handle.stopped = True
+        handle.failure_reason = reason
+        process = handle.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+        self._discard_queues(handle)
+        error = ShardFailedError(
+            f"shard {handle.config.shard_id} failed: {reason}"
+        )
+        # Un-acknowledged records will never be processed: quarantine
+        # them so accounting stays exact and callers can inspect them.
+        for batch in handle.retained:
+            if batch.seq <= handle.acked_seq:
+                continue
+            self._shed_batch(handle, batch, error)
+        handle.retained = []
+        handle.enqueue_times.clear()
+        if self._on_shard_failed is not None:
+            self._on_shard_failed(handle.config.shard_id, reason)
+
+    def _shed_batch(
+        self, handle: WorkerHandle, batch: Batch, error: ShardFailedError
+    ) -> None:
+        reason = repr(error)
+        self._pending_letters.extend(
+            DeadLetter(
+                key=key,
+                value=value,
+                position=position,
+                shard_id=handle.config.shard_id,
+                error=reason,
+            )
+            for position, key, value in zip(
+                batch.positions, batch.keys, batch.values
+            )
         )
 
     def _discard_queues(self, handle: WorkerHandle) -> None:
@@ -166,20 +350,56 @@ class Supervisor:
         handle.out_queue = None
 
     def _check(self, handle: WorkerHandle) -> None:
-        """Recover ``handle`` if its process died unexpectedly."""
+        """Recover ``handle`` if its process died or wedged."""
         process = handle.process
-        if handle.stopped or process is None or process.is_alive():
+        if handle.stopped or process is None:
             return
-        if handle.stop_sent and process.exitcode == 0:
-            # Clean exit; the ShardStopped message may still be queued.
+        if not process.is_alive():
+            if handle.stop_sent and process.exitcode == 0:
+                # Clean exit; ShardStopped may still be queued.
+                return
+            self._recover(handle)
             return
-        self._recover(handle)
+        if self._stall_timeout and self._expecting_progress(handle):
+            silent_for = time.monotonic() - handle.last_message
+            if silent_for > self._stall_timeout:
+                # Alive but silent with work outstanding: wedged.  A
+                # slow shard would have heartbeat within the timeout.
+                handle.stalls += 1
+                if self._injector is not None:
+                    self._injector.on_stall_killed(
+                        handle.config.shard_id
+                    )
+                process.kill()
+                process.join(timeout=5.0)
+                self._recover(handle)
+
+    def _expecting_progress(self, handle: WorkerHandle) -> bool:
+        """Whether silence from this worker indicates a problem."""
+        return handle.shipped_seq > handle.acked_seq or (
+            handle.stop_sent and not handle.stopped
+        )
 
     # -- shipping with backpressure --------------------------------
 
     def _put(self, handle: WorkerHandle, message: Any) -> None:
         """Blocking put that survives (and triggers) worker recovery."""
+        if self._injector is not None:
+            delay = self._injector.put_delay(handle.config.shard_id)
+            if delay:
+                time.sleep(delay)
         while True:
+            if handle.failed:
+                if isinstance(message, Batch):
+                    self._shed_batch(
+                        handle,
+                        message,
+                        ShardFailedError(
+                            f"shard {handle.config.shard_id} failed: "
+                            f"{handle.failure_reason}"
+                        ),
+                    )
+                return
             try:
                 handle.in_queue.put(message, timeout=_PUT_TIMEOUT)
                 return
@@ -189,6 +409,16 @@ class Supervisor:
     def ship(self, batch: Batch) -> None:
         """Deliver one batch under the configured backpressure policy."""
         handle = self.handles[batch.shard]
+        if handle.failed:
+            self._shed_batch(
+                handle,
+                batch,
+                ShardFailedError(
+                    f"shard {batch.shard} failed: "
+                    f"{handle.failure_reason}"
+                ),
+            )
+            return
         try:
             handle.in_queue.put_nowait(batch)
         except queue_module.Full:
@@ -199,13 +429,23 @@ class Supervisor:
                 batch, dropped = thin_batch(batch)
                 handle.dropped += dropped
             self._put(handle, batch)
+            if handle.failed:
+                return
         # Retain exactly what was shipped so replays are identical.
         handle.retained.append(batch)
+        handle.shipped_seq = max(handle.shipped_seq, batch.seq)
         handle.enqueue_times[batch.seq] = time.perf_counter()
+        if self._injector is not None:
+            self._injector.on_shipped(
+                handle.process, batch.shard, batch.seq
+            )
 
     # -- draining outputs ------------------------------------------
 
     def _absorb(self, handle: WorkerHandle, message: Any) -> None:
+        handle.last_message = time.monotonic()
+        if isinstance(message, ShardHeartbeat):
+            return
         if isinstance(message, ShardStopped):
             if message.error is None and handle.stop_sent:
                 handle.stopped = True
@@ -221,15 +461,27 @@ class Supervisor:
             handle.busy_seconds += output.busy_seconds
             shipped_at = handle.enqueue_times.pop(output.seq, None)
             if shipped_at is not None:
-                handle.latencies.append(
+                handle.latencies.add(
                     time.perf_counter() - shipped_at
                 )
         if output.snapshot is not None and output.seq > handle.snapshot_seq:
-            handle.snapshot = output.snapshot
+            data = output.snapshot
+            if self._injector is not None:
+                data = self._injector.on_checkpoint(
+                    handle.config.shard_id, data
+                )
+            handle.prev_snapshot = handle.snapshot
+            handle.prev_snapshot_seq = handle.snapshot_seq
+            handle.snapshot = data
             handle.snapshot_seq = output.seq
             handle.checkpoints += 1
+            # Keep one extra generation of batches: if the new
+            # checkpoint turns out corrupt, the previous one plus
+            # these batches still reconstructs the full history.
             handle.retained = [
-                b for b in handle.retained if b.seq > output.seq
+                b
+                for b in handle.retained
+                if b.seq > handle.prev_snapshot_seq
             ]
             output.snapshot = None  # merged layers never need the bytes
 
@@ -255,6 +507,16 @@ class Supervisor:
         self._pending_outputs = []
         return outputs
 
+    def take_dead_letters(self) -> List[DeadLetter]:
+        """Dead letters quarantined by the supervisor since last taken.
+
+        These cover records shed because their shard failed; poison
+        records travel on :attr:`ShardOutput.dead_letters` instead.
+        """
+        letters = self._pending_letters
+        self._pending_letters = []
+        return letters
+
     # -- shutdown ---------------------------------------------------
 
     def stop(self) -> None:
@@ -262,10 +524,15 @@ class Supervisor:
         for handle in self.handles:
             if not handle.stop_sent:
                 handle.stop_sent = True
-                self._put(handle, STOP)
+                if not handle.failed:
+                    self._put(handle, STOP)
 
     def drain_until_stopped(self, timeout: float = 60.0) -> List[ShardOutput]:
         """Collect outputs until every worker confirmed its stop.
+
+        Failed shards count as stopped (their backlog has been shed to
+        the dead-letter queue), so one failed shard never blocks the
+        rest of the service from draining.
 
         Raises:
             ServiceError: when a worker fails to stop within
@@ -284,10 +551,12 @@ class Supervisor:
                 )
             time.sleep(0.002)
         for handle in self.handles:
-            handle.process.join(timeout=5.0)
-            if handle.process.is_alive():  # pragma: no cover - stuck
-                handle.process.terminate()
-                handle.process.join(timeout=5.0)
+            process = handle.process
+            if process is not None:
+                process.join(timeout=5.0)
+                if process.is_alive():  # pragma: no cover - stuck
+                    process.terminate()
+                    process.join(timeout=5.0)
             self._discard_queues(handle)
         return outputs
 
@@ -308,7 +577,9 @@ class InlineTransport:
     The deterministic twin of :class:`Supervisor` used by property
     tests and debugging: identical interface and identical results for
     the partition/merge math, with no queues, processes, checkpoints or
-    backpressure (nothing is ever dropped).
+    backpressure (nothing is ever dropped, no shard can crash — though
+    poison records are still quarantined by the shard computation
+    itself).
     """
 
     def __init__(
@@ -316,6 +587,11 @@ class InlineTransport:
         configs: List[ShardConfig],
         queue_capacity: int = 8,
         backpressure: str = "block",
+        injector: Optional[Any] = None,
+        max_restarts: int = 5,
+        restart_backoff: float = 0.05,
+        stall_timeout: float = 10.0,
+        on_shard_failed: Optional[Callable[[int, str], None]] = None,
     ):
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ServiceError(
@@ -343,6 +619,10 @@ class InlineTransport:
         outputs = self._pending
         self._pending = []
         return outputs
+
+    def take_dead_letters(self) -> List[DeadLetter]:
+        """Always empty: inline shards cannot fail, only quarantine."""
+        return []
 
     def stop(self) -> None:
         """Mark every (synchronous) shard as stopped."""

@@ -19,6 +19,8 @@ from repro.stream.sink import (
     CallbackSink,
     CollectSink,
     CountingSink,
+    DeadLetter,
+    DeadLetterSink,
     LatestSink,
     Sink,
 )
@@ -35,6 +37,8 @@ __all__ = [
     "LatestSink",
     "CallbackSink",
     "CountingSink",
+    "DeadLetter",
+    "DeadLetterSink",
     "StreamEngine",
     "CuttyPipeline",
     "ReorderBuffer",

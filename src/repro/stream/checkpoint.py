@@ -3,13 +3,23 @@
 Production DSMSs snapshot operator state so a restarted node resumes
 mid-window instead of replaying history.  All aggregators in this
 library are plain Python objects with picklable state, so a checkpoint
-is a pickle — with two deliberate guarantees layered on top:
+is a pickle — with three deliberate guarantees layered on top:
 
 * a **format header** with a version and the aggregator's class name,
   so restores fail loudly on mismatched library versions or classes;
+* a **CRC32 payload checksum** (format v2), so a bit-flipped or
+  truncated snapshot is detected *before* unpickling instead of
+  producing silently-wrong operator state (or an arbitrary
+  ``pickle`` error);
 * a **resume-equivalence contract**, enforced by the test suite: for
   every algorithm, ``restore(snapshot(a))`` then feeding the rest of a
   stream produces byte-identical answers to never having stopped.
+
+Format v1 snapshots (no checksum) are still readable; v2 snapshots are
+verified.  :func:`verify` performs the cheap header+checksum check
+without unpickling the payload — the supervisor uses it to decide
+whether a checkpoint generation is trustworthy before handing it to a
+respawned worker.
 
 Limitations (documented, tested): operators capturing unpicklable
 callables (e.g. an ``ArgMaxOperator`` over a lambda key) cannot be
@@ -19,12 +29,18 @@ checkpointed; use a module-level function as the key instead.
 from __future__ import annotations
 
 import pickle
+import zlib
 from typing import Any, BinaryIO
 
 from repro.errors import ReproError
 
 #: Bump when the on-disk layout changes incompatibly.
-FORMAT_VERSION = 1
+#: v1: length-prefixed header + pickle payload.
+#: v2: header additionally carries ``crc32`` of the payload bytes.
+FORMAT_VERSION = 2
+
+#: Oldest format version :func:`restore` still reads.
+OLDEST_READABLE_VERSION = 1
 
 _MAGIC = b"repro-ckpt"
 
@@ -60,12 +76,83 @@ def snapshot(aggregator: Any) -> bytes:
             "version": FORMAT_VERSION,
             "type": type(aggregator).__name__,
             "library_version": _library_version(),
+            "crc32": zlib.crc32(payload),
         },
         protocol=4,
     )
     return (
         len(header).to_bytes(4, "big") + header + payload
     )
+
+
+def _parse_header(data: bytes):
+    """Split checkpoint bytes into ``(header_dict, payload_bytes)``.
+
+    Raises:
+        CheckpointError: truncated input, bad magic, or an unreadable
+            format version.
+    """
+    if len(data) < 4:
+        raise CheckpointError(
+            f"truncated checkpoint: {len(data)} bytes is shorter than "
+            "the 4-byte header length prefix"
+        )
+    header_length = int.from_bytes(data[:4], "big")
+    if len(data) < 4 + header_length:
+        raise CheckpointError(
+            f"truncated or not a repro checkpoint: header declares "
+            f"{header_length} bytes but only {len(data) - 4} follow "
+            "the length prefix"
+        )
+    try:
+        header = pickle.loads(data[4:4 + header_length])
+        if header.get("magic") != _MAGIC:
+            raise ValueError("bad magic")
+        version = header["version"]
+    except CheckpointError:
+        raise
+    except Exception as error:
+        # Includes a header that unpickles but is structurally wrong
+        # (bit-flipped into a non-dict, or missing required fields).
+        raise CheckpointError(
+            f"not a repro checkpoint: {error!r}"
+        ) from error
+    if not OLDEST_READABLE_VERSION <= version <= FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format v{version} (written by repro "
+            f"{header.get('library_version', 'unknown')}) is not "
+            f"supported by this library (repro {_library_version()}, "
+            f"formats v{OLDEST_READABLE_VERSION}..v{FORMAT_VERSION})"
+        )
+    return header, data[4 + header_length:]
+
+
+def _check_payload(header, payload: bytes) -> None:
+    """Verify the v2 checksum (v1 headers carry none)."""
+    expected = header.get("crc32")
+    if expected is None:
+        return  # v1 snapshot: no checksum recorded.
+    actual = zlib.crc32(payload)
+    if actual != expected:
+        raise CheckpointError(
+            f"checkpoint payload failed its CRC32 check (recorded "
+            f"{expected:#010x}, computed {actual:#010x}); the snapshot "
+            "bytes were corrupted after being written"
+        )
+
+
+def verify(data: bytes) -> None:
+    """Cheaply validate checkpoint bytes without unpickling the payload.
+
+    Checks the header structure, format version, and (for v2) the
+    payload CRC32.  The supervisor calls this before trusting a
+    checkpoint generation for worker recovery.
+
+    Raises:
+        CheckpointError: the bytes are not a restorable checkpoint.
+    """
+    header, payload = _parse_header(data)
+    _check_payload(header, payload)
 
 
 def restore(data: bytes, expected_type: str = "") -> Any:
@@ -76,32 +163,18 @@ def restore(data: bytes, expected_type: str = "") -> Any:
         expected_type: Optional class-name check; mismatches raise.
 
     Raises:
-        CheckpointError: corrupt data, wrong format version, or a type
-            mismatch.
+        CheckpointError: corrupt data, wrong format version, a failed
+            checksum, or a type mismatch.
     """
-    try:
-        header_length = int.from_bytes(data[:4], "big")
-        header = pickle.loads(data[4:4 + header_length])
-        if header.get("magic") != _MAGIC:
-            raise ValueError("bad magic")
-    except Exception as error:
-        raise CheckpointError(
-            f"not a repro checkpoint: {error}"
-        ) from error
-    if header["version"] != FORMAT_VERSION:
-        raise CheckpointError(
-            f"checkpoint format v{header['version']} (written by repro "
-            f"{header.get('library_version', 'unknown')}) is not "
-            f"supported by this library (repro {_library_version()}, "
-            f"format v{FORMAT_VERSION})"
-        )
+    header, payload = _parse_header(data)
     if expected_type and header["type"] != expected_type:
         raise CheckpointError(
             f"checkpoint holds a {header['type']}, expected "
             f"{expected_type}"
         )
+    _check_payload(header, payload)
     try:
-        return pickle.loads(data[4 + header_length:])
+        return pickle.loads(payload)
     except Exception as error:
         raise CheckpointError(
             f"corrupt checkpoint payload: {error}"

@@ -8,11 +8,33 @@ sinks.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.windows.query import Query
 
 AnswerTriple = Tuple[int, Query, Any]
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined record and the reason it could not be processed.
+
+    Attributes:
+        key: The record's routing key.
+        value: The record's payload, exactly as submitted.
+        position: Global 1-based stream position (``0`` when the record
+            never received one, e.g. shed before routing).
+        shard_id: The shard that owned (or would have owned) the record.
+        error: ``repr`` of the exception that quarantined it — picklable,
+            so it survives the worker→supervisor queue crossing.
+    """
+
+    key: Any
+    value: Any
+    position: int
+    shard_id: int
+    error: str
 
 
 class Sink:
@@ -69,6 +91,44 @@ class CallbackSink(Sink):
     def close(self) -> None:
         if self._on_close is not None:
             self._on_close()
+
+
+class DeadLetterSink(Sink):
+    """Quarantine for records the pipeline could not process.
+
+    The sharded service routes every poison record (a value that raised
+    inside the operator) and every record shed because its shard
+    exceeded the restart budget here, instead of letting the failure
+    kill a worker or silently vanish.  Each entry is a
+    :class:`DeadLetter` carrying the record, its shard, and the
+    originating exception's ``repr``.
+    """
+
+    def __init__(self) -> None:
+        self.letters: List[DeadLetter] = []
+
+    def quarantine(self, letter: DeadLetter) -> None:
+        """Record one quarantined record."""
+        self.letters.append(letter)
+
+    def __len__(self) -> int:
+        """Number of quarantined records."""
+        return len(self.letters)
+
+    def by_shard(self) -> Dict[int, List[DeadLetter]]:
+        """Dead letters grouped by originating shard."""
+        grouped: Dict[int, List[DeadLetter]] = {}
+        for letter in self.letters:
+            grouped.setdefault(letter.shard_id, []).append(letter)
+        return grouped
+
+    def keys(self) -> List[Any]:
+        """Distinct keys with at least one dead letter, in first-seen order."""
+        seen: List[Any] = []
+        for letter in self.letters:
+            if letter.key not in seen:
+                seen.append(letter.key)
+        return seen
 
 
 class CountingSink(Sink):

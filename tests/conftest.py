@@ -1,12 +1,61 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Also provides a minimal fallback for ``@pytest.mark.timeout`` when the
+``pytest-timeout`` plugin is not installed (CI installs it; bare local
+environments may not): a SIGALRM-based per-test alarm turns a wedged
+multiprocess test into a failure in seconds instead of a hung run.
+"""
 
 from __future__ import annotations
 
+import importlib.util
 import random
+import signal
 
 import pytest
 
 from repro.operators.registry import available_operators, get_operator
+
+_HAS_TIMEOUT_PLUGIN = (
+    importlib.util.find_spec("pytest_timeout") is not None
+)
+
+
+def pytest_configure(config):
+    """Register the ``timeout`` marker when the real plugin is absent."""
+    if not _HAS_TIMEOUT_PLUGIN:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test time limit "
+            "(SIGALRM fallback; install pytest-timeout for the real one)",
+        )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Enforce ``@pytest.mark.timeout`` via SIGALRM when unplugged."""
+    marker = item.get_closest_marker("timeout")
+    if (
+        marker is None
+        or _HAS_TIMEOUT_PLUGIN
+        or not hasattr(signal, "SIGALRM")
+    ):
+        yield
+        return
+    seconds = float(marker.args[0]) if marker.args else 60.0
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds:g}s timeout mark"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -59,7 +59,9 @@ class TestSharingStudy:
         shared = rows["max x5 ACQs, shared"]
         independent = rows["max x5 ACQs, independent"]
         assert shared[2] == independent[2]  # identical answer counts
-        assert float(shared[1]) > 0  # wall-clock belongs to the report
+        # Wall-clock belongs to the report; a sub-millisecond run can
+        # format to "0.000", so only non-negativity is stable.
+        assert float(shared[1]) >= 0
 
     def test_sharing_saves_aggregate_operations(self):
         """The deterministic core of §2.3: shared plans do less ⊕ work.

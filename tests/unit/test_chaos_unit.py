@@ -1,0 +1,257 @@
+"""Unit tests: fault-injection building blocks.
+
+Covers the pieces the chaos integration suite composes: the seeded
+:class:`FaultInjector` schedule (determinism, at-most-once firing, the
+event log), :class:`PoisonValue` semantics (raises inside the operator,
+travels through pickle), :class:`WorkerFaultPlan` picklability, the
+:class:`DeadLetterSink`, and the bounded :class:`Reservoir` that
+replaced the unbounded latency list.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.metrics import Reservoir
+from repro.service.chaos import (
+    ChaosEvent,
+    FaultInjector,
+    PoisonValue,
+    WorkerFaultPlan,
+    poison,
+)
+from repro.service.shard import ShardConfig
+from repro.stream.sink import DeadLetter, DeadLetterSink
+from repro.windows.query import Query
+
+
+class FakeProcess:
+    """Records ``kill()`` calls in place of a real worker process."""
+
+    def __init__(self):
+        self.killed = 0
+
+    def kill(self):
+        """Count the kill instead of signalling anything."""
+        self.killed += 1
+
+
+def _config(shard_id=0):
+    import repro
+
+    return ShardConfig(
+        shard_id=shard_id,
+        num_shards=2,
+        queries=(Query(8, 4),),
+        operator=repro.get_operator("sum"),
+        technique="pairs",
+        mode="global",
+    )
+
+
+# -- PoisonValue ----------------------------------------------------
+
+
+def test_poison_value_raises_on_any_operator_touch():
+    bad = poison("p1")
+    for operation in (
+        lambda: bad + 1,
+        lambda: 1 + bad,
+        lambda: bad - 1,
+        lambda: bad * 2,
+        lambda: bad < 5,
+        lambda: bad > 5,
+        lambda: -bad,
+        lambda: abs(bad),
+        lambda: float(bad),
+        lambda: int(bad),
+    ):
+        with pytest.raises(RuntimeError, match="poison value 'p1'"):
+            operation()
+
+
+def test_poison_value_survives_pickling():
+    clone = pickle.loads(pickle.dumps(poison("labelled")))
+    assert isinstance(clone, PoisonValue)
+    assert clone.label == "labelled"
+    with pytest.raises(RuntimeError):
+        clone + 0
+
+
+def test_poison_value_is_inert_until_touched():
+    # Routing/batching only repr() and move the value around — none of
+    # which may raise, or the failure would surface outside the worker.
+    bad = poison()
+    assert "PoisonValue" in repr(bad)
+    assert len([bad, bad]) == 2
+
+
+# -- WorkerFaultPlan ------------------------------------------------
+
+
+def test_empty_fault_plan_is_falsy_and_apply_is_a_noop():
+    plan = WorkerFaultPlan()
+    assert not plan
+    plan.apply(1)  # no sleep, no error
+
+
+def test_fault_plan_travels_through_pickle():
+    plan = WorkerFaultPlan(stall_at=((3, 0.1),), wedge_at=(5,))
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone == plan
+    assert bool(clone)
+
+
+def test_stall_plan_sleeps_only_at_its_sequence(monkeypatch):
+    import repro.service.chaos as chaos
+
+    slept = []
+    monkeypatch.setattr(chaos.time, "sleep", slept.append)
+    plan = WorkerFaultPlan(stall_at=((3, 0.25),))
+    plan.apply(2)
+    assert slept == []
+    plan.apply(3)
+    assert slept == [0.25]
+
+
+# -- FaultInjector schedule -----------------------------------------
+
+
+def test_kill_after_ship_fires_once_at_the_scheduled_seq():
+    injector = FaultInjector().kill_worker(0, after_seq=3)
+    process = FakeProcess()
+    injector.on_shipped(process, 0, 2)
+    assert process.killed == 0
+    injector.on_shipped(process, 0, 3)
+    assert process.killed == 1
+    injector.on_shipped(process, 0, 3)  # replayed seq: fault is spent
+    assert process.killed == 1
+    assert injector.fired("kill") == [ChaosEvent("kill", 0, 3)]
+
+
+def test_crash_loop_kills_the_declared_number_of_spawns():
+    injector = FaultInjector().crash_loop(1, times=2)
+    process = FakeProcess()
+    assert injector.on_spawned(process, 1) is True
+    assert injector.on_spawned(process, 1) is True
+    assert injector.on_spawned(process, 1) is False
+    assert injector.on_spawned(process, 0) is False  # other shard
+    assert process.killed == 2
+    assert len(injector.fired("spawn-kill")) == 2
+
+
+def test_checkpoint_corruption_hits_the_nth_snapshot_only():
+    from repro.stream.checkpoint import CheckpointError, snapshot, verify
+
+    injector = FaultInjector(seed=7).corrupt_checkpoint(0, nth=2)
+    data = snapshot([1, 2, 3])
+    assert injector.on_checkpoint(0, data) == data  # 1st: untouched
+    corrupted = injector.on_checkpoint(0, data)  # 2nd: bit-flipped
+    assert corrupted != data
+    assert len(corrupted) == len(data)
+    with pytest.raises(CheckpointError):
+        verify(corrupted)
+    assert injector.on_checkpoint(0, data) == data  # 3rd: untouched
+    assert injector.fired("corrupt-checkpoint") == [
+        ChaosEvent("corrupt-checkpoint", 0, 2)
+    ]
+
+
+def test_same_seed_corrupts_the_same_bit():
+    from repro.stream.checkpoint import snapshot
+
+    data = snapshot(list(range(50)))
+    first = FaultInjector(seed=3).corrupt_checkpoint(0).on_checkpoint(0, data)
+    second = FaultInjector(seed=3).corrupt_checkpoint(0).on_checkpoint(0, data)
+    assert first == second
+    assert first != data
+
+
+def test_worker_config_carries_the_fault_plan_and_clears_fired_wedges():
+    injector = FaultInjector().wedge_shard(0, 4).stall_shard(0, 2, 0.1)
+    config = injector.worker_config(_config(0))
+    assert config.chaos == WorkerFaultPlan(
+        stall_at=((2, 0.1),), wedge_at=(4,)
+    )
+    # A stall kill clears the wedge; the respawn config must not
+    # carry it again or the shard would wedge forever.
+    injector.on_stall_killed(0)
+    respawn = injector.worker_config(_config(0))
+    assert respawn.chaos == WorkerFaultPlan(stall_at=((2, 0.1),))
+    assert injector.fired("wedge-cleared") == [
+        ChaosEvent("wedge-cleared", 0)
+    ]
+
+
+def test_worker_config_without_faults_is_untouched():
+    config = _config(1)
+    assert FaultInjector().worker_config(config) is config
+
+
+def test_put_delay_defaults_to_zero():
+    injector = FaultInjector().delay_puts(2, 0.5)
+    assert injector.put_delay(2) == 0.5
+    assert injector.put_delay(0) == 0.0
+
+
+def test_random_schedule_is_seed_deterministic():
+    first = FaultInjector.random(seed=11, num_shards=4, max_seq=20)
+    second = FaultInjector.random(seed=11, num_shards=4, max_seq=20)
+    assert first._kill_after_ship == second._kill_after_ship
+    assert first._stalls == second._stalls
+    assert first._corrupt_nth == second._corrupt_nth
+    different = FaultInjector.random(seed=12, num_shards=4, max_seq=20)
+    assert (
+        first._kill_after_ship != different._kill_after_ship
+        or first._stalls != different._stalls
+        or first._corrupt_nth != different._corrupt_nth
+    )
+
+
+# -- DeadLetterSink -------------------------------------------------
+
+
+def test_dead_letter_sink_groups_by_shard_and_collects_keys():
+    sink = DeadLetterSink()
+    sink.quarantine(DeadLetter("a", 1, position=3, shard_id=0, error="E1"))
+    sink.quarantine(DeadLetter("b", 2, position=7, shard_id=1, error="E2"))
+    sink.quarantine(DeadLetter("a", 9, position=8, shard_id=0, error="E3"))
+    assert len(sink) == 3
+    assert sorted(sink.by_shard()) == [0, 1]
+    assert [l.position for l in sink.by_shard()[0]] == [3, 8]
+    assert sink.keys() == ["a", "b"]  # first-seen order
+    assert sink.letters[1].error == "E2"
+
+
+# -- Reservoir ------------------------------------------------------
+
+
+def test_reservoir_is_exact_below_capacity():
+    reservoir = Reservoir(capacity=10)
+    reservoir.extend(range(7))
+    assert list(reservoir) == list(range(7))
+    assert len(reservoir) == 7
+    assert reservoir.seen == 7
+
+
+def test_reservoir_stays_bounded_and_samples_the_whole_stream():
+    reservoir = Reservoir(capacity=16, seed=5)
+    reservoir.extend(range(10_000))
+    assert len(reservoir) == 16
+    assert reservoir.seen == 10_000
+    values = reservoir.values
+    assert all(0 <= v < 10_000 for v in values)
+    # Algorithm R keeps a uniform sample: with 16 draws from 10k items
+    # the odds that every kept value sits in the first 20% are ~3e-12,
+    # so a prefix-only "sample" (the bug this replaced) would fail here.
+    assert max(values) > 2_000
+
+
+def test_reservoir_is_seed_deterministic():
+    first = Reservoir(capacity=8, seed=3)
+    second = Reservoir(capacity=8, seed=3)
+    first.extend(range(1000))
+    second.extend(range(1000))
+    assert first.values == second.values

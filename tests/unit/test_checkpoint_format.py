@@ -1,10 +1,11 @@
 """Unit tests: checkpoint format-header failure modes.
 
-Complements the integration resume-equivalence suite with the two
+Complements the integration resume-equivalence suite with the
 documented failure paths: a version-mismatched header must name both
-library versions involved, and unpicklable operator state (the
-lambda-key ``ArgMaxOperator`` limitation) must fail loudly at snapshot
-time.
+library versions involved, unpicklable operator state (the lambda-key
+``ArgMaxOperator`` limitation) must fail loudly at snapshot time, and
+the v2 CRC32 checksum must catch corrupted or truncated snapshots
+while v1 snapshots (no checksum) stay readable.
 """
 
 from __future__ import annotations
@@ -19,9 +20,11 @@ from repro.registry import get_algorithm
 from repro.stream.checkpoint import (
     _MAGIC,
     FORMAT_VERSION,
+    OLDEST_READABLE_VERSION,
     CheckpointError,
     restore,
     snapshot,
+    verify,
 )
 
 
@@ -47,7 +50,9 @@ def test_version_mismatch_error_names_both_library_versions():
     assert f"v{FORMAT_VERSION + 1}" in message
     assert "9.9.9" in message  # the writer's library version
     assert repro.__version__ in message  # this library's version
-    assert f"format v{FORMAT_VERSION}" in message
+    assert (
+        f"v{OLDEST_READABLE_VERSION}..v{FORMAT_VERSION}" in message
+    )
 
 
 def test_version_mismatch_without_recorded_writer_version():
@@ -75,3 +80,82 @@ def test_lambda_key_argmax_cannot_be_checkpointed():
     with pytest.raises(CheckpointError) as excinfo:
         snapshot(aggregator)
     assert "cannot snapshot" in str(excinfo.value)
+
+
+# -- v2 CRC32 checksum ---------------------------------------------
+
+
+def _aggregator():
+    aggregator = get_algorithm("slickdeque").single(
+        repro.get_operator("sum"), 4
+    )
+    aggregator.run([3, -5, 2, 7])
+    return aggregator
+
+
+def test_v2_header_carries_payload_crc32():
+    import zlib
+
+    data = snapshot(_aggregator())
+    header_length = int.from_bytes(data[:4], "big")
+    header = pickle.loads(data[4:4 + header_length])
+    assert header["version"] == FORMAT_VERSION == 2
+    assert header["crc32"] == zlib.crc32(data[4 + header_length:])
+
+
+def test_bit_flip_in_payload_fails_the_crc_check():
+    data = bytearray(snapshot(_aggregator()))
+    data[-3] ^= 0x10  # payload region: past header, before end
+    with pytest.raises(CheckpointError, match="CRC32"):
+        restore(bytes(data))
+    with pytest.raises(CheckpointError, match="CRC32"):
+        verify(bytes(data))
+
+
+def test_verify_accepts_intact_snapshots_without_unpickling():
+    data = snapshot(_aggregator())
+    assert verify(data) is None  # no exception
+
+
+@pytest.mark.parametrize("size", [0, 1, 3])
+def test_shorter_than_length_prefix_is_a_clear_error(size):
+    with pytest.raises(CheckpointError, match="truncated"):
+        restore(b"\x00" * size)
+    with pytest.raises(CheckpointError, match="truncated"):
+        verify(b"\x00" * size)
+
+
+def test_v1_snapshot_without_checksum_still_restores():
+    payload = pickle.dumps([1, 2, 3], protocol=4)
+    header = pickle.dumps(
+        {
+            "magic": _MAGIC,
+            "version": 1,
+            "type": "list",
+            "library_version": "1.0.0",
+        },
+        protocol=4,
+    )
+    data = len(header).to_bytes(4, "big") + header + payload
+    assert restore(data) == [1, 2, 3]
+    assert verify(data) is None  # nothing to check, nothing raised
+
+
+def test_v1_snapshot_corruption_is_not_detectable():
+    """The motivating gap: v1 had no checksum, so v2 exists."""
+    payload = pickle.dumps(b"AAAA", protocol=4)
+    header = pickle.dumps(
+        {
+            "magic": _MAGIC,
+            "version": 1,
+            "type": "bytes",
+            "library_version": "1.0.0",
+        },
+        protocol=4,
+    )
+    data = bytearray(
+        len(header).to_bytes(4, "big") + header + payload
+    )
+    data[-4] ^= 0x01  # flips a content byte silently (an A becomes @)
+    restored = restore(bytes(data))
+    assert restored != b"AAAA"  # silently wrong — v2 catches this

@@ -9,7 +9,10 @@ from repro.errors import (
     InvalidQueryError,
     OutOfOrderError,
     PlanError,
+    PoisonRecordError,
     ReproError,
+    ServiceError,
+    ShardFailedError,
     UnknownOperatorError,
     WindowStateError,
 )
@@ -21,6 +24,9 @@ ALL_ERRORS = [
     OutOfOrderError,
     PlanError,
     UnknownOperatorError,
+    ServiceError,
+    PoisonRecordError,
+    ShardFailedError,
 ]
 
 
@@ -35,6 +41,17 @@ def test_stdlib_compatible_bases():
     assert issubclass(InvalidOperatorError, TypeError)
     assert issubclass(WindowStateError, RuntimeError)
     assert issubclass(UnknownOperatorError, KeyError)
+    assert issubclass(PoisonRecordError, RuntimeError)
+    assert issubclass(ShardFailedError, RuntimeError)
+
+
+def test_poison_record_error_preserves_cause_across_pickling():
+    import pickle
+
+    error = PoisonRecordError("bad record", cause="ValueError('boom')")
+    clone = pickle.loads(pickle.dumps(error))
+    assert str(clone) == "bad record"
+    assert clone.cause == "ValueError('boom')"
 
 
 def test_one_catch_all():
