@@ -92,6 +92,20 @@ class SlidingAggregator(ABC):
     def query(self) -> Any:
         """The lowered aggregate over every retained value."""
 
+    def push_many(self, values: Sequence[Any]) -> None:
+        """Insert a batch of values in stream order (bulk ingestion).
+
+        Semantically identical to pushing each value in turn — the
+        retained window, the next :meth:`query` answer, and every
+        future answer match the per-tuple path.  This default is the
+        universal fallback (one bound-method loop); algorithms with an
+        O(batch)-amortized formulation override it with batch kernels
+        (see :mod:`repro.kernels` and ``docs/performance.md``).
+        """
+        push = self.push
+        for value in values:
+            push(value)
+
     def step(self, value: Any) -> Any:
         """One slide: push then query (the evaluation loop's body)."""
         self.push(value)
@@ -142,6 +156,16 @@ class MultiQueryAggregator(ABC):
     @abstractmethod
     def step(self, value: Any) -> Dict[int, Any]:
         """One slide: insert ``value``, answer every range."""
+
+    def step_many(self, values: Sequence[Any]) -> List[Dict[int, Any]]:
+        """Run a batch of slides, returning every per-slide answer map.
+
+        Byte-identical to calling :meth:`step` per value; overrides
+        amortize the per-slide bookkeeping over the batch (bound hot
+        callables, vectorized lifts) without changing any answer.
+        """
+        step = self.step
+        return [step(value) for value in values]
 
     def run(self, values: Iterable[Any]) -> List[Dict[int, Any]]:
         """Feed an entire stream, returning per-slide answer maps."""

@@ -17,6 +17,7 @@ from repro.baselines.base import (
     SlidingAggregator,
     fold_seeded,
 )
+from repro.kernels import as_sequence, kernel_for
 from repro.operators.base import AggregateOperator
 from repro.structures.circular_buffer import CircularBuffer
 
@@ -28,10 +29,23 @@ class NaiveAggregator(SlidingAggregator):
 
     def __init__(self, operator: AggregateOperator, window: int):
         super().__init__(operator, window)
+        self._kernel = kernel_for(operator)
         self._partials = CircularBuffer(window, fill=operator.identity)
 
     def push(self, value: Any) -> None:
         self._partials.push(self.operator.lift(value))
+
+    def push_many(self, values: Sequence[Any]) -> None:
+        """Bulk push: lift the batch once, write it with slice ops.
+
+        Naive keeps no incremental state — answers are derived at
+        :meth:`query` time — so bulk ingestion is exactly a batched
+        lift plus the ring's slice write; answers are bit-identical to
+        per-tuple pushes in every domain.
+        """
+        values = as_sequence(values)
+        if len(values):
+            self._partials.push_many(self._kernel.lift_many(values))
 
     def query(self) -> Any:
         # Fold only what has actually been written: identical answers to

@@ -200,6 +200,30 @@ class SharedSlickDeque:
             for query, answer in produced
         ]
 
+    def feed_many(self, values: Iterable[Any]) -> List[Answer]:
+        """Consume a batch of tuples; return every answer released.
+
+        Raw tuples are folded into partials with one kernel call per
+        plan segment (:meth:`PartialAggregator.feed_many`); the final
+        aggregation then advances once per completed partial, exactly
+        as :meth:`feed` would.  Answers — values, order, and reported
+        positions — are byte-identical to feeding tuple by tuple.
+        """
+        if self._partial_cursor is not None:
+            raise WindowStateError(
+                "feed_many() cannot be mixed with feed_partial() on "
+                "the same SharedSlickDeque instance"
+            )
+        answers: List[Answer] = []
+        on_partial = self._engine.on_partial
+        for completed in self._partials.feed_many(values):
+            produced = on_partial(completed.value, completed.step.answers)
+            position = completed.position
+            answers.extend(
+                (position, query, answer) for query, answer in produced
+            )
+        return answers
+
     def run(self, values: Iterable[Any]) -> Iterator[Answer]:
         """Stream an iterable through the plan, yielding every answer."""
         for value in values:

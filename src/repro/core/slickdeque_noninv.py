@@ -45,10 +45,11 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.baselines.base import MultiQueryAggregator, SlidingAggregator
 from repro.errors import WindowStateError
+from repro.kernels import as_sequence, kernel_for
 from repro.operators.base import AggregateOperator, require_selection
 from repro.structures.chunked_deque import ChunkedDeque, optimal_chunk_size
 
@@ -80,6 +81,7 @@ class SlickDequeNonInv(SlidingAggregator):
     def __init__(self, operator: AggregateOperator, window: int):
         super().__init__(operator, window)
         self._op = require_selection(operator)
+        self._kernel = kernel_for(self._op)
         self._nodes: deque = deque()
         self._seq = 0
         # Bind the hot-path callables once; push() runs per tuple.
@@ -99,6 +101,49 @@ class SlickDequeNonInv(SlidingAggregator):
         while nodes and dominates(nodes[-1][1], new_partial):
             nodes.pop()
         nodes.append((seq, new_partial))
+
+    def push_many(self, values: Sequence[Any]) -> None:
+        """Bulk push: pre-collapse the batch to its dominance chain.
+
+        A batch element survives ``k`` sequential pushes iff no later
+        batch element dominates it — i.e. iff it belongs to the batch's
+        *suffix chain* (strict suffix extrema for Max/Min, vectorized
+        by the numpy kernels).  The merge then runs Algorithm 2 once
+        with the chain's head standing in for every evicted batch
+        element: the chain head carries the batch's dominant value, so
+        the pre-existing tail nodes it dominates are exactly those the
+        per-tuple pops would have removed.  Expired heads are dropped
+        in one final sweep — per-tuple expiry is monotone in ``seq``,
+        so deferring it never changes which nodes survive.  The final
+        deque (positions and values) is identical to ``k`` single
+        pushes in every domain.
+        """
+        values = as_sequence(values)
+        k = len(values)
+        if not k:
+            return
+        seq0 = self._seq
+        self._seq = seq0 + k
+        nodes = self._nodes
+        window = self.window
+        if k >= window:
+            # Every pre-existing node and every batch element older
+            # than the last `window` expires by batch end.
+            offset = k - window
+            chain = self._kernel.suffix_chain(values[offset:])
+            nodes.clear()
+            base = seq0 + offset
+            nodes.extend((base + i + 1, agg) for i, agg in chain)
+            return
+        chain = self._kernel.suffix_chain(values)
+        dominates = self._dominates
+        head_agg = chain[0][1]
+        while nodes and dominates(nodes[-1][1], head_agg):
+            nodes.pop()
+        nodes.extend((seq0 + i + 1, agg) for i, agg in chain)
+        threshold = seq0 + k - window
+        while nodes and nodes[0][0] <= threshold:
+            nodes.popleft()
 
     def query(self) -> Any:
         if not self._nodes:
@@ -151,15 +196,51 @@ class ChunkedSlickDequeNonInv(SlickDequeNonInv):
         )
 
     def push(self, value: Any) -> None:
-        op = self._op
+        # Use the callables bound once in __init__ — re-resolving
+        # ``op.lift``/``op.dominates`` per push costs two attribute
+        # lookups per tuple on the hottest path in the library.
+        seq = self._seq + 1
+        self._seq = seq
+        new_partial = self._lift(value)
         nodes = self._chunked
-        self._seq += 1
-        new_partial = op.lift(value)
-        if nodes and nodes.front[0] <= self._seq - self.window:
+        if nodes and nodes.front[0] <= seq - self.window:
             nodes.pop_front()
-        while nodes and op.dominates(nodes.back[1], new_partial):
+        dominates = self._dominates
+        while nodes and dominates(nodes.back[1], new_partial):
             nodes.pop_back()
-        nodes.push_back((self._seq, new_partial))
+        nodes.push_back((seq, new_partial))
+
+    def push_many(self, values: Sequence[Any]) -> None:
+        """Bulk push via the dominance suffix chain (see the parent)."""
+        values = as_sequence(values)
+        k = len(values)
+        if not k:
+            return
+        seq0 = self._seq
+        self._seq = seq0 + k
+        nodes = self._chunked
+        window = self.window
+        if k >= window:
+            offset = k - window
+            chain = self._kernel.suffix_chain(values[offset:])
+            while nodes:
+                nodes.pop_back()
+            base = seq0 + offset
+            push_back = nodes.push_back
+            for i, agg in chain:
+                push_back((base + i + 1, agg))
+            return
+        chain = self._kernel.suffix_chain(values)
+        dominates = self._dominates
+        head_agg = chain[0][1]
+        while nodes and dominates(nodes.back[1], head_agg):
+            nodes.pop_back()
+        push_back = nodes.push_back
+        for i, agg in chain:
+            push_back((seq0 + i + 1, agg))
+        threshold = seq0 + k - window
+        while nodes and nodes.front[0] <= threshold:
+            nodes.pop_front()
 
     def query(self) -> Any:
         if not self._chunked:
@@ -227,6 +308,48 @@ class SlickDequeNonInvMulti(MultiQueryAggregator):
                 pos, val = next(iterator)
             answers[r] = lower(val)
         return answers
+
+    def step_many(self, values: Sequence[Any]) -> List[Dict[int, Any]]:
+        """Bulk slides: the :meth:`step` body with hot paths bound once.
+
+        Unlike the single-query class, every slide must still sweep the
+        deque for answers (each slide's answer map is part of the
+        result), so the batch cannot be pre-collapsed; the win here is
+        removing the per-tuple attribute lookups and method-call
+        overhead.  The operation sequence — and therefore every answer
+        map — is identical to ``k`` calls of :meth:`step`.
+        """
+        lift = self._lift
+        dominates = self._dominates
+        lower = self._lower
+        nodes = self._nodes
+        popleft = nodes.popleft
+        pop = nodes.pop
+        append = nodes.append
+        ranges = self.ranges
+        window = self.window
+        seq = self._seq
+        out: List[Dict[int, Any]] = []
+        out_append = out.append
+        for value in values:
+            seq += 1
+            new_partial = lift(value)
+            if nodes and nodes[0][0] <= seq - window:
+                popleft()
+            while nodes and dominates(nodes[-1][1], new_partial):
+                pop()
+            append((seq, new_partial))
+            answers: Dict[int, Any] = {}
+            iterator = iter(nodes)
+            pos, val = next(iterator)
+            for r in ranges:  # descending
+                threshold = seq - r
+                while pos <= threshold:
+                    pos, val = next(iterator)
+                answers[r] = lower(val)
+            out_append(answers)
+        self._seq = seq
+        return out
 
     @property
     def occupancy(self) -> int:

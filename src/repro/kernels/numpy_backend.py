@@ -1,0 +1,213 @@
+"""numpy batch kernels (the ``repro[fast]`` optional extra).
+
+Import-guarded: when numpy is absent this module still imports cleanly
+with ``HAS_NUMPY = False`` and registers nothing, so the library keeps
+zero hard dependencies.
+
+numpy kernels engage **only for ndarray inputs** — converting a Python
+list to an array costs one boxed pass over the data, which is the very
+cost the pure kernels already avoid; every method delegates to the
+wrapped pure kernel for any other input type.
+
+Exactness:
+
+* Float reductions (``np.add.reduce`` et al.) use pairwise summation,
+  which reassociates — bulk answers can differ from the per-tuple path
+  in the last ulps.  These kernels therefore report ``exact = False``
+  and :func:`repro.kernels.exact_fold` routes around them wherever
+  bit-exact equivalence is asserted.
+* Integer arrays are *not* reduced with numpy at all: fixed-width
+  integer reductions overflow silently, while Python ints are exact at
+  any magnitude.  Integer ndarrays take the pure path (``tolist`` +
+  builtin fold), which is both exact and overflow-free.
+* Selection kernels (Max/Min) return actual stream elements, so they
+  stay ``exact = True`` even on float arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.kernels import BatchKernel
+from repro.operators.base import Agg, AggregateOperator
+
+try:  # pragma: no cover - exercised through HAS_NUMPY both ways
+    import numpy as _np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None
+    HAS_NUMPY = False
+
+
+def _float_array(values: Any) -> bool:
+    """Whether ``values`` is a float ndarray worth reducing in numpy."""
+    return (
+        isinstance(values, _np.ndarray) and values.dtype.kind == "f"
+    )
+
+
+class _DelegatingKernel(BatchKernel):
+    """Base for numpy kernels: wraps the pure kernel as the fallback."""
+
+    def __init__(self, operator: AggregateOperator, pure: BatchKernel):
+        super().__init__(operator)
+        self._pure = pure
+
+    def lift_many(self, values: Sequence[Any]) -> Sequence[Agg]:
+        return self._pure.lift_many(values)
+
+    def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
+        return self._pure.fold(values, seed)
+
+    def fold_aggs(self, aggs: Sequence[Agg], seed: Agg) -> Agg:
+        return self._pure.fold_aggs(aggs, seed)
+
+    def suffix_chain(
+        self, values: Sequence[Any]
+    ) -> List[Tuple[int, Agg]]:
+        return self._pure.suffix_chain(values)
+
+
+class NumpySumKernel(_DelegatingKernel):
+    """Sum over float arrays via one C reduction."""
+
+    exact = False  # pairwise float summation reassociates
+
+    def is_exact_for(self, values: Sequence[Any]) -> bool:
+        # Everything that is not a float ndarray takes the pure path.
+        return not _float_array(values)
+
+    def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
+        if _float_array(values):
+            return seed + _np.add.reduce(values).item()
+        return self._pure.fold(values, seed)
+
+    fold_aggs = fold
+
+
+class NumpySumOfSquaresKernel(NumpySumKernel):
+    """Sum of squares over float arrays."""
+
+    def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
+        if _float_array(values):
+            return seed + _np.add.reduce(values * values).item()
+        return self._pure.fold(values, seed)
+
+    def fold_aggs(self, aggs: Sequence[Agg], seed: Agg) -> Agg:
+        if _float_array(aggs):
+            return seed + _np.add.reduce(aggs).item()
+        return self._pure.fold_aggs(aggs, seed)
+
+
+class NumpyProductKernel(_DelegatingKernel):
+    """Product over float arrays: reduce the nonzero factors."""
+
+    exact = False
+
+    def is_exact_for(self, values: Sequence[Any]) -> bool:
+        return not _float_array(values)
+
+    def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
+        if _float_array(values):
+            nonzero = values[values != 0]
+            return (
+                seed[0] * _np.multiply.reduce(nonzero).item(),
+                seed[1] + int(values.size - nonzero.size),
+            )
+        return self._pure.fold(values, seed)
+
+
+class _NumpySelectionKernel(_DelegatingKernel):
+    """Max/Min over numeric arrays.
+
+    Folds return actual array elements (unboxed with ``item()``), so
+    these stay exact; the suffix chain is the vectorized form of the
+    strict suffix-extrema scan.
+    """
+
+    _reduce_name = "maximum"
+    _strictly_better = staticmethod(lambda a, b: a > b)
+
+    def _numeric(self, values: Any) -> bool:
+        return isinstance(values, _np.ndarray) and values.dtype.kind in (
+            "f",
+            "i",
+            "u",
+        )
+
+    def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
+        if self._numeric(values) and len(values):
+            ufunc = getattr(_np, self._reduce_name)
+            return self._combine(seed, ufunc.reduce(values).item())
+        return self._pure.fold(values, seed)
+
+    def fold_aggs(self, aggs: Sequence[Agg], seed: Agg) -> Agg:
+        return self.fold(aggs, seed)
+
+    def suffix_chain(
+        self, values: Sequence[Any]
+    ) -> List[Tuple[int, Agg]]:
+        if not self._numeric(values) or len(values) < 2:
+            return self._pure.suffix_chain(values)
+        ufunc = getattr(_np, self._reduce_name)
+        # suffix_best[i] = extremum of values[i:]; an element survives
+        # iff it strictly beats the extremum of everything after it
+        # (strictness = the operators' prefer-newer tie rule).
+        suffix_best = ufunc.accumulate(values[::-1])[::-1]
+        keep = _np.empty(len(values), dtype=bool)
+        keep[-1] = True
+        keep[:-1] = self._strictly_better(values[:-1], suffix_best[1:])
+        indices = _np.flatnonzero(keep)
+        return list(
+            zip(indices.tolist(), values[indices].tolist())
+        )
+
+
+class NumpyMaxKernel(_NumpySelectionKernel):
+    """Max over numeric arrays: ``np.maximum`` reduce/accumulate."""
+
+    _reduce_name = "maximum"
+    _strictly_better = staticmethod(lambda a, b: a > b)
+
+
+class NumpyMinKernel(_NumpySelectionKernel):
+    """Min over numeric arrays: ``np.minimum`` reduce/accumulate."""
+
+    _reduce_name = "minimum"
+    _strictly_better = staticmethod(lambda a, b: a < b)
+
+
+#: Registry name → numpy kernel class layered over the pure factory.
+_KERNELS = {
+    "sum": NumpySumKernel,
+    "sum_of_squares": NumpySumOfSquaresKernel,
+    "product": NumpyProductKernel,
+    "max": NumpyMaxKernel,
+    "min": NumpyMinKernel,
+}
+
+
+def register(
+    register_factory: Callable[..., None],
+    existing: Dict[str, Callable[[AggregateOperator], Optional[BatchKernel]]],
+) -> None:
+    """Layer numpy kernels over the already-registered pure factories."""
+    for name, kernel_class in _KERNELS.items():
+        pure_factory = existing.get(name)
+        if pure_factory is None:  # pragma: no cover - defensive
+            continue
+        register_factory(name, _factory(kernel_class, pure_factory))
+
+
+def _factory(
+    kernel_class: type,
+    pure_factory: Callable[[AggregateOperator], Optional[BatchKernel]],
+) -> Callable[[AggregateOperator], Optional[BatchKernel]]:
+    def build(operator: AggregateOperator) -> Optional[BatchKernel]:
+        pure = pure_factory(operator)
+        if pure is None:  # the pure type guard declined; so do we
+            return None
+        return kernel_class(operator, pure)
+
+    return build

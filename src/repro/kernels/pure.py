@@ -1,0 +1,203 @@
+"""Pure-Python batch kernels built on the C-implemented builtins.
+
+Every kernel here is **exact**: its folds perform the same arithmetic,
+in the same order, as the sequential ``combine(acc, lift(v))`` left
+fold, so bulk answers are bit-identical to per-tuple answers in every
+domain — builtin ``sum`` and ``math.prod`` are left-to-right folds, and
+the selection kernels return actual stream elements, never derived
+values.
+
+Inputs may be lists or ndarrays; ndarrays are converted with
+``tolist()`` first (one C call) because iterating an ndarray boxes each
+element into a fresh Python object, which is slower than the per-tuple
+path these kernels exist to beat.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.kernels import BatchKernel
+from repro.operators.base import Agg, AggregateOperator
+from repro.operators.invertible import (
+    CountOperator,
+    ProductOperator,
+    SumOfSquaresOperator,
+    SumOperator,
+)
+from repro.operators.noninvertible import MaxOperator, MinOperator
+
+
+def _as_list(values: Sequence[Any]) -> Sequence[Any]:
+    """Materialise ndarray (or similar) inputs as plain lists."""
+    tolist = getattr(values, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    return values
+
+
+class SumKernel(BatchKernel):
+    """Sum/identity-lift addition: builtin ``sum`` is the left fold."""
+
+    def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
+        return sum(_as_list(values), seed)
+
+    fold_aggs = fold
+
+    def lift_many(self, values: Sequence[Any]) -> Sequence[Agg]:
+        return values
+
+
+class CountKernel(BatchKernel):
+    """Count: a batch contributes its length."""
+
+    def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
+        return seed + len(values)
+
+    def fold_aggs(self, aggs: Sequence[Agg], seed: Agg) -> Agg:
+        return sum(_as_list(aggs), seed)
+
+    def lift_many(self, values: Sequence[Any]) -> Sequence[Agg]:
+        return [1] * len(values)
+
+
+class SumOfSquaresKernel(BatchKernel):
+    """Sum of squares: one generator into builtin ``sum``."""
+
+    def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
+        return sum((value * value for value in _as_list(values)), seed)
+
+    def fold_aggs(self, aggs: Sequence[Agg], seed: Agg) -> Agg:
+        return sum(_as_list(aggs), seed)
+
+    def lift_many(self, values: Sequence[Any]) -> Sequence[Agg]:
+        return [value * value for value in values]
+
+
+class ProductKernel(BatchKernel):
+    """Product over ``(nonzero_product, zero_count)`` aggregates.
+
+    Skipping zero lifts is exact: a zero lifts to ``(1, 1)`` and
+    multiplying by 1 is exact in every numeric domain, so the skipped
+    factors change nothing but the zero count — which is tracked
+    separately.  ``math.prod`` is a sequential left fold.
+    """
+
+    def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
+        values = _as_list(values)
+        nonzero = [value for value in values if value != 0]
+        return (
+            math.prod(nonzero, start=seed[0]),
+            seed[1] + len(values) - len(nonzero),
+        )
+
+    def fold_aggs(self, aggs: Sequence[Agg], seed: Agg) -> Agg:
+        product, zeros = seed
+        return (
+            math.prod((agg[0] for agg in aggs), start=product),
+            zeros + sum(agg[1] for agg in aggs),
+        )
+
+    def lift_many(self, values: Sequence[Any]) -> Sequence[Agg]:
+        lift = self._lift
+        return [lift(value) for value in _as_list(values)]
+
+
+class _SelectionKernel(BatchKernel):
+    """Shared machinery for Max/Min: builtin reduction + one combine.
+
+    The builtin ``max``/``min`` over the *reversed* batch returns the
+    newest extremal element, matching the operators' prefer-newer tie
+    rule; one final ``combine`` folds it under the seed.  Selection
+    folds return actual elements, so this is exact in every domain.
+    """
+
+    _reduce: Callable[..., Any] = staticmethod(max)
+
+    def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
+        values = _as_list(values)
+        if not values:
+            return seed
+        # The batch is newer than the seed; combine(older=seed, newer)
+        # keeps the operators' prefer-newer tie rule intact.
+        return self._combine(seed, self._reduce(reversed(values)))
+
+    def fold_aggs(self, aggs: Sequence[Agg], seed: Agg) -> Agg:
+        return self.fold(aggs, seed)
+
+    def lift_many(self, values: Sequence[Any]) -> Sequence[Agg]:
+        return values
+
+
+class MaxKernel(_SelectionKernel):
+    """Max (and AlphabeticalMax): suffix chain = strict suffix maxima."""
+
+    _reduce = staticmethod(max)
+
+    def suffix_chain(
+        self, values: Sequence[Any]
+    ) -> List[Tuple[int, Agg]]:
+        values = _as_list(values)
+        chain: List[Tuple[int, Agg]] = []
+        best: Any = None
+        for index in range(len(values) - 1, -1, -1):
+            value = values[index]
+            if best is None or value > best:
+                chain.append((index, value))
+                best = value
+        chain.reverse()
+        return chain
+
+
+class MinKernel(_SelectionKernel):
+    """Min: suffix chain = strict suffix minima."""
+
+    _reduce = staticmethod(min)
+
+    def suffix_chain(
+        self, values: Sequence[Any]
+    ) -> List[Tuple[int, Agg]]:
+        values = _as_list(values)
+        chain: List[Tuple[int, Agg]] = []
+        best: Any = None
+        for index in range(len(values) - 1, -1, -1):
+            value = values[index]
+            if best is None or value < best:
+                chain.append((index, value))
+                best = value
+        chain.reverse()
+        return chain
+
+
+#: Registry name → (kernel class, operator type the kernel's shortcuts
+#: are derived from).  The type guard means a *custom* operator that
+#: happens to reuse a builtin name falls back to the generic kernel
+#: instead of silently inheriting the builtin's arithmetic.
+_KERNELS = {
+    "sum": (SumKernel, SumOperator),
+    "count": (CountKernel, CountOperator),
+    "sum_of_squares": (SumOfSquaresKernel, SumOfSquaresOperator),
+    "product": (ProductKernel, ProductOperator),
+    "int_product": (ProductKernel, ProductOperator),
+    "max": (MaxKernel, MaxOperator),
+    "alpha_max": (MaxKernel, MaxOperator),
+    "min": (MinKernel, MinOperator),
+}
+
+
+def register(register_factory: Callable[..., None]) -> None:
+    """Register every pure kernel factory with the kernel registry."""
+    for name, (kernel_class, operator_type) in _KERNELS.items():
+        register_factory(name, _factory(kernel_class, operator_type))
+
+
+def _factory(
+    kernel_class: type, operator_type: type
+) -> Callable[[AggregateOperator], Optional[BatchKernel]]:
+    def build(operator: AggregateOperator) -> Optional[BatchKernel]:
+        if not isinstance(operator, operator_type):
+            return None
+        return kernel_class(operator)
+
+    return build

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.errors import UnknownOperatorError
+from repro.kernels import attach as _attach_kernel
 from repro.operators.algebraic import (
     geometric_mean_operator,
     mean_operator,
@@ -58,6 +59,10 @@ def register_operator(
 def get_operator(name: str) -> AggregateOperator:
     """Instantiate the operator registered under ``name``.
 
+    The instance comes back with its batch kernel already resolved and
+    cached (:func:`repro.kernels.attach`), so bulk-ingestion dispatch
+    never pays kernel selection on the hot path.
+
     Raises:
         UnknownOperatorError: when ``name`` has no registered factory.
     """
@@ -68,7 +73,7 @@ def get_operator(name: str) -> AggregateOperator:
         raise UnknownOperatorError(
             f"unknown operator {name!r}; known operators: {known}"
         ) from None
-    return factory()
+    return _attach_kernel(factory())
 
 
 def available_operators() -> List[str]:

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import PoisonRecordError, ServiceError
+from repro.kernels import exact_fold
 from repro.operators.base import Agg, AggregateOperator
 from repro.service.partition import Batch
 from repro.service.slices import SliceClock
@@ -276,28 +277,10 @@ class ShardState:
             batch.seq,
             batch.watermark,
         )
-        operator = self.config.operator
         folded = 0
         if self.config.mode == "global":
+            folded = self._process_global(batch, output)
             accumulators = self._accumulators
-            clock = self._clock
-            identity = operator.identity
-            for position, key, value in zip(
-                batch.positions, batch.keys, batch.values
-            ):
-                index = clock.slice_of(position)
-                try:
-                    # Fold through a temporary: a poisoned record
-                    # leaves the accumulator exactly as it was.
-                    combined = operator.combine(
-                        accumulators.get(index, identity),
-                        operator.lift(value),
-                    )
-                except Exception as error:
-                    self._quarantine(output, key, value, position, error)
-                    continue
-                accumulators[index] = combined
-                folded += 1
             closed = sorted(
                 index for index in accumulators if index < batch.watermark
             )
@@ -305,50 +288,208 @@ class ShardState:
                 (index, accumulators.pop(index)) for index in closed
             ]
         else:
-            for position, key, value in zip(
-                batch.positions, batch.keys, batch.values
-            ):
-                if key in self.degraded_keys:
+            folded = self._process_per_key(batch, output)
+        output.records = folded
+        self.processed_seq = batch.seq
+        self.records += folded
+        return output
+
+    def _process_global(self, batch: Batch, output: ShardOutput) -> int:
+        """Global mode: fold contiguous same-slice runs with one kernel call.
+
+        ``slice_of`` is monotone in the (ascending) batch positions, so
+        a batch decomposes into a handful of contiguous runs per slice;
+        each run folds into its accumulator through
+        :func:`repro.kernels.exact_fold`, which is byte-identical to
+        the per-record combine chain.  A run containing a poison record
+        makes the bulk fold raise *before* any state is touched (folds
+        go through a temporary), and the run is replayed per record —
+        clean records fold exactly as before, poisons are quarantined
+        individually.
+        """
+        operator = self.config.operator
+        accumulators = self._accumulators
+        clock = self._clock
+        slice_of = clock.slice_of
+        identity = operator.identity
+        positions = batch.positions
+        keys = batch.keys
+        values = batch.values
+        total = len(values)
+        folded = 0
+        start = 0
+        while start < total:
+            index = slice_of(positions[start])
+            stop = start + 1
+            while stop < total and slice_of(positions[stop]) == index:
+                stop += 1
+            present = index in accumulators
+            seed = accumulators[index] if present else identity
+            try:
+                accumulators[index] = exact_fold(
+                    operator, values[start:stop], seed
+                )
+                folded += stop - start
+            except Exception:
+                # Poisoned run: replay it per record so that exactly
+                # the poison records are quarantined and the clean
+                # ones fold, leaving the accumulator as the per-record
+                # path would.  An all-poison run must not materialise
+                # an accumulator entry the per-record path never made.
+                acc = seed
+                succeeded = False
+                for offset in range(start, stop):
+                    value = values[offset]
+                    try:
+                        acc = operator.combine(acc, operator.lift(value))
+                    except Exception as error:
+                        self._quarantine(
+                            output,
+                            keys[offset],
+                            value,
+                            positions[offset],
+                            error,
+                        )
+                        continue
+                    succeeded = True
+                    folded += 1
+                if present or succeeded:
+                    accumulators[index] = acc
+            start = stop
+        return folded
+
+    def _process_per_key(self, batch: Batch, output: ShardOutput) -> int:
+        """Per-key mode: feed contiguous same-key runs through the bulk path.
+
+        Each run is first *dry-run folded* (no engine state touched);
+        a run that folds cleanly is handed to the key's engine via
+        :meth:`~repro.stream.engine.StreamEngine.feed_many`, and a run
+        that raises falls back to the per-record loop — lift-poisons
+        are quarantined without touching the engine, an engine poisoned
+        mid-feed degrades its key, and later records for a degraded key
+        are quarantined, all exactly as per-record processing does.
+        """
+        operator = self.config.operator
+        degraded = self.degraded_keys
+        positions = batch.positions
+        keys = batch.keys
+        values = batch.values
+        total = len(values)
+        folded = 0
+        start = 0
+        while start < total:
+            key = keys[start]
+            stop = start + 1
+            while stop < total and keys[stop] == key:
+                stop += 1
+            if key in degraded:
+                for offset in range(start, stop):
                     self._quarantine(
                         output,
                         key,
-                        value,
-                        position,
+                        values[offset],
+                        positions[offset],
                         PoisonRecordError(
                             f"key {key!r} degraded by an earlier "
                             "poison record; engine state discarded"
                         ),
                     )
-                    continue
-                try:
-                    operator.lift(value)
-                except Exception as error:
-                    self._quarantine(output, key, value, position, error)
-                    continue
-                engine = self._engine_for(key)
-                try:
-                    engine.feed(value)
-                except Exception as error:
-                    # The engine mutated state before raising: its
-                    # window contents can no longer be trusted.
-                    self._engines.pop(key, None)
-                    self._sinks.pop(key, None)
-                    self.degraded_keys.add(key)
-                    output.degraded_keys.append(key)
-                    self._quarantine(output, key, value, position, error)
-                    continue
-                folded += 1
-                sink = self._sinks[key]
-                if sink.answers:
-                    output.key_answers.extend(
-                        (key, position, query, answer)
-                        for position, query, answer in sink.answers
+                start = stop
+                continue
+            run = values[start:stop]
+            try:
+                # Dry run: every lift and combine the engine would
+                # perform, against a throwaway accumulator.  Poison
+                # values raise here, before any engine state mutates.
+                exact_fold(operator, run, operator.identity)
+            except Exception:
+                folded += self._feed_per_record(
+                    batch, output, start, stop
+                )
+                start = stop
+                continue
+            engine = self._engine_for(key)
+            try:
+                engine.feed_many(run)
+            except Exception as error:
+                # The dry run passed but the engine still raised (a
+                # state-dependent fault): its window contents can no
+                # longer be trusted, and which records of the run it
+                # absorbed is unknowable — degrade the key and
+                # quarantine the whole run.
+                self._engines.pop(key, None)
+                self._sinks.pop(key, None)
+                degraded.add(key)
+                output.degraded_keys.append(key)
+                for offset in range(start, stop):
+                    self._quarantine(
+                        output,
+                        key,
+                        values[offset],
+                        positions[offset],
+                        error,
                     )
-                    sink.answers.clear()
-        output.records = folded
-        self.processed_seq = batch.seq
-        self.records += folded
-        return output
+                start = stop
+                continue
+            folded += stop - start
+            sink = self._sinks[key]
+            if sink.answers:
+                output.key_answers.extend(
+                    (key, position, query, answer)
+                    for position, query, answer in sink.answers
+                )
+                sink.answers.clear()
+            start = stop
+        return folded
+
+    def _feed_per_record(
+        self, batch: Batch, output: ShardOutput, start: int, stop: int
+    ) -> int:
+        """The original per-record per-key loop, over one poisoned run."""
+        operator = self.config.operator
+        folded = 0
+        for offset in range(start, stop):
+            position = batch.positions[offset]
+            key = batch.keys[offset]
+            value = batch.values[offset]
+            if key in self.degraded_keys:
+                self._quarantine(
+                    output,
+                    key,
+                    value,
+                    position,
+                    PoisonRecordError(
+                        f"key {key!r} degraded by an earlier "
+                        "poison record; engine state discarded"
+                    ),
+                )
+                continue
+            try:
+                operator.lift(value)
+            except Exception as error:
+                self._quarantine(output, key, value, position, error)
+                continue
+            engine = self._engine_for(key)
+            try:
+                engine.feed(value)
+            except Exception as error:
+                # The engine mutated state before raising: its
+                # window contents can no longer be trusted.
+                self._engines.pop(key, None)
+                self._sinks.pop(key, None)
+                self.degraded_keys.add(key)
+                output.degraded_keys.append(key)
+                self._quarantine(output, key, value, position, error)
+                continue
+            folded += 1
+            sink = self._sinks[key]
+            if sink.answers:
+                output.key_answers.extend(
+                    (key, position, query, answer)
+                    for position, query, answer in sink.answers
+                )
+                sink.answers.clear()
+        return folded
 
 
 def shard_main(

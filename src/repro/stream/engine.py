@@ -17,9 +17,11 @@ pipelines:
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.multiquery import SharedSlickDeque
+from repro.kernels import as_sequence
 from repro.errors import PlanError
 from repro.operators.base import AggregateOperator
 from repro.operators.views import partial_view, raw_view
@@ -136,10 +138,38 @@ class StreamEngine:
             for independent in self._independent:
                 self._deliver(independent.feed(value))
 
-    def run(self, values: Iterable[Any]) -> None:
-        """Consume an entire stream, then close every sink."""
-        for value in values:
-            self.feed(value)
+    def feed_many(self, values: Sequence[Any]) -> None:
+        """Consume a batch of stream values (bulk ingestion).
+
+        Shared mode hands the whole batch to the plan's bulk path —
+        partials fold with one kernel call per segment.  Independent
+        mode keeps the per-value, per-query delivery order of
+        :meth:`feed`.  Either way every sink sees exactly the triples,
+        in exactly the order, that per-value feeding would produce.
+        """
+        values = as_sequence(values)
+        self.tuples_consumed += len(values)
+        if self._shared is not None:
+            self._deliver(self._shared.feed_many(values))
+        else:
+            for value in values:
+                for independent in self._independent:
+                    self._deliver(independent.feed(value))
+
+    def run(
+        self, values: Iterable[Any], batch_size: int = 1024
+    ) -> None:
+        """Consume an entire stream, then close every sink.
+
+        The stream is drained in ``batch_size``-tuple chunks through
+        :meth:`feed_many`; sources never need to fit in memory.
+        """
+        iterator = iter(values)
+        while True:
+            batch = list(islice(iterator, batch_size))
+            if not batch:
+                break
+            self.feed_many(batch)
         for sink in self.sinks:
             sink.close()
 

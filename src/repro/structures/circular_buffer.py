@@ -73,6 +73,48 @@ class CircularBuffer:
         self._written += 1
         return expiring
 
+    def push_many(self, values: Any) -> List[Any]:
+        """Write a batch of values; return every expired slot in order.
+
+        Exactly equivalent to calling :meth:`push` once per value and
+        collecting the returns, but performed with at most four slice
+        operations instead of ``k`` method calls.  When the batch is at
+        least as long as the capacity, every pre-existing slot expires
+        first and then the batch's own oldest ``k - capacity`` values
+        expire as newer ones wrap over them — the returned list always
+        has exactly ``k`` entries, in expiry (stream) order.
+        """
+        tolist = getattr(values, "tolist", None)
+        if tolist is not None:
+            values = tolist()
+        elif not isinstance(values, (list, tuple)):
+            values = list(values)
+        k = len(values)
+        cap = self._capacity
+        pos = self._pos
+        slots = self._slots
+        if k < cap:
+            end = pos + k
+            if end <= cap:
+                expired = slots[pos:end]
+                slots[pos:end] = values
+                self._pos = 0 if end == cap else end
+            else:
+                end -= cap
+                expired = slots[pos:] + slots[:end]
+                slots[pos:] = values[: cap - pos]
+                slots[:end] = values[cap - pos:]
+                self._pos = end
+        else:
+            expired = slots[pos:] + slots[:pos] + list(values[: k - cap])
+            tail = values[k - cap:]
+            end = (pos + k) % cap
+            slots[end:] = tail[: cap - end]
+            slots[:end] = tail[cap - end:]
+            self._pos = end
+        self._written += k
+        return expired
+
     def peek_expiring(self) -> Any:
         """The value that the next :meth:`push` will overwrite."""
         return self._slots[self._pos]

@@ -14,8 +14,9 @@ partials — so sources never need to be materialised.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Optional
+from typing import Any, Iterable, List, Optional
 
+from repro.kernels import as_sequence, exact_fold
 from repro.operators.base import Agg, AggregateOperator
 from repro.windows.plan import PlanCursor, PlanStep, SharedPlan
 
@@ -81,9 +82,39 @@ class PartialAggregator:
         self._target = self._cursor.get_next_partial_length()
         return completed
 
-    def feed_many(self, values: Iterable[Any]) -> Iterator[CompletedPartial]:
-        """Fold an iterable, yielding each completed partial."""
-        for value in values:
-            completed = self.feed(value)
-            if completed is not None:
-                yield completed
+    def feed_many(self, values: Iterable[Any]) -> List[CompletedPartial]:
+        """Fold a batch, returning every partial it completed.
+
+        The batch is cut at partial boundaries and each segment is
+        folded with one kernel call through
+        :func:`repro.kernels.exact_fold`, seeded with the running
+        accumulator — answers (and the open-partial state left behind)
+        are byte-identical to feeding each tuple through :meth:`feed`,
+        in every domain.
+        """
+        values = as_sequence(values)
+        operator = self.operator
+        completed: List[CompletedPartial] = []
+        index = 0
+        total = len(values)
+        while index < total:
+            take = min(self._target - self._count, total - index)
+            segment = values[index:index + take]
+            self._accumulated = exact_fold(
+                operator, segment, self._accumulated
+            )
+            self._count += take
+            self._position += take
+            index += take
+            if self._count >= self._target:
+                completed.append(
+                    CompletedPartial(
+                        self._accumulated,
+                        self._cursor.current_step,
+                        self._position,
+                    )
+                )
+                self._accumulated = operator.identity
+                self._count = 0
+                self._target = self._cursor.get_next_partial_length()
+        return completed

@@ -1,0 +1,188 @@
+"""Unit tests for the batch-kernel registry and its exactness contract."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.kernels import (
+    BatchKernel,
+    active_backends,
+    as_sequence,
+    exact_fold,
+    kernel_for,
+    lift_is_identity,
+    numpy_enabled,
+)
+from repro.kernels.pure import (
+    CountKernel,
+    MaxKernel,
+    MinKernel,
+    ProductKernel,
+    SumKernel,
+)
+from repro.operators.instrumented import CountingOperator
+from repro.operators.invertible import SumOperator
+from repro.operators.registry import get_operator
+
+np = pytest.importorskip("numpy") if numpy_enabled() else None
+
+
+def _sequential_fold(operator, values, seed):
+    acc = seed
+    for value in values:
+        acc = operator.combine(acc, operator.lift(value))
+    return acc
+
+
+def test_active_backends_always_includes_pure():
+    backends = active_backends()
+    assert backends[0] == "pure"
+    assert ("numpy" in backends) == numpy_enabled()
+
+
+def test_kernel_cached_on_the_operator_instance():
+    operator = get_operator("sum")
+    assert kernel_for(operator) is kernel_for(operator)
+    other = get_operator("sum")
+    assert kernel_for(other) is not kernel_for(operator)
+
+
+def test_builtin_operators_get_specialised_kernels():
+    expected_pure = {
+        "count": CountKernel,
+        "int_product": ProductKernel,
+        "alpha_max": MaxKernel,
+    }
+    for name, kernel_class in expected_pure.items():
+        assert isinstance(kernel_for(get_operator(name)), kernel_class)
+    # sum/max/min get the numpy layer when it registered, pure otherwise.
+    sum_kernel = kernel_for(get_operator("sum"))
+    if numpy_enabled():
+        assert type(sum_kernel).__name__ == "NumpySumKernel"
+    else:
+        assert isinstance(sum_kernel, SumKernel)
+
+
+def test_unregistered_operators_fall_back_to_the_generic_kernel():
+    for name in ("mean", "variance", "first", "last", "argmax_cos"):
+        kernel = kernel_for(get_operator(name))
+        assert type(kernel) is BatchKernel, name
+
+
+def test_type_guard_rejects_name_squatting_operators():
+    """A custom operator reusing a builtin name must not inherit the
+    builtin kernel's arithmetic."""
+
+    class FakeSum(SumOperator):
+        name = "max"  # squat on the max registry slot
+
+    kernel = kernel_for(FakeSum())
+    assert type(kernel) is BatchKernel
+
+
+def test_counting_wrapper_gets_its_own_generic_kernel():
+    counting = CountingOperator(get_operator("sum"))
+    kernel = kernel_for(counting)
+    assert type(kernel) is BatchKernel
+    before = counting.ops
+    kernel.fold([1, 2, 3], counting.identity)
+    assert counting.ops >= before + 3  # instrumentation still counts
+
+
+def test_pure_folds_are_bit_identical_to_sequential_folds():
+    rng = random.Random(3)
+    for name in ("sum", "count", "int_product", "sum_of_squares",
+                 "max", "min", "first", "last", "mean", "variance"):
+        operator = get_operator(name)
+        kernel = kernel_for(operator)
+        for _ in range(40):
+            values = [rng.uniform(-50, 50) for _ in range(rng.randint(0, 60))]
+            seed = operator.identity
+            assert exact_fold(operator, values, seed) == _sequential_fold(
+                operator, values, seed
+            ), name
+
+
+def test_exact_fold_routes_float_arrays_around_inexact_kernels():
+    if not numpy_enabled():
+        pytest.skip("numpy backend not registered")
+    operator = get_operator("sum")
+    kernel = kernel_for(operator)
+    values = np.array([0.1 * i for i in range(1, 200)])
+    assert not kernel.exact
+    assert not kernel.is_exact_for(values)
+    assert exact_fold(operator, values, 0.0) == _sequential_fold(
+        operator, values.tolist(), 0.0
+    )
+
+
+def test_numpy_selection_kernels_stay_exact_on_float_arrays():
+    if not numpy_enabled():
+        pytest.skip("numpy backend not registered")
+    operator = get_operator("max")
+    kernel = kernel_for(operator)
+    values = np.array([3.5, -1.0, 3.5, 2.0])
+    assert kernel.exact
+    result = kernel.fold(values, operator.identity)
+    assert result == 3.5 and isinstance(result, float)
+
+
+def test_suffix_chain_matches_brute_force_survival():
+    rng = random.Random(5)
+    for name in ("max", "min", "first", "last", "argmax_cos"):
+        operator = get_operator(name)
+        kernel = kernel_for(operator)
+        for _ in range(60):
+            values = [rng.uniform(-3, 3) for _ in range(rng.randint(1, 30))]
+            chain = kernel.suffix_chain(values)
+            survivors = []
+            for index, value in enumerate(values):
+                agg = operator.lift(value)
+                dominated = any(
+                    operator.dominates(agg, operator.lift(later))
+                    for later in values[index + 1:]
+                )
+                if not dominated:
+                    survivors.append((index, agg))
+            assert chain == survivors, name
+
+
+def test_integer_ndarrays_avoid_fixed_width_overflow():
+    if not numpy_enabled():
+        pytest.skip("numpy backend not registered")
+    operator = get_operator("int_product")
+    values = np.full(50, 40, dtype=np.int64)  # 40**50 overflows int64
+    result = exact_fold(operator, values, operator.identity)
+    assert operator.lower(result) == 40**50
+
+
+def test_lift_many_is_zero_copy_for_identity_lifts():
+    operator = get_operator("sum")
+    assert lift_is_identity(operator)
+    values = [1, 2, 3]
+    assert kernel_for(operator).lift_many(values) is values
+
+
+def test_as_sequence_materialises_generators_once():
+    generated = as_sequence(v for v in range(5))
+    assert list(generated) == [0, 1, 2, 3, 4]
+    concrete = [1, 2]
+    assert as_sequence(concrete) is concrete
+
+
+def test_geometric_mean_answers_match_per_tuple_within_ulps():
+    """Float-transcendental lifts reassociate under telescoping; the
+    bulk answer must agree to ulp precision (docs/performance.md)."""
+    from repro.core.slickdeque_inv import SlickDequeInv
+
+    rng = random.Random(9)
+    stream = [rng.randint(1, 60) for _ in range(300)]
+    ref = SlickDequeInv(get_operator("geometric_mean"), 16)
+    bulk = SlickDequeInv(get_operator("geometric_mean"), 16)
+    for value in stream:
+        ref.push(value)
+    bulk.push_many(stream)
+    assert math.isclose(ref.query(), bulk.query(), rel_tol=1e-12)
