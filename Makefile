@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments validate quick-experiments clean
+.PHONY: install test bench experiments validate quick-experiments serve clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,9 @@ quick-experiments:
 
 validate:
 	$(PYTHON) -m repro.experiments.cli validate
+
+serve:
+	PYTHONPATH=src $(PYTHON) examples/net_server.py
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis

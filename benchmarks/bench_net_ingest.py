@@ -1,0 +1,284 @@
+"""Over-socket batch ingest vs the in-process bulk fast path.
+
+The serving-layer companion to ``bench_bulk_ingest.py``: the same
+keyed stream is ingested three ways at each batch size —
+
+* ``engine``   — in-process :meth:`StreamEngine.feed_many` (the bulk
+  fast path with no service or socket in front);
+* ``service``  — in-process :meth:`AggregationService.submit_many`
+  over the inline transport (sharding + merging, no socket);
+* ``socket``   — pipelined SUBMIT_BATCH frames through the asyncio
+  server to the same inline-transport service.
+
+Reported per batch size: tuples/second for each path and the
+*retention ratios* ``socket/engine`` and ``socket/service`` — the
+fraction of in-process throughput that survives the wire.  Ratios are
+machine-relative, so the committed baseline transfers across runners;
+the CI gate fails only when a smoke-scale ratio drops more than
+``TOLERANCE`` below the committed ``BENCH_net_ingest.json`` smoke
+baseline (median of interleaved rounds, same pattern as the bulk
+gate).
+
+Usage::
+
+    python benchmarks/bench_net_ingest.py            # full scale,
+        # writes BENCH_net_ingest.json at the repo root
+    python benchmarks/bench_net_ingest.py --smoke    # reduced scale
+    python benchmarks/bench_net_ingest.py --check    # reduced scale,
+        # fail on ratio regression vs the committed JSON
+
+Not collected by pytest (``testpaths = ["tests"]``): run it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.net.client import AggregationClient  # noqa: E402
+from repro.net.server import (  # noqa: E402
+    AggregationServer,
+    ServerThread,
+)
+from repro.operators.registry import get_operator  # noqa: E402
+from repro.service.service import AggregationService  # noqa: E402
+from repro.stream.engine import StreamEngine  # noqa: E402
+from repro.windows.query import Query  # noqa: E402
+
+NET_JSON = REPO_ROOT / "BENCH_net_ingest.json"
+
+QUERIES = (Query(1024, 32), Query(512, 64))
+NUM_SHARDS = 2
+REPEATS = 3
+FULL_STREAM = 60_000
+FULL_BATCHES = (256, 1024, 4096)
+SMOKE_STREAM = 24_000
+SMOKE_BATCHES = (256, 1024)
+#: Allowed relative ratio regression vs the committed smoke baseline.
+#: Wider than the bulk gate's band: socket paths fold kernel
+#: scheduling and loopback jitter into every round.
+TOLERANCE = 0.5
+
+KEYS = tuple(f"k{i}" for i in range(16))
+
+
+def make_records(size: int) -> List[Any]:
+    """Deterministic keyed integer records."""
+    return [
+        (KEYS[i % len(KEYS)], (i * 37 + 5) % 211 - 105)
+        for i in range(size)
+    ]
+
+
+def _chunks(records, batch):
+    return [
+        records[start : start + batch]
+        for start in range(0, len(records), batch)
+    ]
+
+
+def _time(run) -> float:
+    started = time.perf_counter()
+    run()
+    return time.perf_counter() - started
+
+
+def _engine_run(records, batch):
+    values = [value for _, value in records]
+
+    def run():
+        engine = StreamEngine(QUERIES, get_operator("sum"))
+        for start in range(0, len(values), batch):
+            engine.feed_many(values[start : start + batch])
+
+    return run
+
+
+def _service_run(records, batch):
+    chunks = _chunks(records, batch)
+
+    def run():
+        service = AggregationService(
+            QUERIES,
+            get_operator("sum"),
+            num_shards=NUM_SHARDS,
+            transport="inline",
+            batch_size=batch,
+        )
+        for chunk in chunks:
+            service.submit_many(chunk)
+        service.close()
+
+    return run
+
+
+def _socket_run(records, batch):
+    chunks = _chunks(records, batch)
+
+    def run():
+        service = AggregationService(
+            QUERIES,
+            get_operator("sum"),
+            num_shards=NUM_SHARDS,
+            transport="inline",
+            batch_size=batch,
+        )
+        server = AggregationServer(
+            service,
+            max_inflight_records=None,
+            max_inflight_bytes=None,
+        )
+        with ServerThread(server) as thread:
+            with AggregationClient(
+                "127.0.0.1", thread.port
+            ) as client:
+                client.submit_batches(chunks)
+                client.drain()
+
+    return run
+
+
+def measure(stream_size: int, batches) -> List[Dict[str, Any]]:
+    """Interleaved rounds per batch size; median ratios reported."""
+    records = make_records(stream_size)
+    rows = []
+    for batch in batches:
+        engine_times, service_times, socket_times = [], [], []
+        vs_engine, vs_service = [], []
+        for _ in range(REPEATS):
+            engine_times.append(_time(_engine_run(records, batch)))
+            service_times.append(_time(_service_run(records, batch)))
+            socket_times.append(_time(_socket_run(records, batch)))
+            vs_engine.append(engine_times[-1] / socket_times[-1])
+            vs_service.append(service_times[-1] / socket_times[-1])
+        row = {
+            "batch": batch,
+            "engine_tuples_per_s": round(
+                stream_size / statistics.median(engine_times), 1
+            ),
+            "service_tuples_per_s": round(
+                stream_size / statistics.median(service_times), 1
+            ),
+            "socket_tuples_per_s": round(
+                stream_size / statistics.median(socket_times), 1
+            ),
+            "socket_vs_engine": round(
+                statistics.median(vs_engine), 4
+            ),
+            "socket_vs_service": round(
+                statistics.median(vs_service), 4
+            ),
+        }
+        rows.append(row)
+        print(
+            f"  batch={batch:<5d} socket "
+            f"{row['socket_tuples_per_s']:>12,.0f} t/s  "
+            f"({row['socket_vs_engine']:.2%} of engine, "
+            f"{row['socket_vs_service']:.2%} of service)"
+        )
+    return rows
+
+
+def check(rows: List[Dict[str, Any]], baseline_path: Path) -> int:
+    """Fail when a retention ratio regresses past the tolerance band."""
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; nothing to check")
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    by_batch = {
+        row["batch"]: row for row in baseline["smoke"]["results"]
+    }
+    failures = []
+    for row in rows:
+        expected = by_batch.get(row["batch"])
+        if expected is None:
+            continue
+        for metric in ("socket_vs_engine", "socket_vs_service"):
+            floor = expected[metric] * (1.0 - TOLERANCE)
+            if row[metric] < floor:
+                failures.append(
+                    f"batch {row['batch']} {metric}: "
+                    f"{row[metric]:.3f} fell below {floor:.3f} "
+                    f"(baseline {expected[metric]:.3f} - "
+                    f"{TOLERANCE:.0%})"
+                )
+    if failures:
+        print("PERF REGRESSION (net smoke gate):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("net smoke gate passed: socket retention within tolerance")
+    return 0
+
+
+def main() -> int:
+    """CLI entry point; see the module docstring for modes."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced scale; do not overwrite the baseline",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="reduced scale; fail on regression vs the committed "
+             "BENCH_net_ingest.json",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=NET_JSON,
+        help="where to write the report JSON",
+    )
+    args = parser.parse_args()
+    if args.smoke or args.check:
+        print(f"net-ingest smoke: stream={SMOKE_STREAM} "
+              f"batches={SMOKE_BATCHES}")
+        rows = measure(SMOKE_STREAM, SMOKE_BATCHES)
+        if args.check:
+            return check(rows, NET_JSON)
+        print("smoke run only; baseline not overwritten")
+        return 0
+    print(f"net-ingest bench: stream={FULL_STREAM} "
+          f"batches={FULL_BATCHES}")
+    full_rows = measure(FULL_STREAM, FULL_BATCHES)
+    # Baseline keeps the *minimum* ratio over several smoke passes so
+    # the gate's band sits below run-to-run variance (bulk pattern).
+    smoke_rows: List[Dict[str, Any]] = []
+    for attempt in range(3):
+        print(f"smoke-scale baseline pass {attempt + 1}/3: "
+              f"stream={SMOKE_STREAM} batches={SMOKE_BATCHES}")
+        for row in measure(SMOKE_STREAM, SMOKE_BATCHES):
+            existing = next(
+                (r for r in smoke_rows if r["batch"] == row["batch"]),
+                None,
+            )
+            if existing is None:
+                smoke_rows.append(row)
+            else:
+                for metric in (
+                    "socket_vs_engine", "socket_vs_service",
+                ):
+                    if row[metric] < existing[metric]:
+                        existing[metric] = row[metric]
+    args.output.write_text(json.dumps({
+        "meta": {
+            "stream": FULL_STREAM,
+            "queries": [[q.range_size, q.slide] for q in QUERIES],
+            "num_shards": NUM_SHARDS,
+            "repeats": REPEATS,
+        },
+        "full": {"stream": FULL_STREAM, "results": full_rows},
+        "smoke": {"stream": SMOKE_STREAM, "results": smoke_rows},
+    }, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

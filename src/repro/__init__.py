@@ -42,12 +42,15 @@ from repro.core import (
     make_slickdeque_multi,
 )
 from repro.errors import (
+    ClientTimeoutError,
     InvalidOperatorError,
     InvalidQueryError,
     OutOfOrderError,
     PlanError,
     PoisonRecordError,
+    ProtocolError,
     ReproError,
+    ServerOverloadedError,
     ShardFailedError,
     UnknownOperatorError,
     WindowStateError,
@@ -60,7 +63,18 @@ from repro.operators import (
     get_operator,
 )
 from repro.registry import available_algorithms, get_algorithm
-from repro.service import AggregationService, FaultInjector, ServiceResult
+from repro.net import (
+    AggregationClient,
+    AggregationServer,
+    AsyncAggregationClient,
+    ServerThread,
+)
+from repro.service import (
+    AggregationService,
+    FaultInjector,
+    ServiceGateway,
+    ServiceResult,
+)
 from repro.stream.sink import DeadLetter, DeadLetterSink
 from repro.windows import (
     AcqSpec,
@@ -111,10 +125,16 @@ __all__ = [
     "available_algorithms",
     # sharded service
     "AggregationService",
+    "ServiceGateway",
     "ServiceResult",
     "FaultInjector",
     "DeadLetter",
     "DeadLetterSink",
+    # network serving layer
+    "AggregationServer",
+    "ServerThread",
+    "AggregationClient",
+    "AsyncAggregationClient",
     # errors
     "ReproError",
     "InvalidQueryError",
@@ -125,4 +145,7 @@ __all__ = [
     "UnknownOperatorError",
     "PoisonRecordError",
     "ShardFailedError",
+    "ProtocolError",
+    "ServerOverloadedError",
+    "ClientTimeoutError",
 ]

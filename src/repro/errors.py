@@ -96,6 +96,45 @@ class ShardFailedError(ReproError, RuntimeError):
     """
 
 
+class ProtocolError(ReproError, ValueError):
+    """A network frame violated the wire protocol.
+
+    Raised by the frame codec for malformed input: bad magic bytes, an
+    unsupported protocol version, an unknown frame type, a payload
+    whose declared length exceeds the negotiated maximum, a truncated
+    or oversized payload body, and unknown value tags inside an
+    otherwise well-framed payload.  The server answers a decodable but
+    semantically invalid request with an ``ERROR`` reply instead; this
+    exception is reserved for bytes the codec cannot interpret at all,
+    after which the connection is no longer in a known state and is
+    closed.
+    """
+
+
+class ServerOverloadedError(ReproError, RuntimeError):
+    """The server shed a request and the client's retries ran out.
+
+    Under the ``shed`` admission policy a server whose in-flight
+    budget is exhausted answers ``RETRY`` instead of queueing without
+    bound.  The client library retries such replies with exponential
+    backoff up to its configured budget; when the budget is spent the
+    last ``RETRY`` surfaces as this exception so callers can distinguish
+    sustained overload from transport failures.
+    """
+
+
+class ClientTimeoutError(ReproError, TimeoutError):
+    """A client-side deadline expired while talking to the server.
+
+    Covers both connection establishment (``connect_timeout``) and
+    individual request round-trips (``request_timeout``).  The
+    underlying socket/asyncio timeout is preserved as ``__cause__``
+    where one exists; the connection should be considered dead, since
+    an abandoned request's reply would desynchronise the
+    request/reply pipeline.
+    """
+
+
 class MergeCapabilityError(ReproError, TypeError):
     """Cross-shard merging would be unsound for this operator.
 

@@ -1,0 +1,61 @@
+"""Network serving layer: the sharded service behind a socket.
+
+The scale-out story of the ROADMAP needs a real ingress: this package
+puts :class:`~repro.service.service.AggregationService` behind a TCP
+socket with a length-prefixed binary wire protocol, an asyncio server
+with admission control (bounded in-flight records/bytes, ``block`` or
+``shed``-with-RETRY policies), and sync + async client libraries with
+timeouts and bounded retry-with-backoff.  The protocol spec and
+deployment notes live in ``docs/serving.md``.
+
+Public surface:
+
+* :mod:`~repro.net.protocol` — frame codec
+  (:class:`FrameType`, :func:`encode_frame`, :class:`FrameDecoder`,
+  value codec, answer marshalling).
+* :mod:`~repro.net.server` — :class:`AggregationServer`,
+  :class:`AdmissionBudget`, :class:`ServerThread`.
+* :mod:`~repro.net.client` — :class:`AggregationClient`,
+  :class:`AsyncAggregationClient`.
+"""
+
+from repro.net.client import AggregationClient, AsyncAggregationClient
+from repro.net.protocol import (
+    MAGIC,
+    MAX_PAYLOAD_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameType,
+    decode_answers,
+    decode_value,
+    encode_answers,
+    encode_frame,
+    encode_value,
+    try_decode_frame,
+)
+from repro.net.server import (
+    ADMISSION_POLICIES,
+    AdmissionBudget,
+    AggregationServer,
+    ServerThread,
+)
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "MAX_PAYLOAD_BYTES",
+    "FrameType",
+    "FrameDecoder",
+    "encode_value",
+    "decode_value",
+    "encode_frame",
+    "try_decode_frame",
+    "encode_answers",
+    "decode_answers",
+    "AggregationServer",
+    "AdmissionBudget",
+    "ADMISSION_POLICIES",
+    "ServerThread",
+    "AggregationClient",
+    "AsyncAggregationClient",
+]

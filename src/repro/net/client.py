@@ -1,0 +1,420 @@
+"""Sync and async client libraries for the aggregation server.
+
+Both clients speak the frame protocol of :mod:`repro.net.protocol`
+over one TCP connection with strictly ordered request/reply matching,
+and share the same resilience policy:
+
+* **connect timeout** — connection establishment past the deadline
+  raises :class:`~repro.errors.ClientTimeoutError`;
+* **request timeout** — a reply not arriving in time raises
+  :class:`~repro.errors.ClientTimeoutError` (the connection is then
+  desynchronised and should be closed);
+* **bounded retry with exponential backoff** — ``RETRY`` replies (the
+  server's admission control shedding load) are retried up to
+  ``max_retries`` times with doubling backoff; exhaustion raises
+  :class:`~repro.errors.ServerOverloadedError`.
+
+:meth:`AggregationClient.submit_batches` pipelines: every batch is
+written before any reply is read, which is what makes a single client
+able to saturate (and observe shedding from) the server's admission
+budget.  Shed batches are retried one at a time afterwards unless
+``retry_shed=False``, in which case the per-batch accepted counts
+report ``0`` for shed batches and the caller decides.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    ClientTimeoutError,
+    ProtocolError,
+    ServerOverloadedError,
+    ServiceError,
+)
+from repro.net.protocol import (
+    FrameDecoder,
+    FrameType,
+    decode_answers,
+    encode_frame,
+)
+
+_RECV_CHUNK = 64 * 1024
+
+
+def _backoff_delay(
+    attempt: int, base: float, maximum: float
+) -> float:
+    """Deterministic exponential backoff: ``base * 2**attempt``, capped."""
+    return min(maximum, base * (2**attempt))
+
+
+def _raise_reply_error(payload: Any) -> None:
+    """Turn an ERROR reply payload into the matching exception."""
+    if isinstance(payload, dict):
+        name = payload.get("error", "ServiceError")
+        message = payload.get("message", repr(payload))
+    else:  # pragma: no cover - defensive against foreign servers
+        name, message = "ServiceError", repr(payload)
+    if name == "ProtocolError":
+        raise ProtocolError(f"server rejected the request: {message}")
+    raise ServiceError(f"server error ({name}): {message}")
+
+
+class AggregationClient:
+    """Blocking TCP client for :class:`~repro.net.server.AggregationServer`.
+
+    Args:
+        host: Server address.
+        port: Server port.
+        connect_timeout: Seconds allowed for connection establishment.
+        request_timeout: Seconds allowed per request round-trip
+            (``None`` waits forever).
+        max_retries: RETRY replies absorbed per request before
+            :class:`~repro.errors.ServerOverloadedError`.
+        backoff_base: First retry delay, in seconds (doubles each time).
+        backoff_max: Upper bound on a single retry delay.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        request_timeout: Optional[float] = 30.0,
+        max_retries: int = 8,
+        backoff_base: float = 0.02,
+        backoff_max: float = 1.0,
+    ):
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except socket.timeout as exc:
+            raise ClientTimeoutError(
+                f"connecting to {host}:{port} exceeded "
+                f"{connect_timeout} seconds"
+            ) from exc
+        self._sock.settimeout(request_timeout)
+        self._decoder = FrameDecoder()
+        self._frames: List[Tuple[FrameType, Any]] = []
+        self._closed = False
+
+    # -- low-level I/O ----------------------------------------------
+
+    def send_frame(self, frame_type: FrameType, payload: Any) -> None:
+        """Write one request frame without waiting for its reply."""
+        self._sock.sendall(encode_frame(frame_type, payload))
+
+    def read_reply(self) -> Tuple[FrameType, Any]:
+        """Read the next reply frame (in request order)."""
+        while not self._frames:
+            try:
+                data = self._sock.recv(_RECV_CHUNK)
+            except socket.timeout as exc:
+                raise ClientTimeoutError(
+                    "request timed out waiting for a reply; the "
+                    "connection is desynchronised and must be closed"
+                ) from exc
+            if not data:
+                raise ConnectionError(
+                    "server closed the connection mid-request"
+                )
+            self._decoder.feed(data)
+            self._frames.extend(self._decoder.frames())
+        return self._frames.pop(0)
+
+    def _request(
+        self, frame_type: FrameType, payload: Any
+    ) -> Tuple[FrameType, Any]:
+        """One request/reply round-trip with RETRY backoff."""
+        for attempt in range(self.max_retries + 1):
+            self.send_frame(frame_type, payload)
+            reply_type, reply = self.read_reply()
+            if reply_type is not FrameType.RETRY:
+                if reply_type is FrameType.ERROR:
+                    _raise_reply_error(reply)
+                return reply_type, reply
+            if attempt == self.max_retries:
+                break
+            time.sleep(
+                _suggested_delay(
+                    reply, attempt, self.backoff_base, self.backoff_max
+                )
+            )
+        raise ServerOverloadedError(
+            f"request shed {self.max_retries + 1} times; "
+            "the server is saturated"
+        )
+
+    # -- public API -------------------------------------------------
+
+    def submit(self, key: Any, value: Any) -> int:
+        """Submit one keyed record; returns the accepted count (1)."""
+        _, reply = self._request(FrameType.SUBMIT, (key, value))
+        return reply.get("accepted", 0)
+
+    def submit_batch(
+        self, records: Iterable[Tuple[Any, Any]]
+    ) -> int:
+        """Submit many records in one frame; returns the accepted count."""
+        batch = [tuple(record) for record in records]
+        _, reply = self._request(FrameType.SUBMIT_BATCH, batch)
+        return reply.get("accepted", 0)
+
+    def submit_batches(
+        self,
+        batches: Sequence[Iterable[Tuple[Any, Any]]],
+        retry_shed: bool = True,
+    ) -> List[int]:
+        """Pipeline many SUBMIT_BATCH frames, then read all replies.
+
+        All frames are written before any reply is read, so the server
+        sees the burst at once — its admission budget, not this
+        client's pacing, decides what is shed.  Returns per-batch
+        accepted counts (``0`` where the server shed and
+        ``retry_shed`` is off); shed batches are re-submitted
+        sequentially with backoff when ``retry_shed`` is on.
+        """
+        prepared = [
+            [tuple(record) for record in batch] for batch in batches
+        ]
+        for batch in prepared:
+            self.send_frame(FrameType.SUBMIT_BATCH, batch)
+        accepted: List[int] = []
+        shed_indexes: List[int] = []
+        for index in range(len(prepared)):
+            reply_type, reply = self.read_reply()
+            if reply_type is FrameType.RETRY:
+                shed_indexes.append(index)
+                accepted.append(0)
+            elif reply_type is FrameType.ERROR:
+                _raise_reply_error(reply)
+            else:
+                accepted.append(reply.get("accepted", 0))
+        if retry_shed:
+            for index in shed_indexes:
+                accepted[index] = self.submit_batch(prepared[index])
+        return accepted
+
+    def poll(self) -> List[Tuple[Any, ...]]:
+        """Answers released since any client's last poll."""
+        _, reply = self._request(FrameType.POLL, None)
+        return decode_answers(reply)
+
+    def stats(self) -> Dict[str, Any]:
+        """Server + service stats snapshot (see ``docs/serving.md``)."""
+        _, reply = self._request(FrameType.STATS, None)
+        return reply
+
+    def drain(self) -> Tuple[List[Tuple[Any, ...]], Dict[str, Any]]:
+        """Flush the service; returns (remaining answers, final stats)."""
+        _, reply = self._request(FrameType.DRAIN, None)
+        return decode_answers(reply.get("answers", [])), reply
+
+    def close(self) -> None:
+        """Send CLOSE (best effort) and release the socket; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.send_frame(FrameType.CLOSE, None)
+            self.read_reply()
+        except (OSError, ConnectionError, ClientTimeoutError):
+            pass
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "AggregationClient":
+        """Context entry: the connected client."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context exit: close the connection."""
+        self.close()
+
+
+def _suggested_delay(
+    reply: Any, attempt: int, base: float, maximum: float
+) -> float:
+    """Backoff delay, honouring the server's ``retry_after`` hint."""
+    delay = _backoff_delay(attempt, base, maximum)
+    if isinstance(reply, dict):
+        hint = reply.get("retry_after")
+        if isinstance(hint, (int, float)) and hint > 0:
+            delay = max(delay, float(min(hint, maximum)))
+    return delay
+
+
+class AsyncAggregationClient:
+    """Asyncio twin of :class:`AggregationClient`.
+
+    Construct via :meth:`connect`; the policy knobs match the sync
+    client.  All request methods are coroutines; replies are matched
+    to requests by order, so concurrent callers must serialise their
+    round-trips (or use separate connections).
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        request_timeout: Optional[float],
+        max_retries: int,
+        backoff_base: float,
+        backoff_max: float,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self._decoder = FrameDecoder()
+        self._frames: List[Tuple[FrameType, Any]] = []
+        self._closed = False
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        request_timeout: Optional[float] = 30.0,
+        max_retries: int = 8,
+        backoff_base: float = 0.02,
+        backoff_max: float = 1.0,
+    ) -> "AsyncAggregationClient":
+        """Open a connection, enforcing ``connect_timeout``."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), connect_timeout
+            )
+        except asyncio.TimeoutError as exc:
+            raise ClientTimeoutError(
+                f"connecting to {host}:{port} exceeded "
+                f"{connect_timeout} seconds"
+            ) from exc
+        return cls(
+            reader,
+            writer,
+            request_timeout,
+            max_retries,
+            backoff_base,
+            backoff_max,
+        )
+
+    # -- low-level I/O ----------------------------------------------
+
+    async def send_frame(
+        self, frame_type: FrameType, payload: Any
+    ) -> None:
+        """Write one request frame without waiting for its reply."""
+        self._writer.write(encode_frame(frame_type, payload))
+        await self._writer.drain()
+
+    async def read_reply(self) -> Tuple[FrameType, Any]:
+        """Read the next reply frame (in request order)."""
+        while not self._frames:
+            try:
+                data = await asyncio.wait_for(
+                    self._reader.read(_RECV_CHUNK),
+                    self.request_timeout,
+                )
+            except asyncio.TimeoutError as exc:
+                raise ClientTimeoutError(
+                    "request timed out waiting for a reply; the "
+                    "connection is desynchronised and must be closed"
+                ) from exc
+            if not data:
+                raise ConnectionError(
+                    "server closed the connection mid-request"
+                )
+            self._decoder.feed(data)
+            self._frames.extend(self._decoder.frames())
+        return self._frames.pop(0)
+
+    async def _request(
+        self, frame_type: FrameType, payload: Any
+    ) -> Tuple[FrameType, Any]:
+        for attempt in range(self.max_retries + 1):
+            await self.send_frame(frame_type, payload)
+            reply_type, reply = await self.read_reply()
+            if reply_type is not FrameType.RETRY:
+                if reply_type is FrameType.ERROR:
+                    _raise_reply_error(reply)
+                return reply_type, reply
+            if attempt == self.max_retries:
+                break
+            await asyncio.sleep(
+                _suggested_delay(
+                    reply, attempt, self.backoff_base, self.backoff_max
+                )
+            )
+        raise ServerOverloadedError(
+            f"request shed {self.max_retries + 1} times; "
+            "the server is saturated"
+        )
+
+    # -- public API -------------------------------------------------
+
+    async def submit(self, key: Any, value: Any) -> int:
+        """Submit one keyed record; returns the accepted count (1)."""
+        _, reply = await self._request(FrameType.SUBMIT, (key, value))
+        return reply.get("accepted", 0)
+
+    async def submit_batch(
+        self, records: Iterable[Tuple[Any, Any]]
+    ) -> int:
+        """Submit many records in one frame; returns the accepted count."""
+        batch = [tuple(record) for record in records]
+        _, reply = await self._request(FrameType.SUBMIT_BATCH, batch)
+        return reply.get("accepted", 0)
+
+    async def poll(self) -> List[Tuple[Any, ...]]:
+        """Answers released since any client's last poll."""
+        _, reply = await self._request(FrameType.POLL, None)
+        return decode_answers(reply)
+
+    async def stats(self) -> Dict[str, Any]:
+        """Server + service stats snapshot (see ``docs/serving.md``)."""
+        _, reply = await self._request(FrameType.STATS, None)
+        return reply
+
+    async def drain(
+        self,
+    ) -> Tuple[List[Tuple[Any, ...]], Dict[str, Any]]:
+        """Flush the service; returns (remaining answers, final stats)."""
+        _, reply = await self._request(FrameType.DRAIN, None)
+        return decode_answers(reply.get("answers", [])), reply
+
+    async def close(self) -> None:
+        """Send CLOSE (best effort) and release the stream; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self.send_frame(FrameType.CLOSE, None)
+            await self.read_reply()
+        except (OSError, ConnectionError, ClientTimeoutError):
+            pass
+        finally:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def __aenter__(self) -> "AsyncAggregationClient":
+        """Async-context entry: the connected client."""
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        """Async-context exit: close the connection."""
+        await self.close()

@@ -1,0 +1,429 @@
+"""Length-prefixed binary wire protocol for the network serving layer.
+
+One frame per request or reply::
+
+    0        2        3        4            8
+    +--------+--------+--------+------------+----------------+
+    | magic  | version| type   | length (BE)| payload ...    |
+    | 2 B    | 1 B    | 1 B    | 4 B        | length bytes   |
+    +--------+--------+--------+------------+----------------+
+
+``magic`` is ``b"SD"`` (SlickDeque), ``version`` is
+:data:`PROTOCOL_VERSION`, ``type`` is one of :class:`FrameType`, and
+the payload is one value in the tagged binary encoding of
+:func:`encode_value` (None, bools, ints of any size, floats, strings,
+bytes, lists, tuples, and string-or-scalar-keyed dicts).  Requests and
+replies share the framing; a request's reply is the next reply frame
+on the connection, so clients may pipeline freely.
+
+Anything the codec cannot interpret — bad magic, unsupported version,
+unknown frame type or value tag, declared lengths that exceed
+:data:`MAX_PAYLOAD_BYTES` or run past the payload — raises
+:class:`~repro.errors.ProtocolError`.  Incomplete input is *not* an
+error: the streaming :class:`FrameDecoder` simply waits for more
+bytes, which is what lets the server read frames off a TCP stream
+chunk by chunk.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+#: Frame preamble identifying this protocol on the wire.
+MAGIC = b"SD"
+
+#: Current protocol version; bumped on incompatible frame changes.
+PROTOCOL_VERSION = 1
+
+#: Frame header: magic(2) + version(1) + type(1) + payload length(4).
+HEADER = struct.Struct(">2sBBI")
+
+#: Hard upper bound on a single frame's payload (16 MiB).  Guards the
+#: server against a hostile or corrupt length field committing it to
+#: an unbounded read.
+MAX_PAYLOAD_BYTES = 16 * 1024 * 1024
+
+
+class FrameType(enum.IntEnum):
+    """Request (< 0x80) and reply (>= 0x80) frame types."""
+
+    #: One keyed record: payload ``(key, value)``.
+    SUBMIT = 0x01
+    #: Many keyed records: payload ``[(key, value), ...]``.
+    SUBMIT_BATCH = 0x02
+    #: Collect answers released since the last poll: payload ``None``.
+    POLL = 0x03
+    #: Server + service instrumentation snapshot: payload ``None``.
+    STATS = 0x04
+    #: Flush the service and return every remaining answer: ``None``.
+    DRAIN = 0x05
+    #: End this connection (the server stays up): payload ``None``.
+    CLOSE = 0x06
+
+    #: Success without answers: payload ``{"accepted": n}``-style dict.
+    OK = 0x81
+    #: Answers released: payload ``[(position, (range, slide), value)]``.
+    ANSWERS = 0x82
+    #: Stats snapshot: payload dict (see ``docs/serving.md``).
+    STATS_REPLY = 0x83
+    #: Admission control shed the request; retry after backoff.
+    RETRY = 0x84
+    #: The request failed; payload ``{"error": ..., "message": ...}``.
+    ERROR = 0x85
+
+
+#: Frame types a client may send.
+REQUEST_TYPES = frozenset(
+    {
+        FrameType.SUBMIT,
+        FrameType.SUBMIT_BATCH,
+        FrameType.POLL,
+        FrameType.STATS,
+        FrameType.DRAIN,
+        FrameType.CLOSE,
+    }
+)
+
+#: Frame types a server may send.
+REPLY_TYPES = frozenset(
+    {
+        FrameType.OK,
+        FrameType.ANSWERS,
+        FrameType.STATS_REPLY,
+        FrameType.RETRY,
+        FrameType.ERROR,
+    }
+)
+
+# -- value codec ----------------------------------------------------
+#
+# One-byte tag, then a fixed- or length-prefixed body.  Collections
+# nest arbitrarily.  Ints outside signed-64 fall back to a
+# length-prefixed two's-complement encoding so Python's bigints round
+# trip exactly.
+
+_TAG_NONE = 0x00
+_TAG_TRUE = 0x01
+_TAG_FALSE = 0x02
+_TAG_INT64 = 0x03
+_TAG_BIGINT = 0x04
+_TAG_FLOAT = 0x05
+_TAG_STR = 0x06
+_TAG_BYTES = 0x07
+_TAG_LIST = 0x08
+_TAG_TUPLE = 0x09
+_TAG_DICT = 0x0A
+
+_INT64 = struct.Struct(">q")
+_FLOAT64 = struct.Struct(">d")
+_U32 = struct.Struct(">I")
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one supported Python value to its tagged binary form.
+
+    Supported: ``None``, ``bool``, ``int`` (any magnitude), ``float``,
+    ``str``, ``bytes``, ``list``, ``tuple``, and ``dict`` (keys and
+    values each themselves supported).  Anything else raises
+    :class:`~repro.errors.ProtocolError` — the wire format is a closed
+    set on purpose, so a server never unpickles arbitrary objects.
+    """
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    # bool must be tested before int (bool is an int subclass).
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, bool):  # pragma: no cover - numpy bools etc.
+        out.append(_TAG_TRUE if value else _TAG_FALSE)
+    elif isinstance(value, int):
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(_TAG_INT64)
+            out += _INT64.pack(value)
+        else:
+            body = value.to_bytes(
+                (value.bit_length() + 8) // 8, "big", signed=True
+            )
+            out.append(_TAG_BIGINT)
+            out += _U32.pack(len(body))
+            out += body
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out += _FLOAT64.pack(value)
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out += _U32.pack(len(body))
+        out += body
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_TAG_BYTES)
+        out += _U32.pack(len(value))
+        out += bytes(value)
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST if isinstance(value, list) else _TAG_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            _encode_into(out, key)
+            _encode_into(out, item)
+    else:
+        raise ProtocolError(
+            f"cannot encode {type(value).__name__!s} on the wire; "
+            "supported types are None/bool/int/float/str/bytes/"
+            "list/tuple/dict"
+        )
+
+
+def decode_value(payload: bytes) -> Any:
+    """Decode one tagged value, requiring the payload be fully consumed.
+
+    Trailing bytes after the value are a framing bug (the length field
+    promised exactly one value) and raise
+    :class:`~repro.errors.ProtocolError`, as do truncated bodies and
+    unknown tags.
+    """
+    value, offset = _decode_at(payload, 0)
+    if offset != len(payload):
+        raise ProtocolError(
+            f"{len(payload) - offset} trailing bytes after payload value"
+        )
+    return value
+
+
+def _need(payload: bytes, offset: int, count: int) -> None:
+    if offset + count > len(payload):
+        raise ProtocolError(
+            f"truncated payload: needed {count} bytes at offset "
+            f"{offset}, have {len(payload) - offset}"
+        )
+
+
+def _decode_at(payload: bytes, offset: int) -> Tuple[Any, int]:
+    _need(payload, offset, 1)
+    tag = payload[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT64:
+        _need(payload, offset, 8)
+        return _INT64.unpack_from(payload, offset)[0], offset + 8
+    if tag == _TAG_BIGINT:
+        _need(payload, offset, 4)
+        size = _U32.unpack_from(payload, offset)[0]
+        offset += 4
+        _need(payload, offset, size)
+        body = payload[offset : offset + size]
+        return int.from_bytes(body, "big", signed=True), offset + size
+    if tag == _TAG_FLOAT:
+        _need(payload, offset, 8)
+        return _FLOAT64.unpack_from(payload, offset)[0], offset + 8
+    if tag in (_TAG_STR, _TAG_BYTES):
+        _need(payload, offset, 4)
+        size = _U32.unpack_from(payload, offset)[0]
+        offset += 4
+        _need(payload, offset, size)
+        body = payload[offset : offset + size]
+        offset += size
+        if tag == _TAG_BYTES:
+            return bytes(body), offset
+        try:
+            return body.decode("utf-8"), offset
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                f"invalid UTF-8 in string body: {exc}"
+            ) from exc
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        _need(payload, offset, 4)
+        count = _U32.unpack_from(payload, offset)[0]
+        offset += 4
+        items: List[Any] = []
+        for _ in range(count):
+            item, offset = _decode_at(payload, offset)
+            items.append(item)
+        return (items if tag == _TAG_LIST else tuple(items)), offset
+    if tag == _TAG_DICT:
+        _need(payload, offset, 4)
+        count = _U32.unpack_from(payload, offset)[0]
+        offset += 4
+        mapping = {}
+        for _ in range(count):
+            key, offset = _decode_at(payload, offset)
+            item, offset = _decode_at(payload, offset)
+            mapping[key] = item
+        return mapping, offset
+    raise ProtocolError(f"unknown value tag 0x{tag:02x}")
+
+
+# -- frame codec ----------------------------------------------------
+
+
+def encode_frame(frame_type: FrameType, payload: Any = None) -> bytes:
+    """Frame one value as ``header + encoded payload`` bytes."""
+    body = encode_value(payload)
+    if len(body) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"payload of {len(body)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte frame limit"
+        )
+    return (
+        HEADER.pack(
+            MAGIC, PROTOCOL_VERSION, int(frame_type), len(body)
+        )
+        + body
+    )
+
+
+def try_decode_frame(
+    buffer: bytes, offset: int = 0
+) -> Optional[Tuple[FrameType, Any, int]]:
+    """Decode one frame starting at ``offset``, if fully buffered.
+
+    Returns ``(frame_type, payload, next_offset)``, or ``None`` when
+    the buffer holds only a prefix of a frame (read more bytes and try
+    again).  Malformed bytes raise
+    :class:`~repro.errors.ProtocolError`.
+    """
+    if len(buffer) - offset < HEADER.size:
+        return None
+    magic, version, type_byte, length = HEADER.unpack_from(
+        buffer, offset
+    )
+    if magic != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r})"
+        )
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(this side speaks {PROTOCOL_VERSION})"
+        )
+    try:
+        frame_type = FrameType(type_byte)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"unknown frame type 0x{type_byte:02x}"
+        ) from exc
+    if length > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte frame limit"
+        )
+    start = offset + HEADER.size
+    if len(buffer) - start < length:
+        return None
+    payload = decode_value(bytes(buffer[start : start + length]))
+    return frame_type, payload, start + length
+
+
+class FrameDecoder:
+    """Incremental frame decoder over a byte stream.
+
+    Feed it whatever chunks the transport hands you; iterate
+    :meth:`frames` for every complete frame.  Partial frames stay
+    buffered across calls.  A malformed frame raises
+    :class:`~repro.errors.ProtocolError` and poisons the decoder —
+    after a framing error the stream offset is unknowable, so the
+    connection must be torn down rather than resynchronised.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> None:
+        """Append raw bytes received from the transport."""
+        if self._poisoned:
+            raise ProtocolError(
+                "decoder previously hit a framing error; the stream "
+                "offset is unknown and the connection must be closed"
+            )
+        self._buffer += data
+
+    def frames(self) -> Iterator[Tuple[FrameType, Any]]:
+        """Yield ``(frame_type, payload)`` for each buffered frame."""
+        offset = 0
+        try:
+            while True:
+                decoded = try_decode_frame(self._buffer, offset)
+                if decoded is None:
+                    break
+                frame_type, payload, offset = decoded
+                yield frame_type, payload
+        except ProtocolError:
+            self._poisoned = True
+            raise
+        finally:
+            if offset:
+                del self._buffer[:offset]
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet consumed by a complete frame."""
+        return len(self._buffer)
+
+
+# -- answer marshalling ---------------------------------------------
+#
+# Global-mode answers are (position, Query, value) triples; Query does
+# not travel on the wire, its (range, slide, name) does.
+
+
+def encode_answers(answers) -> List[Tuple[Any, ...]]:
+    """Marshal engine/service answers into wire-friendly tuples.
+
+    Each ``(position, query, value)`` triple becomes ``(position,
+    (range_size, slide, name), value)``; per-key four-tuples keep the
+    leading key.
+    """
+    marshalled = []
+    for answer in answers:
+        *prefix, query, value = answer
+        marshalled.append(
+            (
+                *prefix,
+                (query.range_size, query.slide, query.name),
+                value,
+            )
+        )
+    return marshalled
+
+
+def decode_answers(rows) -> List[Tuple[Any, ...]]:
+    """Rebuild :class:`~repro.windows.query.Query` objects client-side."""
+    from repro.windows.query import Query
+
+    rebuilt = []
+    for row in rows:
+        *prefix, spec, value = row
+        try:
+            range_size, slide, name = spec
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"malformed query spec in answer row: {spec!r}"
+            ) from exc
+        rebuilt.append(
+            (*prefix, Query(range_size, slide, name=name), value)
+        )
+    return rebuilt

@@ -1,0 +1,744 @@
+"""Asyncio TCP server putting the sharded service behind a socket.
+
+:class:`AggregationServer` multiplexes any number of client
+connections onto one :class:`~repro.service.service.AggregationService`
+through the thread-safe
+:class:`~repro.service.gateway.ServiceGateway` seam.  Each connection
+runs two coroutines:
+
+* a **reader** that decodes frames off the socket and makes the
+  admission decision the moment a SUBMIT/SUBMIT_BATCH is decoded, and
+* a **processor** that executes the admitted requests strictly in
+  arrival order (service calls run on a thread-pool executor, since
+  ``block`` backpressure may sleep) and writes one reply per request —
+  so clients can pipeline requests and still match replies by order.
+
+Admission control bounds the records and bytes that have been decoded
+but not yet acknowledged, globally and optionally per connection.
+Under the ``block`` policy an exhausted budget pauses the reader —
+TCP flow control then pushes back on the client, mirroring the
+service's own lossless ``block`` backpressure.  Under ``shed`` the
+request's records are dropped immediately and the client gets a
+``RETRY`` reply (in order), mirroring ``drop``-style load shedding
+with exact shed counts.
+
+STATS replies carry throughput, a
+:class:`~repro.metrics.stats.Reservoir`-sampled submit-latency
+summary, and accepted/shed/poison counters next to the service's own
+live snapshot; see ``docs/serving.md`` for the full payload schema.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.metrics import Reservoir, maybe_summary
+from repro.net.protocol import (
+    FrameType,
+    encode_answers,
+    encode_frame,
+    try_decode_frame,
+)
+from repro.service.gateway import ServiceGateway
+from repro.service.service import AggregationService, ServiceResult
+
+#: Admission policies for an exhausted in-flight budget: ``block``
+#: pauses the connection's reader (lossless; TCP pushes back on the
+#: client), ``shed`` answers RETRY and drops the request's records.
+ADMISSION_POLICIES = ("block", "shed")
+
+_READ_CHUNK = 64 * 1024
+
+
+class AdmissionBudget:
+    """In-flight records/bytes budget shared by one event loop.
+
+    ``None`` limits are unlimited.  All methods must run on the owning
+    event loop; :meth:`try_acquire` is synchronous (the loop is the
+    mutual exclusion), :meth:`acquire`/:meth:`release` are coroutines
+    so blocked acquirers can be woken.
+    """
+
+    def __init__(
+        self,
+        max_records: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
+        self.max_records = max_records
+        self.max_bytes = max_bytes
+        #: Records currently admitted but not yet acknowledged.
+        self.records = 0
+        #: Payload bytes currently admitted but not yet acknowledged.
+        self.bytes = 0
+        self._condition = asyncio.Condition()
+
+    def _fits(self, records: int, nbytes: int) -> bool:
+        if (
+            self.max_records is not None
+            and self.records + records > self.max_records
+            and self.records > 0
+        ):
+            return False
+        if (
+            self.max_bytes is not None
+            and self.bytes + nbytes > self.max_bytes
+            and self.bytes > 0
+        ):
+            return False
+        return not self._over_absolute(records, nbytes)
+
+    def _over_absolute(self, records: int, nbytes: int) -> bool:
+        # A request larger than the whole budget is admitted only on
+        # an empty budget (otherwise it could never proceed at all).
+        if self.records == 0 and self.bytes == 0:
+            return False
+        return (
+            self.max_records is not None
+            and records > self.max_records
+        ) or (self.max_bytes is not None and nbytes > self.max_bytes)
+
+    def try_acquire(self, records: int, nbytes: int) -> bool:
+        """Take the budget now, or report ``False`` without waiting."""
+        if not self._fits(records, nbytes):
+            return False
+        self.records += records
+        self.bytes += nbytes
+        return True
+
+    async def acquire(self, records: int, nbytes: int) -> None:
+        """Wait until the budget fits, then take it."""
+        async with self._condition:
+            await self._condition.wait_for(
+                lambda: self._fits(records, nbytes)
+            )
+            self.records += records
+            self.bytes += nbytes
+
+    async def release(self, records: int, nbytes: int) -> None:
+        """Return budget and wake blocked acquirers."""
+        async with self._condition:
+            self.records -= records
+            self.bytes -= nbytes
+            self._condition.notify_all()
+
+
+class _Connection:
+    """Per-connection accounting and optional private budget."""
+
+    def __init__(
+        self,
+        connection_id: int,
+        budget: Optional[AdmissionBudget],
+    ):
+        self.connection_id = connection_id
+        self.budget = budget
+        self.accepted_records = 0
+        self.shed_records = 0
+
+
+class AggregationServer:
+    """TCP front end for a (sharded) aggregation service.
+
+    Args:
+        service: The service to expose — an
+            :class:`~repro.service.service.AggregationService` (wrapped
+            in a fresh gateway) or a pre-built
+            :class:`~repro.service.gateway.ServiceGateway`.
+        host: Bind address.
+        port: Bind port; ``0`` picks an ephemeral port, readable from
+            :attr:`port` after :meth:`start`.
+        max_inflight_records: Global admission budget, in records.
+        max_inflight_bytes: Global admission budget, in frame bytes.
+        per_connection_records: Optional per-connection record budget.
+        per_connection_bytes: Optional per-connection byte budget.
+        admission_policy: ``"block"`` (pause reads, lossless) or
+            ``"shed"`` (drop + RETRY reply).
+        retry_after: Backoff hint, in seconds, carried in RETRY replies.
+        executor_workers: Thread-pool size for (possibly blocking)
+            service calls.
+        latency_capacity: Reservoir size for submit-latency sampling.
+    """
+
+    def __init__(
+        self,
+        service: Union[AggregationService, ServiceGateway],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight_records: Optional[int] = 65536,
+        max_inflight_bytes: Optional[int] = 32 * 1024 * 1024,
+        per_connection_records: Optional[int] = None,
+        per_connection_bytes: Optional[int] = None,
+        admission_policy: str = "shed",
+        retry_after: float = 0.05,
+        executor_workers: int = 4,
+        latency_capacity: int = 1024,
+    ):
+        if admission_policy not in ADMISSION_POLICIES:
+            raise ServiceError(
+                f"unknown admission policy {admission_policy!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+        self.gateway = (
+            service
+            if isinstance(service, ServiceGateway)
+            else ServiceGateway(service)
+        )
+        self.host = host
+        self._requested_port = port
+        self.admission_policy = admission_policy
+        self.retry_after = retry_after
+        self._per_connection = (
+            per_connection_records,
+            per_connection_bytes,
+        )
+        self._budget = AdmissionBudget(
+            max_inflight_records, max_inflight_bytes
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_workers,
+            thread_name_prefix="repro-net",
+        )
+        self._latency = Reservoir(capacity=latency_capacity, seed=0)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connection_tasks: set = set()
+        self._next_connection_id = 0
+        self._draining = False
+        self._drain_result: Optional[ServiceResult] = None
+        self._started_at = time.perf_counter()
+        # Counters (event-loop thread only).
+        self.connections_total = 0
+        self.accepted_records = 0
+        self.accepted_batches = 0
+        self.shed_requests = 0
+        self.shed_records = 0
+        self.answers_served = 0
+        self.protocol_errors = 0
+
+    # -- lifecycle --------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise ServiceError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self._started_at = time.perf_counter()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral pick)."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (convenience for scripts)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def drain(self, timeout: float = 60.0) -> ServiceResult:
+        """Stop admitting records, flush the service, keep serving.
+
+        After a drain the server still answers POLL/STATS/DRAIN (DRAIN
+        is idempotent) but SUBMITs get an ERROR reply.  Returns the
+        service's final :class:`~repro.service.service.ServiceResult`.
+        """
+        self._draining = True
+        if self._drain_result is None:
+            loop = asyncio.get_running_loop()
+            self._drain_result = await loop.run_in_executor(
+                self._executor, lambda: self.gateway.close(timeout)
+            )
+        return self._drain_result
+
+    async def stop(self) -> None:
+        """Stop accepting, close connections, and release resources.
+
+        The underlying service is drained if it is still open (use
+        :meth:`drain` first to observe the result), then the executor
+        is shut down.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._connection_tasks):
+            task.cancel()
+        if self._connection_tasks:
+            await asyncio.gather(
+                *self._connection_tasks, return_exceptions=True
+            )
+        if not self.gateway.closed:
+            await self.drain()
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AggregationServer":
+        """Async-context entry: start and return the server."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        """Async-context exit: stop the server."""
+        await self.stop()
+
+    # -- connection handling ----------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        self._connection_tasks.add(task)
+        self._next_connection_id += 1
+        self.connections_total += 1
+        per_records, per_bytes = self._per_connection
+        connection = _Connection(
+            self._next_connection_id,
+            AdmissionBudget(per_records, per_bytes)
+            if per_records is not None or per_bytes is not None
+            else None,
+        )
+        queue: asyncio.Queue = asyncio.Queue()
+        processor = asyncio.create_task(
+            self._process_requests(queue, writer, connection)
+        )
+        try:
+            await self._read_requests(reader, queue, connection)
+        except asyncio.CancelledError:
+            processor.cancel()
+            raise
+        finally:
+            if not processor.cancelled():
+                await queue.put(("eof", None, 0))
+                try:
+                    await processor
+                except asyncio.CancelledError:
+                    pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+            self._connection_tasks.discard(task)
+
+    async def _read_requests(
+        self,
+        reader: asyncio.StreamReader,
+        queue: asyncio.Queue,
+        connection: _Connection,
+    ) -> None:
+        buffer = bytearray()
+        while True:
+            data = await reader.read(_READ_CHUNK)
+            if not data:
+                return
+            buffer += data
+            offset = 0
+            while True:
+                try:
+                    decoded = try_decode_frame(buffer, offset)
+                except ProtocolError as error:
+                    self.protocol_errors += 1
+                    await queue.put(
+                        ("protocol_error", str(error), 0)
+                    )
+                    return
+                if decoded is None:
+                    break
+                frame_type, payload, next_offset = decoded
+                nbytes = next_offset - offset
+                offset = next_offset
+                item = await self._admit(
+                    connection, frame_type, payload, nbytes
+                )
+                await queue.put(item)
+                if frame_type is FrameType.CLOSE:
+                    return
+            if offset:
+                del buffer[:offset]
+
+    async def _admit(
+        self,
+        connection: _Connection,
+        frame_type: FrameType,
+        payload: Any,
+        nbytes: int,
+    ) -> Tuple[str, Any, int]:
+        """Turn one decoded frame into a queued work item.
+
+        Admission control runs here, at decode time, so a pipelined
+        burst is bounded (or shed) even while earlier requests are
+        still being folded.
+        """
+        if frame_type not in (
+            FrameType.SUBMIT,
+            FrameType.SUBMIT_BATCH,
+        ):
+            return ("request", (frame_type, payload), 0)
+        try:
+            records = _normalize_records(frame_type, payload)
+        except ProtocolError as error:
+            return ("bad_request", str(error), 0)
+        if self._draining or self.gateway.closed:
+            return ("rejected", "server is draining", 0)
+        count = len(records)
+        if self.admission_policy == "block":
+            await self._budget.acquire(count, nbytes)
+            if connection.budget is not None:
+                await connection.budget.acquire(count, nbytes)
+            return ("submit", records, nbytes)
+        if not self._budget.try_acquire(count, nbytes):
+            return self._shed(connection, count)
+        if connection.budget is not None and not (
+            connection.budget.try_acquire(count, nbytes)
+        ):
+            await self._budget.release(count, nbytes)
+            return self._shed(connection, count)
+        return ("submit", records, nbytes)
+
+    def _shed(
+        self, connection: _Connection, count: int
+    ) -> Tuple[str, Any, int]:
+        self.shed_requests += 1
+        self.shed_records += count
+        connection.shed_records += count
+        return ("shed", count, 0)
+
+    async def _process_requests(
+        self,
+        queue: asyncio.Queue,
+        writer: asyncio.StreamWriter,
+        connection: _Connection,
+    ) -> None:
+        """Execute queued requests in order, one reply per request."""
+        loop = asyncio.get_running_loop()
+        while True:
+            kind, value, nbytes = await queue.get()
+            if kind == "eof":
+                return
+            if kind == "protocol_error":
+                await self._reply(
+                    writer,
+                    FrameType.ERROR,
+                    {"error": "ProtocolError", "message": value},
+                )
+                return
+            if kind == "shed":
+                await self._reply(
+                    writer,
+                    FrameType.RETRY,
+                    {
+                        "reason": "admission budget exhausted",
+                        "retry_after": self.retry_after,
+                        "shed_records": value,
+                    },
+                )
+                continue
+            if kind in ("bad_request", "rejected"):
+                await self._reply(
+                    writer,
+                    FrameType.ERROR,
+                    {"error": "ServiceError", "message": value},
+                )
+                continue
+            if kind == "submit":
+                await self._handle_submit(
+                    loop, writer, connection, value, nbytes
+                )
+                continue
+            frame_type, payload = value
+            if frame_type is FrameType.CLOSE:
+                await self._reply(writer, FrameType.OK, {"closed": True})
+                return
+            try:
+                await self._handle_request(loop, writer, frame_type)
+            except ReproError as error:
+                await self._reply(
+                    writer,
+                    FrameType.ERROR,
+                    {
+                        "error": type(error).__name__,
+                        "message": str(error),
+                    },
+                )
+
+    async def _handle_submit(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        writer: asyncio.StreamWriter,
+        connection: _Connection,
+        records: List[Tuple[Any, Any]],
+        nbytes: int,
+    ) -> None:
+        count = len(records)
+        started = time.perf_counter()
+        try:
+            await loop.run_in_executor(
+                self._executor,
+                lambda: self.gateway.submit_many(records),
+            )
+        except ReproError as error:
+            await self._reply(
+                writer,
+                FrameType.ERROR,
+                {"error": type(error).__name__, "message": str(error)},
+            )
+            return
+        finally:
+            await self._budget.release(count, nbytes)
+            if connection.budget is not None:
+                await connection.budget.release(count, nbytes)
+        self._latency.add(time.perf_counter() - started)
+        self.accepted_records += count
+        self.accepted_batches += 1
+        connection.accepted_records += count
+        await self._reply(
+            writer, FrameType.OK, {"accepted": count}
+        )
+
+    async def _handle_request(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        writer: asyncio.StreamWriter,
+        frame_type: FrameType,
+    ) -> None:
+        if frame_type is FrameType.POLL:
+            answers = await loop.run_in_executor(
+                self._executor, self.gateway.poll
+            )
+            self.answers_served += len(answers)
+            await self._reply(
+                writer, FrameType.ANSWERS, encode_answers(answers)
+            )
+            return
+        if frame_type is FrameType.STATS:
+            snapshot = await loop.run_in_executor(
+                self._executor, self.gateway.snapshot
+            )
+            await self._reply(
+                writer,
+                FrameType.STATS_REPLY,
+                self.stats_payload(snapshot),
+            )
+            return
+        if frame_type is FrameType.DRAIN:
+            result = await self.drain()
+            self.answers_served += len(result.answers)
+            await self._reply(
+                writer,
+                FrameType.OK,
+                {
+                    "answers": encode_answers(result.answers),
+                    "per_key": {
+                        key: encode_answers(rows)
+                        for key, rows in result.per_key.items()
+                    },
+                    "stats": _final_stats(result),
+                },
+            )
+            return
+        # A reply-typed frame from a client is a protocol violation.
+        raise ServiceError(
+            f"unexpected frame type {frame_type.name} from client"
+        )
+
+    async def _reply(
+        self,
+        writer: asyncio.StreamWriter,
+        frame_type: FrameType,
+        payload: Any,
+    ) -> None:
+        writer.write(encode_frame(frame_type, payload))
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # -- stats ------------------------------------------------------
+
+    def stats_payload(
+        self, service_snapshot: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """The STATS reply payload (see ``docs/serving.md``)."""
+        uptime = time.perf_counter() - self._started_at
+        summary = maybe_summary(self._latency.values)
+        return {
+            "server": {
+                "uptime_seconds": uptime,
+                "connections_total": self.connections_total,
+                "active_connections": len(self._connection_tasks),
+                "accepted_records": self.accepted_records,
+                "accepted_batches": self.accepted_batches,
+                "shed_requests": self.shed_requests,
+                "shed_records": self.shed_records,
+                "answers_served": self.answers_served,
+                "protocol_errors": self.protocol_errors,
+                "inflight_records": self._budget.records,
+                "inflight_bytes": self._budget.bytes,
+                "admission_policy": self.admission_policy,
+                "draining": self._draining,
+                "throughput_rps": (
+                    self.accepted_records / uptime
+                    if uptime > 0
+                    else 0.0
+                ),
+                "submit_latency": (
+                    {
+                        "count": summary.count,
+                        "minimum": summary.minimum,
+                        "p25": summary.p25,
+                        "median": summary.median,
+                        "mean": summary.mean,
+                        "p75": summary.p75,
+                        "maximum": summary.maximum,
+                        "sampled_of": self._latency.seen,
+                    }
+                    if summary is not None
+                    else None
+                ),
+            },
+            "service": (
+                service_snapshot
+                if service_snapshot is not None
+                else self.gateway.snapshot()
+            ),
+        }
+
+
+def _normalize_records(
+    frame_type: FrameType, payload: Any
+) -> List[Tuple[Any, Any]]:
+    """Validate a SUBMIT/SUBMIT_BATCH payload into ``(key, value)`` pairs."""
+    if frame_type is FrameType.SUBMIT:
+        pairs: Any = [payload]
+    else:
+        pairs = payload
+    if not isinstance(pairs, (list, tuple)):
+        raise ProtocolError(
+            f"{frame_type.name} payload must be a sequence of "
+            f"(key, value) pairs, got {type(payload).__name__}"
+        )
+    records: List[Tuple[Any, Any]] = []
+    for pair in pairs:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise ProtocolError(
+                f"{frame_type.name} record must be a (key, value) "
+                f"pair, got {pair!r}"
+            )
+        records.append((pair[0], pair[1]))
+    return records
+
+
+def _final_stats(result: ServiceResult) -> Dict[str, Any]:
+    """Wire-friendly subset of a final :class:`ServiceResult`'s stats."""
+    stats = result.stats
+    return {
+        "records_submitted": stats.records_submitted,
+        "records_processed": stats.records_processed,
+        "dropped_records": stats.dropped_records,
+        "answers_emitted": stats.answers_emitted,
+        "elapsed_seconds": stats.elapsed_seconds,
+        "dead_letters": stats.dead_letters,
+        "failed_shards": list(stats.failed_shards),
+        "degraded": stats.degraded,
+    }
+
+
+class ServerThread:
+    """Run an :class:`AggregationServer` on a dedicated loop thread.
+
+    The bridge that lets synchronous code (examples, tests, the sync
+    client) own a live server: :meth:`start` blocks until the server
+    is accepting (so :attr:`port` is resolvable), :meth:`stop` shuts
+    the loop down and joins the thread.
+
+    Args:
+        server: A constructed (not yet started) server.  Its asyncio
+            primitives bind to the thread's loop on first use, so it
+            must not have been started elsewhere.
+    """
+
+    def __init__(self, server: AggregationServer):
+        self.server = server
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        """Start the loop thread; returns once the port is bound."""
+        if self._thread is not None:
+            raise ServiceError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServiceError(
+                f"server failed to start within {timeout} seconds"
+            )
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"server failed to start: {self._startup_error!r}"
+            ) from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as error:  # pragma: no cover - bind races
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_requested.wait()
+        await self.server.stop()
+
+    @property
+    def port(self) -> int:
+        """The server's bound port (valid after :meth:`start`)."""
+        return self.server.port
+
+    def drain(self, timeout: float = 60.0) -> ServiceResult:
+        """Drain the service from outside the loop thread."""
+        if self._loop is None:
+            raise ServiceError("server thread is not running")
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(timeout), self._loop
+        )
+        return future.result(timeout + 10.0)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the server and join the loop thread; idempotent."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_requested is not None:
+            try:
+                self._loop.call_soon_threadsafe(
+                    self._stop_requested.set
+                )
+            except RuntimeError:
+                pass  # loop already closed (startup failure path)
+        self._thread.join(timeout)
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        """Context entry: start the thread."""
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context exit: stop the thread."""
+        self.stop()

@@ -19,6 +19,8 @@ Public surface:
 * :class:`GlobalMerger`, :class:`PerKeyCollator`,
   :func:`check_mergeable` — cross-shard combination.
 * :class:`Supervisor`, :class:`InlineTransport` — worker lifecycle.
+* :class:`ServiceGateway` — thread-safe submit/poll seam (the
+  :mod:`repro.net` server's entry point into the service).
 * :class:`FaultInjector`, :class:`WorkerFaultPlan`, :func:`poison` —
   deterministic fault injection for chaos testing.
 """
@@ -30,6 +32,7 @@ from repro.service.chaos import (
     WorkerFaultPlan,
     poison,
 )
+from repro.service.gateway import ServiceGateway
 from repro.service.merge import (
     GlobalMerger,
     PerKeyCollator,
@@ -65,6 +68,7 @@ from repro.service.supervisor import InlineTransport, Supervisor
 
 __all__ = [
     "AggregationService",
+    "ServiceGateway",
     "ServiceResult",
     "ServiceStats",
     "ShardStats",

@@ -1,0 +1,395 @@
+"""Integration: the network serving layer end to end on localhost.
+
+Acceptance criteria of the serving-layer issue:
+
+* over-the-wire answers are identical to an in-process
+  :class:`~repro.stream.engine.StreamEngine` run over the same
+  records, including under pipelined SUBMIT_BATCH;
+* a saturating client observes shed/RETRY — not a crash and not an
+  unbounded queue — when the admission budget is exceeded.
+
+Every server runs on an ephemeral localhost port (``port=0``) via
+:class:`~repro.net.server.ServerThread`, with the inline service
+transport for determinism.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import AggregationService, Query, get_operator
+from repro.errors import (
+    ClientTimeoutError,
+    ServerOverloadedError,
+    ServiceError,
+)
+from repro.net.client import AggregationClient, AsyncAggregationClient
+from repro.net.protocol import FrameType, encode_frame
+from repro.net.server import AggregationServer, ServerThread
+from repro.service.gateway import ServiceGateway
+from repro.stream.engine import StreamEngine
+from repro.stream.sink import CollectSink
+
+QUERIES = [Query(16, 8), Query(12, 4)]
+KEYS = [f"sensor-{i}" for i in range(7)]
+
+
+def keyed_records(count: int):
+    """Deterministic keyed integer records (ints merge exactly)."""
+    return [
+        (KEYS[i % len(KEYS)], (i * 37 + 5) % 211 - 105)
+        for i in range(count)
+    ]
+
+
+def reference_answers(records):
+    """Single-process StreamEngine answers for the same values."""
+    sink = CollectSink()
+    StreamEngine(QUERIES, get_operator("sum"), sinks=[sink]).run(
+        value for _, value in records
+    )
+    return sink.answers
+
+
+def make_service(**kwargs) -> AggregationService:
+    kwargs.setdefault("num_shards", 2)
+    kwargs.setdefault("transport", "inline")
+    kwargs.setdefault("batch_size", 16)
+    return AggregationService(QUERIES, get_operator("sum"), **kwargs)
+
+
+class SlowGateway(ServiceGateway):
+    """Gateway with an artificial per-batch delay (saturation tests)."""
+
+    def __init__(self, service, delay: float):
+        super().__init__(service)
+        self._delay = delay
+
+    def submit_many(self, records):
+        """Sleep, then delegate — simulates a busy backend."""
+        time.sleep(self._delay)
+        return super().submit_many(records)
+
+
+@pytest.mark.timeout(120)
+class TestOverTheWireEquivalence:
+    """Socket answers == in-process StreamEngine answers."""
+
+    def test_pipelined_submit_batch_matches_stream_engine(self):
+        records = keyed_records(400)
+        reference = reference_answers(records)
+        chunks = [
+            records[start : start + 25]
+            for start in range(0, len(records), 25)
+        ]
+        with ServerThread(
+            AggregationServer(make_service())
+        ) as thread:
+            with AggregationClient(
+                "127.0.0.1", thread.port
+            ) as client:
+                accepted = client.submit_batches(chunks)
+                assert accepted == [len(chunk) for chunk in chunks]
+                polled = client.poll()
+                answers, final = client.drain()
+        assert polled == reference[: len(polled)]
+        assert answers == reference
+        assert final["stats"]["records_submitted"] == len(records)
+        assert final["stats"]["dead_letters"] == 0
+
+    def test_single_submits_match_stream_engine(self):
+        records = keyed_records(60)
+        reference = reference_answers(records)
+        with ServerThread(
+            AggregationServer(make_service(batch_size=4))
+        ) as thread:
+            with AggregationClient(
+                "127.0.0.1", thread.port
+            ) as client:
+                for key, value in records:
+                    assert client.submit(key, value) == 1
+                answers, _ = client.drain()
+        assert answers == reference
+
+    def test_async_client_matches_stream_engine(self):
+        records = keyed_records(200)
+        reference = reference_answers(records)
+
+        async def drive(port):
+            client = await AsyncAggregationClient.connect(
+                "127.0.0.1", port
+            )
+            async with client:
+                for start in range(0, len(records), 40):
+                    accepted = await client.submit_batch(
+                        records[start : start + 40]
+                    )
+                    assert accepted == 40
+                stats = await client.stats()
+                answers, _ = await client.drain()
+            return answers, stats
+
+        with ServerThread(
+            AggregationServer(make_service())
+        ) as thread:
+            answers, stats = asyncio.run(drive(thread.port))
+        assert answers == reference
+        assert stats["server"]["accepted_records"] == len(records)
+
+    def test_two_connections_share_one_service(self):
+        records = keyed_records(120)
+        reference = reference_answers(records)
+        half = len(records) // 2
+        with ServerThread(
+            AggregationServer(make_service())
+        ) as thread:
+            first = AggregationClient("127.0.0.1", thread.port)
+            second = AggregationClient("127.0.0.1", thread.port)
+            try:
+                # Interleave strictly: submission order defines the
+                # global stream, whichever socket carries it.
+                first.submit_batch(records[:half])
+                second.submit_batch(records[half:])
+                stats = second.stats()
+                assert (
+                    stats["server"]["accepted_records"]
+                    == len(records)
+                )
+                assert stats["server"]["connections_total"] == 2
+                answers, _ = second.drain()
+            finally:
+                first.close()
+                second.close()
+        assert answers == reference
+
+
+@pytest.mark.timeout(120)
+class TestAdmissionControl:
+    """Shed/RETRY under a tiny budget; block policy stays lossless."""
+
+    def test_saturating_client_observes_retry_not_a_crash(self):
+        server = AggregationServer(
+            SlowGateway(make_service(), delay=0.01),
+            max_inflight_records=32,
+            admission_policy="shed",
+        )
+        batches = [
+            [(KEYS[i % len(KEYS)], i)] * 8 for i in range(40)
+        ]
+        with ServerThread(server) as thread:
+            with AggregationClient(
+                "127.0.0.1", thread.port, max_retries=0
+            ) as client:
+                accepted = client.submit_batches(
+                    batches, retry_shed=False
+                )
+                stats = client.stats()
+        shed_batches = accepted.count(0)
+        accepted_records = sum(accepted)
+        assert shed_batches > 0, "a tiny budget must shed"
+        assert accepted_records > 0, "some batches must land"
+        counters = stats["server"]
+        assert counters["shed_requests"] == shed_batches
+        assert counters["accepted_records"] == accepted_records
+        assert (
+            counters["shed_records"] + counters["accepted_records"]
+            == sum(len(batch) for batch in batches)
+        )
+        # The queue is bounded: nothing may linger beyond the budget.
+        assert counters["inflight_records"] <= 32
+
+    def test_retries_eventually_land_or_raise_overloaded(self):
+        server = AggregationServer(
+            SlowGateway(make_service(), delay=0.005),
+            max_inflight_records=8,
+            admission_policy="shed",
+            retry_after=0.01,
+        )
+        with ServerThread(server) as thread:
+            with AggregationClient(
+                "127.0.0.1",
+                thread.port,
+                max_retries=20,
+                backoff_base=0.01,
+            ) as client:
+                batches = [[("k", i)] * 8 for i in range(20)]
+                accepted = client.submit_batches(batches)
+                # With retries enabled every batch lands eventually.
+                assert accepted == [8] * 20
+
+    def test_exhausted_retries_raise_server_overloaded(self):
+        server = AggregationServer(
+            SlowGateway(make_service(), delay=0.5),
+            max_inflight_records=8,
+            admission_policy="shed",
+            retry_after=0.001,
+        )
+        with ServerThread(server) as thread:
+            saturator = AggregationClient("127.0.0.1", thread.port)
+            victim = AggregationClient(
+                "127.0.0.1",
+                thread.port,
+                max_retries=2,
+                backoff_base=0.001,
+                backoff_max=0.002,
+            )
+            try:
+                # Occupy the whole budget for ~0.5 s without reading
+                # the reply; the victim's fast retries all land inside
+                # that window and must shed out.
+                saturator.send_frame(
+                    FrameType.SUBMIT_BATCH, [("k", 1)] * 8
+                )
+                time.sleep(0.1)  # let the server admit the burst
+                with pytest.raises(ServerOverloadedError):
+                    victim.submit_batch([("k", 999)] * 8)
+                assert saturator.read_reply()[1]["accepted"] == 8
+            finally:
+                victim.close()
+                saturator.close()
+
+    def test_block_policy_is_lossless(self):
+        records = keyed_records(160)
+        reference = reference_answers(records)
+        server = AggregationServer(
+            SlowGateway(make_service(), delay=0.002),
+            max_inflight_records=16,
+            admission_policy="block",
+        )
+        chunks = [
+            records[start : start + 8]
+            for start in range(0, len(records), 8)
+        ]
+        with ServerThread(server) as thread:
+            with AggregationClient(
+                "127.0.0.1", thread.port
+            ) as client:
+                accepted = client.submit_batches(chunks)
+                assert accepted == [8] * len(chunks)
+                stats = client.stats()
+                assert stats["server"]["shed_requests"] == 0
+                answers, _ = client.drain()
+        assert answers == reference
+
+
+@pytest.mark.timeout(120)
+class TestProtocolAndLifecycle:
+    """Malformed input, draining, stats, and client timeouts."""
+
+    def test_malformed_frame_gets_error_reply_and_disconnect(self):
+        with ServerThread(
+            AggregationServer(make_service())
+        ) as thread:
+            raw = socket.create_connection(
+                ("127.0.0.1", thread.port), timeout=10
+            )
+            try:
+                raw.sendall(b"XXXXXXXXXXXX")
+                # The server answers ERROR, then closes (EOF).
+                received = b""
+                while True:
+                    chunk = raw.recv(65536)
+                    if not chunk:
+                        break
+                    received += chunk
+                assert received, "expected an ERROR reply before EOF"
+            finally:
+                raw.close()
+
+    def test_bad_payload_shape_is_an_error_not_a_crash(self):
+        with ServerThread(
+            AggregationServer(make_service())
+        ) as thread:
+            with AggregationClient(
+                "127.0.0.1", thread.port
+            ) as client:
+                with pytest.raises(ServiceError, match="pair"):
+                    client._request(
+                        FrameType.SUBMIT, "not-a-pair"
+                    )
+                # The connection survives a semantic error.
+                assert client.submit("k", 1) == 1
+
+    def test_submit_after_drain_is_rejected(self):
+        with ServerThread(
+            AggregationServer(make_service())
+        ) as thread:
+            with AggregationClient(
+                "127.0.0.1", thread.port
+            ) as client:
+                client.submit_batch(keyed_records(20))
+                client.drain()
+                with pytest.raises(ServiceError, match="draining"):
+                    client.submit("k", 1)
+                # Drain is idempotent over the cached result.
+                answers, _ = client.drain()
+                assert answers
+
+    def test_stats_expose_latency_and_throughput(self):
+        with ServerThread(
+            AggregationServer(make_service())
+        ) as thread:
+            with AggregationClient(
+                "127.0.0.1", thread.port
+            ) as client:
+                client.submit_batches(
+                    [keyed_records(30)[i : i + 10] for i in (0, 10, 20)]
+                )
+                stats = client.stats()
+        server_stats = stats["server"]
+        assert server_stats["accepted_records"] == 30
+        assert server_stats["accepted_batches"] == 3
+        assert server_stats["throughput_rps"] > 0
+        latency = server_stats["submit_latency"]
+        assert latency is not None and latency["count"] == 3
+        assert stats["service"]["records_submitted"] == 30
+        assert stats["service"]["dead_letters"] == 0
+
+    def test_request_timeout_raises_client_timeout_error(self):
+        """A server that never replies trips the request timeout."""
+        mute = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        mute.bind(("127.0.0.1", 0))
+        mute.listen(1)
+        port = mute.getsockname()[1]
+        accepted = []
+
+        def accept_and_hold():
+            conn, _ = mute.accept()
+            accepted.append(conn)  # hold open, never reply
+
+        holder = threading.Thread(target=accept_and_hold, daemon=True)
+        holder.start()
+        try:
+            client = AggregationClient(
+                "127.0.0.1", port, request_timeout=0.2
+            )
+            with pytest.raises(ClientTimeoutError):
+                client._request(FrameType.POLL, None)
+        finally:
+            for conn in accepted:
+                conn.close()
+            mute.close()
+
+    def test_async_client_timeout(self):
+        async def scenario():
+            server_sock = socket.socket(
+                socket.AF_INET, socket.SOCK_STREAM
+            )
+            server_sock.bind(("127.0.0.1", 0))
+            server_sock.listen(1)
+            port = server_sock.getsockname()[1]
+            try:
+                client = await AsyncAggregationClient.connect(
+                    "127.0.0.1", port, request_timeout=0.2
+                )
+                with pytest.raises(ClientTimeoutError):
+                    await client._request(FrameType.POLL, None)
+            finally:
+                server_sock.close()
+
+        asyncio.run(scenario())

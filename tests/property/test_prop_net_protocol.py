@@ -1,0 +1,139 @@
+"""Property tests: the wire codec over arbitrary payloads.
+
+Three properties the serving layer leans on:
+
+* **round trip** — any encodable value survives
+  ``decode(encode(v)) == v``, frames included;
+* **prefix safety** — a strict prefix of a frame never decodes (the
+  streaming decoder waits for more bytes instead of guessing);
+* **corruption containment** — arbitrary corruption of a valid frame
+  either raises :class:`~repro.errors.ProtocolError`, waits for more
+  bytes, or decodes to *some* value — never an unexpected exception
+  type escaping the codec.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.net.protocol import (
+    FrameDecoder,
+    FrameType,
+    decode_value,
+    encode_frame,
+    encode_value,
+    try_decode_frame,
+)
+
+# NaN breaks == comparison; it has its own explicit unit test.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),  # unbounded: exercises the bigint fallback
+    st.floats(allow_nan=False),
+    st.text(),
+    st.binary(),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=6),
+        st.lists(children, max_size=6).map(tuple),
+        st.dictionaries(scalars, children, max_size=6),
+    ),
+    max_leaves=25,
+)
+
+frame_types = st.sampled_from(list(FrameType))
+
+
+@given(values)
+def test_value_round_trip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@given(frame_types, values)
+def test_frame_round_trip(frame_type, payload):
+    frame = encode_frame(frame_type, payload)
+    decoded = try_decode_frame(frame)
+    assert decoded is not None
+    got_type, got_payload, consumed = decoded
+    assert got_type is frame_type
+    assert got_payload == payload
+    assert consumed == len(frame)
+
+
+@given(frame_types, values, st.data())
+def test_strict_prefixes_never_decode(frame_type, payload, data):
+    frame = encode_frame(frame_type, payload)
+    cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    assert try_decode_frame(frame[:cut]) is None
+
+
+@given(frame_types, values, st.data())
+@settings(max_examples=200)
+def test_corruption_is_contained(frame_type, payload, data):
+    """Flipping any byte never escapes as a non-ProtocolError crash."""
+    frame = bytearray(encode_frame(frame_type, payload))
+    index = data.draw(
+        st.integers(min_value=0, max_value=len(frame) - 1)
+    )
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    frame[index] ^= flip
+    try:
+        decoded = try_decode_frame(bytes(frame))
+    except ProtocolError:
+        return  # detected: the expected failure mode
+    if decoded is None:
+        return  # corrupted length field: decoder waits for more bytes
+    got_type, got_payload, consumed = decoded
+    assert got_type in FrameType
+    assert 0 < consumed <= len(frame)
+
+
+@given(st.binary(max_size=512))
+def test_garbage_never_escapes_the_decoder(garbage):
+    """Arbitrary bytes either wait, decode, or raise ProtocolError."""
+    decoder = FrameDecoder()
+    try:
+        decoder.feed(garbage)
+        for frame_type, _payload in decoder.frames():
+            assert frame_type in FrameType
+    except ProtocolError:
+        pass
+
+
+@given(frame_types, values, st.integers(min_value=1, max_value=7))
+@settings(max_examples=50)
+def test_streaming_decode_is_chunking_invariant(
+    frame_type, payload, chunk_size
+):
+    """The decoder yields the same frames however the bytes arrive."""
+    stream = encode_frame(frame_type, payload) * 3
+    decoder = FrameDecoder()
+    seen = []
+    for start in range(0, len(stream), chunk_size):
+        decoder.feed(stream[start : start + chunk_size])
+        seen.extend(decoder.frames())
+    assert seen == [(frame_type, payload)] * 3
+    assert decoder.pending_bytes == 0
+
+
+def test_nan_payload_round_trips_bitwise():
+    decoded = decode_value(encode_value(math.nan))
+    assert math.isnan(decoded)
+
+
+@given(st.floats())
+def test_every_float_round_trips(value):
+    decoded = decode_value(encode_value(value))
+    if math.isnan(value):
+        assert math.isnan(decoded)
+    else:
+        assert decoded == value

@@ -5,12 +5,15 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import (
+    ClientTimeoutError,
     InvalidOperatorError,
     InvalidQueryError,
     OutOfOrderError,
     PlanError,
     PoisonRecordError,
+    ProtocolError,
     ReproError,
+    ServerOverloadedError,
     ServiceError,
     ShardFailedError,
     UnknownOperatorError,
@@ -27,6 +30,9 @@ ALL_ERRORS = [
     ServiceError,
     PoisonRecordError,
     ShardFailedError,
+    ProtocolError,
+    ServerOverloadedError,
+    ClientTimeoutError,
 ]
 
 
@@ -43,6 +49,9 @@ def test_stdlib_compatible_bases():
     assert issubclass(UnknownOperatorError, KeyError)
     assert issubclass(PoisonRecordError, RuntimeError)
     assert issubclass(ShardFailedError, RuntimeError)
+    assert issubclass(ProtocolError, ValueError)
+    assert issubclass(ServerOverloadedError, RuntimeError)
+    assert issubclass(ClientTimeoutError, TimeoutError)
 
 
 def test_poison_record_error_preserves_cause_across_pickling():

@@ -1,0 +1,201 @@
+"""Unit tests for the wire-protocol frame and value codec."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.protocol import (
+    HEADER,
+    MAGIC,
+    MAX_PAYLOAD_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameType,
+    decode_answers,
+    decode_value,
+    encode_answers,
+    encode_frame,
+    encode_value,
+    try_decode_frame,
+)
+from repro.windows.query import Query
+
+
+class TestValueCodec:
+    """encode_value / decode_value round trips and rejections."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**63 - 1,
+            -(2**63),
+            2**63,  # bigint fallback
+            -(2**200),
+            10**50,
+            0.0,
+            -2.5,
+            1e300,
+            "",
+            "héllo wörld",
+            "☃" * 100,
+            b"",
+            b"\x00\xff" * 10,
+            [],
+            [1, 2, 3],
+            (),
+            ("a", 1),
+            {},
+            {"k": [1, (2, None)], 5: b"x", None: True},
+            [[[("deep",)]]],
+        ],
+    )
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_round_trip_preserves_types(self):
+        assert isinstance(decode_value(encode_value((1, 2))), tuple)
+        assert isinstance(decode_value(encode_value([1, 2])), list)
+        assert isinstance(decode_value(encode_value(True)), bool)
+        assert isinstance(decode_value(encode_value(1)), int)
+        assert isinstance(decode_value(encode_value(1.0)), float)
+
+    def test_nan_and_infinities_round_trip(self):
+        assert decode_value(encode_value(math.inf)) == math.inf
+        assert decode_value(encode_value(-math.inf)) == -math.inf
+        assert math.isnan(decode_value(encode_value(math.nan)))
+
+    def test_unsupported_type_is_rejected(self):
+        with pytest.raises(ProtocolError, match="cannot encode"):
+            encode_value(object())
+        with pytest.raises(ProtocolError):
+            encode_value({1, 2, 3})
+
+    def test_unknown_tag_is_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown value tag"):
+            decode_value(b"\x7f")
+
+    def test_trailing_bytes_are_rejected(self):
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_truncated_bodies_are_rejected(self):
+        for value in (12345, "hello", b"bytes", [1, 2, 3], 2**100):
+            encoded = encode_value(value)
+            for cut in range(1, len(encoded)):
+                with pytest.raises(ProtocolError):
+                    decode_value(encoded[:cut])
+
+    def test_invalid_utf8_in_string_body_is_rejected(self):
+        encoded = bytearray(encode_value("ab"))
+        encoded[-1] = 0xFF  # break the UTF-8 body
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            decode_value(bytes(encoded))
+
+
+class TestFrameCodec:
+    """Framing: header validation, length limits, streaming decode."""
+
+    def test_round_trip_every_frame_type(self):
+        for frame_type in FrameType:
+            frame = encode_frame(frame_type, {"n": 1})
+            decoded = try_decode_frame(frame)
+            assert decoded == (frame_type, {"n": 1}, len(frame))
+
+    def test_incomplete_frames_return_none(self):
+        frame = encode_frame(FrameType.SUBMIT, ("key", 42))
+        for cut in range(len(frame)):
+            assert try_decode_frame(frame[:cut]) is None
+
+    def test_bad_magic_is_rejected(self):
+        frame = bytearray(encode_frame(FrameType.POLL))
+        frame[0] = ord("X")
+        with pytest.raises(ProtocolError, match="magic"):
+            try_decode_frame(bytes(frame))
+
+    def test_unsupported_version_is_rejected(self):
+        frame = bytearray(encode_frame(FrameType.POLL))
+        frame[2] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            try_decode_frame(bytes(frame))
+
+    def test_unknown_frame_type_is_rejected(self):
+        frame = bytearray(encode_frame(FrameType.POLL))
+        frame[3] = 0x7F
+        with pytest.raises(ProtocolError, match="frame type"):
+            try_decode_frame(bytes(frame))
+
+    def test_oversized_declared_length_is_rejected(self):
+        header = HEADER.pack(
+            MAGIC, PROTOCOL_VERSION, int(FrameType.POLL),
+            MAX_PAYLOAD_BYTES + 1,
+        )
+        with pytest.raises(ProtocolError, match="frame limit"):
+            try_decode_frame(header)
+
+    def test_decoder_streams_split_frames(self):
+        frames = [
+            encode_frame(FrameType.SUBMIT, ("k", 1)),
+            encode_frame(FrameType.POLL),
+            encode_frame(FrameType.SUBMIT_BATCH, [("k", 2)]),
+        ]
+        stream = b"".join(frames)
+        decoder = FrameDecoder()
+        seen = []
+        # Feed one byte at a time: worst-case fragmentation.
+        for index in range(len(stream)):
+            decoder.feed(stream[index : index + 1])
+            seen.extend(decoder.frames())
+        assert seen == [
+            (FrameType.SUBMIT, ("k", 1)),
+            (FrameType.POLL, None),
+            (FrameType.SUBMIT_BATCH, [("k", 2)]),
+        ]
+        assert decoder.pending_bytes == 0
+
+    def test_decoder_poisons_after_framing_error(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"XX" + b"\x00" * 10)
+        with pytest.raises(ProtocolError):
+            list(decoder.frames())
+        with pytest.raises(ProtocolError, match="must be closed"):
+            decoder.feed(b"more")
+
+    def test_multiple_frames_in_one_buffer(self):
+        buffer = encode_frame(FrameType.POLL) + encode_frame(
+            FrameType.STATS
+        )
+        first = try_decode_frame(buffer)
+        assert first[0] is FrameType.POLL
+        second = try_decode_frame(buffer, first[2])
+        assert second[0] is FrameType.STATS
+        assert second[2] == len(buffer)
+
+
+class TestAnswerMarshalling:
+    """Queries travel as (range, slide, name) specs, not objects."""
+
+    def test_global_answers_round_trip(self):
+        answers = [
+            (4, Query(8, 4), 10),
+            (8, Query(8, 4, name="custom"), -3),
+        ]
+        rows = encode_answers(answers)
+        assert decode_answers(rows) == answers
+        # The marshalled form itself must be wire-encodable.
+        assert decode_value(encode_value(rows)) == rows
+
+    def test_per_key_answers_keep_their_key(self):
+        answers = [("sensor-1", 4, Query(6, 2), 7.5)]
+        assert decode_answers(encode_answers(answers)) == answers
+
+    def test_malformed_query_spec_is_rejected(self):
+        with pytest.raises(ProtocolError, match="query spec"):
+            decode_answers([(4, "not-a-spec", 10)])
