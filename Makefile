@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments validate quick-experiments serve clean
+.PHONY: install test bench experiments validate quick-experiments serve metrics clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,9 @@ validate:
 
 serve:
 	PYTHONPATH=src $(PYTHON) examples/net_server.py
+
+metrics:
+	PYTHONPATH=src $(PYTHON) examples/net_server.py --metrics-port 0
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis

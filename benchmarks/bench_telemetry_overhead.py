@@ -1,0 +1,201 @@
+"""Telemetry overhead on the hot ingest path.
+
+The observability issue's regression gate: instrumenting
+``StreamEngine.feed_many`` (a process-global hub installed via
+:func:`repro.telemetry.install`) must stay cheap relative to the
+uninstrumented path, whose entire cost is one module-attribute load
+and a ``None`` check.  Each round drives the Fig. 10 single-``sum``
+workload through the engine twice — hub uninstalled, hub installed —
+interleaved so CPU drift hits both paths equally, and reports the
+median *overhead ratio* (instrumented time / uninstrumented time),
+which is what the CI smoke gate compares (ratios are
+machine-relative, so the committed baseline stays meaningful across
+runners).
+
+Usage::
+
+    python benchmarks/bench_telemetry_overhead.py          # full
+        # scale, writes BENCH_telemetry_overhead.json at the repo root
+    python benchmarks/bench_telemetry_overhead.py --smoke  # reduced
+    python benchmarks/bench_telemetry_overhead.py --check  # reduced
+        # scale, fail when a ratio exceeds the absolute ceiling
+        # (1.5x) or regresses >0.25 above the committed baseline
+
+Not collected by pytest (``testpaths = ["tests"]``): run it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.operators.registry import get_operator  # noqa: E402
+from repro.stream.engine import StreamEngine  # noqa: E402
+from repro.telemetry import Telemetry, install, uninstall  # noqa: E402
+from repro.windows.query import Query  # noqa: E402
+
+OVERHEAD_JSON = REPO_ROOT / "BENCH_telemetry_overhead.json"
+
+#: Fig. 10 shape: one sum ACQ, window 1024, slide 1.
+WINDOW = 1024
+REPEATS = 3
+FULL_STREAM = 120_000
+SMOKE_STREAM = 40_000
+BATCHES = (64, 1024)
+
+#: Instrumentation may never cost more than this, on any runner.
+ABSOLUTE_CEILING = 1.5
+#: Allowed absolute increase of the ratio over the committed baseline
+#: (additive, not relative: the ratio is already normalised and sits
+#: near 1.0, where relative bands are needlessly tight).
+TOLERANCE = 0.25
+
+
+def make_stream(size: int) -> List[int]:
+    rng = random.Random(2012)
+    return [rng.randint(-100, 100) for _ in range(size)]
+
+
+def _engine_run(stream: List[int], batch: int) -> None:
+    engine = StreamEngine([Query(WINDOW, 1)], get_operator("sum"))
+    for start in range(0, len(stream), batch):
+        engine.feed_many(stream[start : start + batch])
+
+
+def _measure(stream: List[int], batch: int) -> dict:
+    """Median interleaved (uninstrumented, instrumented) round times."""
+    plain_times, instrumented_times, ratios = [], [], []
+    for _ in range(REPEATS):
+        uninstall()
+        started = time.perf_counter()
+        _engine_run(stream, batch)
+        plain_times.append(time.perf_counter() - started)
+
+        install(Telemetry())
+        try:
+            started = time.perf_counter()
+            _engine_run(stream, batch)
+            instrumented_times.append(time.perf_counter() - started)
+        finally:
+            uninstall()
+        ratios.append(instrumented_times[-1] / plain_times[-1])
+    plain = statistics.median(plain_times)
+    instrumented = statistics.median(instrumented_times)
+    return {
+        "case": "engine_shared/sum",
+        "batch": batch,
+        "uninstrumented_tuples_per_s": round(len(stream) / plain, 1),
+        "instrumented_tuples_per_s": round(
+            len(stream) / instrumented, 1
+        ),
+        "overhead_ratio": round(statistics.median(ratios), 4),
+    }
+
+
+def run_suite(stream_size: int) -> List[dict]:
+    stream = make_stream(stream_size)
+    results = []
+    for batch in BATCHES:
+        row = _measure(stream, batch)
+        print(
+            f"  batch {batch:>5}: "
+            f"plain {row['uninstrumented_tuples_per_s']:>13,.0f} t/s, "
+            f"instrumented {row['instrumented_tuples_per_s']:>13,.0f} "
+            f"t/s, overhead {row['overhead_ratio']:.3f}x"
+        )
+        results.append(row)
+    return results
+
+
+def check(results: List[dict]) -> int:
+    """Gate the measured ratios; return a process exit code."""
+    failures = []
+    try:
+        committed = json.loads(OVERHEAD_JSON.read_text())
+    except FileNotFoundError:
+        committed = None
+        print(f"no committed baseline at {OVERHEAD_JSON}; "
+              "checking the absolute ceiling only")
+    baseline = {
+        (row["case"], row["batch"]): row["overhead_ratio"]
+        for row in (committed or {}).get("smoke", {}).get("results", [])
+    }
+    for row in results:
+        ratio = row["overhead_ratio"]
+        label = f"{row['case']} @ batch {row['batch']}"
+        if ratio > ABSOLUTE_CEILING:
+            failures.append(
+                f"{label}: overhead {ratio:.3f}x exceeds the "
+                f"{ABSOLUTE_CEILING}x ceiling"
+            )
+        expected = baseline.get((row["case"], row["batch"]))
+        if expected is not None and ratio > expected + TOLERANCE:
+            failures.append(
+                f"{label}: overhead {ratio:.3f}x regressed beyond "
+                f"baseline {expected:.3f}x + {TOLERANCE}"
+            )
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nOK: telemetry overhead within bounds")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Instrumented vs uninstrumented feed_many."
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced scale, no JSON write")
+    parser.add_argument("--check", action="store_true",
+                        help="reduced scale, gate vs the committed "
+                        "baseline and the absolute ceiling")
+    args = parser.parse_args()
+
+    if args.check or args.smoke:
+        print(f"telemetry overhead (smoke, {SMOKE_STREAM:,} tuples)")
+        results = run_suite(SMOKE_STREAM)
+        if args.check:
+            return check(results)
+        return 0
+
+    print(f"telemetry overhead (full, {FULL_STREAM:,} tuples)")
+    results = run_suite(FULL_STREAM)
+    print(f"\nsmoke baseline ({SMOKE_STREAM:,} tuples)")
+    smoke_results = run_suite(SMOKE_STREAM)
+    OVERHEAD_JSON.write_text(
+        json.dumps(
+            {
+                "meta": {
+                    "window": WINDOW,
+                    "repeats": REPEATS,
+                    "stream": FULL_STREAM,
+                    "batches": list(BATCHES),
+                },
+                "results": results,
+                "smoke": {
+                    "stream": SMOKE_STREAM,
+                    "results": smoke_results,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"\nwrote {OVERHEAD_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

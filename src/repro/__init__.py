@@ -52,6 +52,7 @@ from repro.errors import (
     ReproError,
     ServerOverloadedError,
     ShardFailedError,
+    TelemetryError,
     UnknownOperatorError,
     WindowStateError,
 )
@@ -76,6 +77,12 @@ from repro.service import (
     ServiceResult,
 )
 from repro.stream.sink import DeadLetter, DeadLetterSink
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    mint_trace_id,
+)
 from repro.windows import (
     AcqSpec,
     CompatibleSharedEngine,
@@ -135,6 +142,11 @@ __all__ = [
     "ServerThread",
     "AggregationClient",
     "AsyncAggregationClient",
+    # telemetry
+    "MetricsRegistry",
+    "Telemetry",
+    "Tracer",
+    "mint_trace_id",
     # errors
     "ReproError",
     "InvalidQueryError",
@@ -148,4 +160,5 @@ __all__ = [
     "ProtocolError",
     "ServerOverloadedError",
     "ClientTimeoutError",
+    "TelemetryError",
 ]

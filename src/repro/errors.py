@@ -135,6 +135,18 @@ class ClientTimeoutError(ReproError, TimeoutError):
     """
 
 
+class TelemetryError(ReproError, ValueError):
+    """A telemetry instrument was misdeclared or misused.
+
+    Raised for invalid metric/label names, a metric name re-registered
+    under a different instrument kind, non-ascending or non-finite
+    histogram bucket bounds, merging histograms with different bounds,
+    decrementing a counter, and out-of-range quantile fractions.
+    Instrument *updates* (inc/observe/set) on well-formed instruments
+    never raise: observation must stay safe on hot paths.
+    """
+
+
 class MergeCapabilityError(ReproError, TypeError):
     """Cross-shard merging would be unsound for this operator.
 

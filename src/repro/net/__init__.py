@@ -21,9 +21,12 @@ Public surface:
 
 from repro.net.client import AggregationClient, AsyncAggregationClient
 from repro.net.protocol import (
+    LEGACY_PROTOCOL_VERSION,
     MAGIC,
     MAX_PAYLOAD_BYTES,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    Frame,
     FrameDecoder,
     FrameType,
     decode_answers,
@@ -32,6 +35,7 @@ from repro.net.protocol import (
     encode_frame,
     encode_value,
     try_decode_frame,
+    try_decode_frame_traced,
 )
 from repro.net.server import (
     ADMISSION_POLICIES,
@@ -43,13 +47,17 @@ from repro.net.server import (
 __all__ = [
     "MAGIC",
     "PROTOCOL_VERSION",
+    "LEGACY_PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "MAX_PAYLOAD_BYTES",
+    "Frame",
     "FrameType",
     "FrameDecoder",
     "encode_value",
     "decode_value",
     "encode_frame",
     "try_decode_frame",
+    "try_decode_frame_traced",
     "encode_answers",
     "decode_answers",
     "AggregationServer",

@@ -20,6 +20,15 @@ able to saturate (and observe shedding from) the server's admission
 budget.  Shed batches are retried one at a time afterwards unless
 ``retry_shed=False``, in which case the per-batch accepted counts
 report ``0`` for shed batches and the caller decides.
+
+Tracing: pass ``trace_id=`` (mint one with
+:func:`~repro.telemetry.mint_trace_id`) to ``submit``/``submit_batch``
+/``poll`` and the id rides the frame's protocol-v2 header through the
+server's whole pipeline; the id carried by the most recent reply is
+readable from ``last_reply_trace_id`` — for an ANSWERS reply that is
+the trace of the submission whose record closed the newest answer's
+window.  Untraced requests keep emitting v1 frames, so tracing is
+strictly opt-in on the wire.
 """
 
 from __future__ import annotations
@@ -103,14 +112,22 @@ class AggregationClient:
             ) from exc
         self._sock.settimeout(request_timeout)
         self._decoder = FrameDecoder()
-        self._frames: List[Tuple[FrameType, Any]] = []
+        self._frames: List[Any] = []
         self._closed = False
+        #: Trace id carried by the most recent reply frame (``None``
+        #: for v1 replies / untraced requests).
+        self.last_reply_trace_id: Optional[int] = None
 
     # -- low-level I/O ----------------------------------------------
 
-    def send_frame(self, frame_type: FrameType, payload: Any) -> None:
+    def send_frame(
+        self,
+        frame_type: FrameType,
+        payload: Any,
+        trace_id: Optional[int] = None,
+    ) -> None:
         """Write one request frame without waiting for its reply."""
-        self._sock.sendall(encode_frame(frame_type, payload))
+        self._sock.sendall(encode_frame(frame_type, payload, trace_id))
 
     def read_reply(self) -> Tuple[FrameType, Any]:
         """Read the next reply frame (in request order)."""
@@ -127,15 +144,20 @@ class AggregationClient:
                     "server closed the connection mid-request"
                 )
             self._decoder.feed(data)
-            self._frames.extend(self._decoder.frames())
-        return self._frames.pop(0)
+            self._frames.extend(self._decoder.frames_traced())
+        frame = self._frames.pop(0)
+        self.last_reply_trace_id = frame.trace_id
+        return frame.frame_type, frame.payload
 
     def _request(
-        self, frame_type: FrameType, payload: Any
+        self,
+        frame_type: FrameType,
+        payload: Any,
+        trace_id: Optional[int] = None,
     ) -> Tuple[FrameType, Any]:
         """One request/reply round-trip with RETRY backoff."""
         for attempt in range(self.max_retries + 1):
-            self.send_frame(frame_type, payload)
+            self.send_frame(frame_type, payload, trace_id)
             reply_type, reply = self.read_reply()
             if reply_type is not FrameType.RETRY:
                 if reply_type is FrameType.ERROR:
@@ -155,17 +177,25 @@ class AggregationClient:
 
     # -- public API -------------------------------------------------
 
-    def submit(self, key: Any, value: Any) -> int:
+    def submit(
+        self, key: Any, value: Any, trace_id: Optional[int] = None
+    ) -> int:
         """Submit one keyed record; returns the accepted count (1)."""
-        _, reply = self._request(FrameType.SUBMIT, (key, value))
+        _, reply = self._request(
+            FrameType.SUBMIT, (key, value), trace_id
+        )
         return reply.get("accepted", 0)
 
     def submit_batch(
-        self, records: Iterable[Tuple[Any, Any]]
+        self,
+        records: Iterable[Tuple[Any, Any]],
+        trace_id: Optional[int] = None,
     ) -> int:
         """Submit many records in one frame; returns the accepted count."""
         batch = [tuple(record) for record in records]
-        _, reply = self._request(FrameType.SUBMIT_BATCH, batch)
+        _, reply = self._request(
+            FrameType.SUBMIT_BATCH, batch, trace_id
+        )
         return reply.get("accepted", 0)
 
     def submit_batches(
@@ -203,9 +233,16 @@ class AggregationClient:
                 accepted[index] = self.submit_batch(prepared[index])
         return accepted
 
-    def poll(self) -> List[Tuple[Any, ...]]:
-        """Answers released since any client's last poll."""
-        _, reply = self._request(FrameType.POLL, None)
+    def poll(
+        self, trace_id: Optional[int] = None
+    ) -> List[Tuple[Any, ...]]:
+        """Answers released since any client's last poll.
+
+        After the call, ``last_reply_trace_id`` holds the trace of the
+        submission whose record closed the newest traced answer's
+        window (or this request's own ``trace_id`` when none were).
+        """
+        _, reply = self._request(FrameType.POLL, None, trace_id)
         return decode_answers(reply)
 
     def stats(self) -> Dict[str, Any]:
@@ -277,8 +314,10 @@ class AsyncAggregationClient:
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
         self._decoder = FrameDecoder()
-        self._frames: List[Tuple[FrameType, Any]] = []
+        self._frames: List[Any] = []
         self._closed = False
+        #: Trace id carried by the most recent reply frame.
+        self.last_reply_trace_id: Optional[int] = None
 
     @classmethod
     async def connect(
@@ -313,10 +352,13 @@ class AsyncAggregationClient:
     # -- low-level I/O ----------------------------------------------
 
     async def send_frame(
-        self, frame_type: FrameType, payload: Any
+        self,
+        frame_type: FrameType,
+        payload: Any,
+        trace_id: Optional[int] = None,
     ) -> None:
         """Write one request frame without waiting for its reply."""
-        self._writer.write(encode_frame(frame_type, payload))
+        self._writer.write(encode_frame(frame_type, payload, trace_id))
         await self._writer.drain()
 
     async def read_reply(self) -> Tuple[FrameType, Any]:
@@ -337,14 +379,19 @@ class AsyncAggregationClient:
                     "server closed the connection mid-request"
                 )
             self._decoder.feed(data)
-            self._frames.extend(self._decoder.frames())
-        return self._frames.pop(0)
+            self._frames.extend(self._decoder.frames_traced())
+        frame = self._frames.pop(0)
+        self.last_reply_trace_id = frame.trace_id
+        return frame.frame_type, frame.payload
 
     async def _request(
-        self, frame_type: FrameType, payload: Any
+        self,
+        frame_type: FrameType,
+        payload: Any,
+        trace_id: Optional[int] = None,
     ) -> Tuple[FrameType, Any]:
         for attempt in range(self.max_retries + 1):
-            await self.send_frame(frame_type, payload)
+            await self.send_frame(frame_type, payload, trace_id)
             reply_type, reply = await self.read_reply()
             if reply_type is not FrameType.RETRY:
                 if reply_type is FrameType.ERROR:
@@ -364,22 +411,32 @@ class AsyncAggregationClient:
 
     # -- public API -------------------------------------------------
 
-    async def submit(self, key: Any, value: Any) -> int:
+    async def submit(
+        self, key: Any, value: Any, trace_id: Optional[int] = None
+    ) -> int:
         """Submit one keyed record; returns the accepted count (1)."""
-        _, reply = await self._request(FrameType.SUBMIT, (key, value))
+        _, reply = await self._request(
+            FrameType.SUBMIT, (key, value), trace_id
+        )
         return reply.get("accepted", 0)
 
     async def submit_batch(
-        self, records: Iterable[Tuple[Any, Any]]
+        self,
+        records: Iterable[Tuple[Any, Any]],
+        trace_id: Optional[int] = None,
     ) -> int:
         """Submit many records in one frame; returns the accepted count."""
         batch = [tuple(record) for record in records]
-        _, reply = await self._request(FrameType.SUBMIT_BATCH, batch)
+        _, reply = await self._request(
+            FrameType.SUBMIT_BATCH, batch, trace_id
+        )
         return reply.get("accepted", 0)
 
-    async def poll(self) -> List[Tuple[Any, ...]]:
+    async def poll(
+        self, trace_id: Optional[int] = None
+    ) -> List[Tuple[Any, ...]]:
         """Answers released since any client's last poll."""
-        _, reply = await self._request(FrameType.POLL, None)
+        _, reply = await self._request(FrameType.POLL, None, trace_id)
         return decode_answers(reply)
 
     async def stats(self) -> Dict[str, Any]:

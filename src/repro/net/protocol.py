@@ -1,6 +1,6 @@
 """Length-prefixed binary wire protocol for the network serving layer.
 
-One frame per request or reply::
+One frame per request or reply.  Version 1 framing::
 
     0        2        3        4            8
     +--------+--------+--------+------------+----------------+
@@ -8,13 +8,27 @@ One frame per request or reply::
     | 2 B    | 1 B    | 1 B    | 4 B        | length bytes   |
     +--------+--------+--------+------------+----------------+
 
-``magic`` is ``b"SD"`` (SlickDeque), ``version`` is
-:data:`PROTOCOL_VERSION`, ``type`` is one of :class:`FrameType`, and
+Version 2 adds a fixed trace-id field between header and payload::
+
+    0        2        3        4            8                16
+    +--------+--------+--------+------------+----------------+---------+
+    | magic  | version| type   | length (BE)| trace id (BE)  | payload |
+    | 2 B    | 1 B    | 1 B    | 4 B        | 8 B            | len B   |
+    +--------+--------+--------+------------+----------------+---------+
+
+``magic`` is ``b"SD"`` (SlickDeque), ``version`` is one of
+:data:`SUPPORTED_VERSIONS`, ``type`` is one of :class:`FrameType`, and
 the payload is one value in the tagged binary encoding of
 :func:`encode_value` (None, bools, ints of any size, floats, strings,
-bytes, lists, tuples, and string-or-scalar-keyed dicts).  Requests and
-replies share the framing; a request's reply is the next reply frame
-on the connection, so clients may pipeline freely.
+bytes, lists, tuples, and string-or-scalar-keyed dicts).  The v2
+trace id correlates a request with the work it causes downstream (see
+:mod:`repro.telemetry.trace`); 0 means "no trace" and decodes as
+``None``.  :func:`encode_frame` emits the *minimal* version for what
+it is asked to carry — v1 when there is no trace id, v2 when there is
+— so untraced traffic is byte-identical to protocol version 1 and old
+peers keep interoperating; the decoder accepts both versions either
+way.  Requests and replies share the framing; a request's reply is the
+next reply frame on the connection, so clients may pipeline freely.
 
 Anything the codec cannot interpret — bad magic, unsupported version,
 unknown frame type or value tag, declared lengths that exceed
@@ -29,18 +43,32 @@ from __future__ import annotations
 
 import enum
 import struct
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.errors import ProtocolError
 
 #: Frame preamble identifying this protocol on the wire.
 MAGIC = b"SD"
 
-#: Current protocol version; bumped on incompatible frame changes.
-PROTOCOL_VERSION = 1
+#: Current protocol version (v2 added the optional trace-id header
+#: field).  :func:`encode_frame` still emits v1 bytes for untraced
+#: frames, so the bump is invisible to peers that never trace.
+PROTOCOL_VERSION = 2
+
+#: The newest version *before* the trace-id field existed.
+LEGACY_PROTOCOL_VERSION = 1
+
+#: Versions this side decodes.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: Frame header: magic(2) + version(1) + type(1) + payload length(4).
 HEADER = struct.Struct(">2sBBI")
+
+#: v2 trace-id field, following the base header (0 = no trace).
+_TRACE_FIELD = struct.Struct(">Q")
+
+#: Largest trace id the 8-byte wire field can carry.
+MAX_TRACE_ID = 2**64 - 1
 
 #: Hard upper bound on a single frame's payload (16 MiB).  Guards the
 #: server against a hostile or corrupt length field committing it to
@@ -279,30 +307,64 @@ def _decode_at(payload: bytes, offset: int) -> Tuple[Any, int]:
 # -- frame codec ----------------------------------------------------
 
 
-def encode_frame(frame_type: FrameType, payload: Any = None) -> bytes:
-    """Frame one value as ``header + encoded payload`` bytes."""
+class Frame(NamedTuple):
+    """A decoded frame: type, payload, and optional trace id."""
+
+    frame_type: FrameType
+    payload: Any
+    trace_id: Optional[int]
+
+
+def encode_frame(
+    frame_type: FrameType,
+    payload: Any = None,
+    trace_id: Optional[int] = None,
+) -> bytes:
+    """Frame one value as ``header [+ trace id] + payload`` bytes.
+
+    Without a trace id the frame is emitted in the legacy v1 framing —
+    byte-identical to what this function produced before the trace
+    field existed.  With one, the v2 framing carries it in the fixed
+    8-byte field after the header.
+    """
     body = encode_value(payload)
     if len(body) > MAX_PAYLOAD_BYTES:
         raise ProtocolError(
             f"payload of {len(body)} bytes exceeds the "
             f"{MAX_PAYLOAD_BYTES}-byte frame limit"
         )
+    if trace_id is None:
+        return (
+            HEADER.pack(
+                MAGIC, LEGACY_PROTOCOL_VERSION, int(frame_type),
+                len(body),
+            )
+            + body
+        )
+    if not 1 <= trace_id <= MAX_TRACE_ID:
+        raise ProtocolError(
+            f"trace id {trace_id!r} outside [1, 2**64 - 1] "
+            "(0 is reserved for 'no trace')"
+        )
     return (
         HEADER.pack(
             MAGIC, PROTOCOL_VERSION, int(frame_type), len(body)
         )
+        + _TRACE_FIELD.pack(trace_id)
         + body
     )
 
 
-def try_decode_frame(
+def try_decode_frame_traced(
     buffer: bytes, offset: int = 0
-) -> Optional[Tuple[FrameType, Any, int]]:
+) -> Optional[Tuple[Frame, int]]:
     """Decode one frame starting at ``offset``, if fully buffered.
 
-    Returns ``(frame_type, payload, next_offset)``, or ``None`` when
-    the buffer holds only a prefix of a frame (read more bytes and try
-    again).  Malformed bytes raise
+    Returns ``(frame, next_offset)``, or ``None`` when the buffer
+    holds only a prefix of a frame (read more bytes and try again).
+    Accepts every version in :data:`SUPPORTED_VERSIONS`: v1 frames
+    decode with ``trace_id=None``, as do v2 frames carrying the
+    reserved trace id 0.  Malformed bytes raise
     :class:`~repro.errors.ProtocolError`.
     """
     if len(buffer) - offset < HEADER.size:
@@ -314,10 +376,10 @@ def try_decode_frame(
         raise ProtocolError(
             f"bad frame magic {magic!r} (expected {MAGIC!r})"
         )
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"unsupported protocol version {version} "
-            f"(this side speaks {PROTOCOL_VERSION})"
+            f"(this side speaks {sorted(SUPPORTED_VERSIONS)})"
         )
     try:
         frame_type = FrameType(type_byte)
@@ -331,10 +393,35 @@ def try_decode_frame(
             f"{MAX_PAYLOAD_BYTES}-byte frame limit"
         )
     start = offset + HEADER.size
+    trace_id: Optional[int] = None
+    if version >= 2:
+        if len(buffer) - start < _TRACE_FIELD.size:
+            return None
+        raw_trace = _TRACE_FIELD.unpack_from(buffer, start)[0]
+        trace_id = raw_trace or None
+        start += _TRACE_FIELD.size
     if len(buffer) - start < length:
         return None
     payload = decode_value(bytes(buffer[start : start + length]))
-    return frame_type, payload, start + length
+    return Frame(frame_type, payload, trace_id), start + length
+
+
+def try_decode_frame(
+    buffer: bytes, offset: int = 0
+) -> Optional[Tuple[FrameType, Any, int]]:
+    """Decode one frame starting at ``offset``, if fully buffered.
+
+    Returns ``(frame_type, payload, next_offset)``, or ``None`` when
+    the buffer holds only a prefix of a frame (read more bytes and try
+    again).  Trace ids are decoded and discarded — call
+    :func:`try_decode_frame_traced` to keep them.  Malformed bytes
+    raise :class:`~repro.errors.ProtocolError`.
+    """
+    decoded = try_decode_frame_traced(buffer, offset)
+    if decoded is None:
+        return None
+    frame, next_offset = decoded
+    return frame.frame_type, frame.payload, next_offset
 
 
 class FrameDecoder:
@@ -363,14 +450,19 @@ class FrameDecoder:
 
     def frames(self) -> Iterator[Tuple[FrameType, Any]]:
         """Yield ``(frame_type, payload)`` for each buffered frame."""
+        for frame in self.frames_traced():
+            yield frame.frame_type, frame.payload
+
+    def frames_traced(self) -> Iterator[Frame]:
+        """Yield a :class:`Frame` (with trace id) per buffered frame."""
         offset = 0
         try:
             while True:
-                decoded = try_decode_frame(self._buffer, offset)
+                decoded = try_decode_frame_traced(self._buffer, offset)
                 if decoded is None:
                     break
-                frame_type, payload, offset = decoded
-                yield frame_type, payload
+                frame, offset = decoded
+                yield frame
         except ProtocolError:
             self._poisoned = True
             raise

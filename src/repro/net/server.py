@@ -26,6 +26,19 @@ STATS replies carry throughput, a
 :class:`~repro.metrics.stats.Reservoir`-sampled submit-latency
 summary, and accepted/shed/poison counters next to the service's own
 live snapshot; see ``docs/serving.md`` for the full payload schema.
+
+Observability: every server owns a :class:`~repro.telemetry.Telemetry`
+hub (or shares one passed in) and attaches it to the wrapped service,
+so one registry collects per-stage latency histograms across the whole
+path — decode, admission, submit (the executor-side fold), shard fold,
+merge, and reply.  Requests whose frames carry a protocol-v2 trace id
+additionally get per-stage span records under that id; the id is
+echoed on replies, propagated into the service (router → shard →
+merge), and attributed to the answers it produced, so a POLL reply
+carries the trace of the submission that closed its windows.  Traces
+slower than the hub's threshold land in the slow-op log, surfaced via
+STATS under ``"telemetry"`` and via :meth:`AggregationServer.render_metrics`
+(Prometheus text format; see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -42,10 +55,11 @@ from repro.net.protocol import (
     FrameType,
     encode_answers,
     encode_frame,
-    try_decode_frame,
+    try_decode_frame_traced,
 )
 from repro.service.gateway import ServiceGateway
 from repro.service.service import AggregationService, ServiceResult
+from repro.telemetry import Telemetry
 
 #: Admission policies for an exhausted in-flight budget: ``block``
 #: pauses the connection's reader (lossless; TCP pushes back on the
@@ -162,6 +176,13 @@ class AggregationServer:
         executor_workers: Thread-pool size for (possibly blocking)
             service calls.
         latency_capacity: Reservoir size for submit-latency sampling.
+        telemetry: The :class:`~repro.telemetry.Telemetry` hub to
+            observe into; a fresh hub is created when ``None``.  The
+            hub is attached to the wrapped service, so one registry
+            carries the full decode → admission → fold → merge → reply
+            stage breakdown.
+        slow_threshold: Seconds above which a finished trace lands in
+            the slow-op log (used only for the default hub).
     """
 
     def __init__(
@@ -177,6 +198,8 @@ class AggregationServer:
         retry_after: float = 0.05,
         executor_workers: int = 4,
         latency_capacity: int = 1024,
+        telemetry: Optional[Telemetry] = None,
+        slow_threshold: float = 0.050,
     ):
         if admission_policy not in ADMISSION_POLICIES:
             raise ServiceError(
@@ -218,6 +241,42 @@ class AggregationServer:
         self.shed_records = 0
         self.answers_served = 0
         self.protocol_errors = 0
+        #: The telemetry hub every stage observes into.
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(slow_threshold=slow_threshold)
+        )
+        self.gateway.attach_telemetry(self.telemetry)
+        registry = self.telemetry.registry
+        self._decode_hist = registry.histogram(
+            "repro_net_decode_seconds",
+            "Per-frame wire decode latency",
+        )
+        self._admission_hist = registry.histogram(
+            "repro_net_admission_seconds",
+            "Per-request admission-control latency (includes budget "
+            "waits under the block policy)",
+        )
+        self._submit_hist = registry.histogram(
+            "repro_net_submit_seconds",
+            "Executor-side service submit latency per request",
+        )
+        self._reply_hist = registry.histogram(
+            "repro_net_reply_seconds",
+            "Reply encode-and-flush latency per request",
+        )
+        self._frames_counter = registry.counter(
+            "repro_net_frames_total", "Frames decoded off the wire"
+        )
+        self._traced_counter = registry.counter(
+            "repro_net_traced_requests_total",
+            "Requests whose frame carried a v2 trace id",
+        )
+        self._inflight_gauge = registry.gauge(
+            "repro_net_inflight_records",
+            "Records admitted but not yet acknowledged",
+        )
 
     # -- lifecycle --------------------------------------------------
 
@@ -316,7 +375,7 @@ class AggregationServer:
             raise
         finally:
             if not processor.cancelled():
-                await queue.put(("eof", None, 0))
+                await queue.put(("eof", None, 0, None))
                 try:
                     await processor
                 except asyncio.CancelledError:
@@ -334,6 +393,7 @@ class AggregationServer:
         queue: asyncio.Queue,
         connection: _Connection,
     ) -> None:
+        tracer = self.telemetry.tracer
         buffer = bytearray()
         while True:
             data = await reader.read(_READ_CHUNK)
@@ -342,22 +402,43 @@ class AggregationServer:
             buffer += data
             offset = 0
             while True:
+                decode_started = time.perf_counter()
                 try:
-                    decoded = try_decode_frame(buffer, offset)
+                    decoded = try_decode_frame_traced(buffer, offset)
                 except ProtocolError as error:
                     self.protocol_errors += 1
                     await queue.put(
-                        ("protocol_error", str(error), 0)
+                        ("protocol_error", str(error), 0, None)
                     )
                     return
                 if decoded is None:
                     break
-                frame_type, payload, next_offset = decoded
+                frame, next_offset = decoded
+                decode_seconds = (
+                    time.perf_counter() - decode_started
+                )
+                self._decode_hist.observe(decode_seconds)
+                self._frames_counter.inc()
+                frame_type = frame.frame_type
+                trace_id = frame.trace_id
+                if trace_id is not None:
+                    self._traced_counter.inc()
+                    tracer.record(trace_id, "decode", decode_seconds)
                 nbytes = next_offset - offset
                 offset = next_offset
+                admit_started = time.perf_counter()
                 item = await self._admit(
-                    connection, frame_type, payload, nbytes
+                    connection, frame_type, frame.payload, nbytes,
+                    trace_id,
                 )
+                admission_seconds = (
+                    time.perf_counter() - admit_started
+                )
+                if item[0] in ("submit", "shed"):
+                    self._admission_hist.observe(admission_seconds)
+                    tracer.record(
+                        trace_id, "admission", admission_seconds
+                    )
                 await queue.put(item)
                 if frame_type is FrameType.CLOSE:
                     return
@@ -370,7 +451,8 @@ class AggregationServer:
         frame_type: FrameType,
         payload: Any,
         nbytes: int,
-    ) -> Tuple[str, Any, int]:
+        trace_id: Optional[int],
+    ) -> Tuple[str, Any, int, Optional[int]]:
         """Turn one decoded frame into a queued work item.
 
         Admission control runs here, at decode time, so a pipelined
@@ -381,35 +463,40 @@ class AggregationServer:
             FrameType.SUBMIT,
             FrameType.SUBMIT_BATCH,
         ):
-            return ("request", (frame_type, payload), 0)
+            return ("request", (frame_type, payload), 0, trace_id)
         try:
             records = _normalize_records(frame_type, payload)
         except ProtocolError as error:
-            return ("bad_request", str(error), 0)
+            return ("bad_request", str(error), 0, trace_id)
         if self._draining or self.gateway.closed:
-            return ("rejected", "server is draining", 0)
+            return ("rejected", "server is draining", 0, trace_id)
         count = len(records)
         if self.admission_policy == "block":
             await self._budget.acquire(count, nbytes)
             if connection.budget is not None:
                 await connection.budget.acquire(count, nbytes)
-            return ("submit", records, nbytes)
+            self._inflight_gauge.set(self._budget.records)
+            return ("submit", records, nbytes, trace_id)
         if not self._budget.try_acquire(count, nbytes):
-            return self._shed(connection, count)
+            return self._shed(connection, count, trace_id)
         if connection.budget is not None and not (
             connection.budget.try_acquire(count, nbytes)
         ):
             await self._budget.release(count, nbytes)
-            return self._shed(connection, count)
-        return ("submit", records, nbytes)
+            return self._shed(connection, count, trace_id)
+        self._inflight_gauge.set(self._budget.records)
+        return ("submit", records, nbytes, trace_id)
 
     def _shed(
-        self, connection: _Connection, count: int
-    ) -> Tuple[str, Any, int]:
+        self,
+        connection: _Connection,
+        count: int,
+        trace_id: Optional[int],
+    ) -> Tuple[str, Any, int, Optional[int]]:
         self.shed_requests += 1
         self.shed_records += count
         connection.shed_records += count
-        return ("shed", count, 0)
+        return ("shed", count, 0, trace_id)
 
     async def _process_requests(
         self,
@@ -420,7 +507,7 @@ class AggregationServer:
         """Execute queued requests in order, one reply per request."""
         loop = asyncio.get_running_loop()
         while True:
-            kind, value, nbytes = await queue.get()
+            kind, value, nbytes, trace_id = await queue.get()
             if kind == "eof":
                 return
             if kind == "protocol_error":
@@ -439,26 +526,34 @@ class AggregationServer:
                         "retry_after": self.retry_after,
                         "shed_records": value,
                     },
+                    trace_id,
                 )
+                self.telemetry.tracer.finish(trace_id)
                 continue
             if kind in ("bad_request", "rejected"):
                 await self._reply(
                     writer,
                     FrameType.ERROR,
                     {"error": "ServiceError", "message": value},
+                    trace_id,
                 )
+                self.telemetry.tracer.finish(trace_id)
                 continue
             if kind == "submit":
                 await self._handle_submit(
-                    loop, writer, connection, value, nbytes
+                    loop, writer, connection, value, nbytes, trace_id
                 )
                 continue
             frame_type, payload = value
             if frame_type is FrameType.CLOSE:
-                await self._reply(writer, FrameType.OK, {"closed": True})
+                await self._reply(
+                    writer, FrameType.OK, {"closed": True}, trace_id
+                )
                 return
             try:
-                await self._handle_request(loop, writer, frame_type)
+                await self._handle_request(
+                    loop, writer, frame_type, trace_id
+                )
             except ReproError as error:
                 await self._reply(
                     writer,
@@ -467,6 +562,7 @@ class AggregationServer:
                         "error": type(error).__name__,
                         "message": str(error),
                     },
+                    trace_id,
                 )
 
     async def _handle_submit(
@@ -476,31 +572,39 @@ class AggregationServer:
         connection: _Connection,
         records: List[Tuple[Any, Any]],
         nbytes: int,
+        trace_id: Optional[int],
     ) -> None:
         count = len(records)
         started = time.perf_counter()
         try:
             await loop.run_in_executor(
                 self._executor,
-                lambda: self.gateway.submit_many(records),
+                lambda: self.gateway.submit_many(records, trace_id),
             )
         except ReproError as error:
             await self._reply(
                 writer,
                 FrameType.ERROR,
                 {"error": type(error).__name__, "message": str(error)},
+                trace_id,
             )
             return
         finally:
             await self._budget.release(count, nbytes)
             if connection.budget is not None:
                 await connection.budget.release(count, nbytes)
-        self._latency.add(time.perf_counter() - started)
+            self._inflight_gauge.set(self._budget.records)
+        submit_seconds = time.perf_counter() - started
+        self._latency.add(submit_seconds)
+        self._submit_hist.observe(submit_seconds)
+        self.telemetry.tracer.record(
+            trace_id, "submit", submit_seconds
+        )
         self.accepted_records += count
         self.accepted_batches += 1
         connection.accepted_records += count
         await self._reply(
-            writer, FrameType.OK, {"accepted": count}
+            writer, FrameType.OK, {"accepted": count}, trace_id
         )
 
     async def _handle_request(
@@ -508,15 +612,36 @@ class AggregationServer:
         loop: asyncio.AbstractEventLoop,
         writer: asyncio.StreamWriter,
         frame_type: FrameType,
+        trace_id: Optional[int],
     ) -> None:
+        tracer = self.telemetry.tracer
         if frame_type is FrameType.POLL:
-            answers = await loop.run_in_executor(
-                self._executor, self.gateway.poll
+            traced = await loop.run_in_executor(
+                self._executor, self.gateway.poll_traced
             )
+            answers = [answer for answer, _ in traced]
             self.answers_served += len(answers)
-            await self._reply(
-                writer, FrameType.ANSWERS, encode_answers(answers)
+            # The reply carries the trace of the submission whose
+            # record closed the newest answer's window, falling back
+            # to the POLL's own trace id for empty/untraced results.
+            answer_traces = [
+                trace for _, trace in traced if trace is not None
+            ]
+            reply_trace = (
+                answer_traces[-1] if answer_traces else trace_id
             )
+            await self._reply(
+                writer,
+                FrameType.ANSWERS,
+                encode_answers(answers),
+                reply_trace,
+            )
+            # Answer traces end here: the answers they caused have
+            # been handed back, closing the submit → reply loop.
+            for finished in dict.fromkeys(answer_traces):
+                tracer.finish(finished)
+            if trace_id is not None and trace_id not in answer_traces:
+                tracer.finish(trace_id)
             return
         if frame_type is FrameType.STATS:
             snapshot = await loop.run_in_executor(
@@ -526,7 +651,9 @@ class AggregationServer:
                 writer,
                 FrameType.STATS_REPLY,
                 self.stats_payload(snapshot),
+                trace_id,
             )
+            tracer.finish(trace_id)
             return
         if frame_type is FrameType.DRAIN:
             result = await self.drain()
@@ -542,7 +669,9 @@ class AggregationServer:
                     },
                     "stats": _final_stats(result),
                 },
+                trace_id,
             )
+            tracer.finish(trace_id)
             return
         # A reply-typed frame from a client is a protocol violation.
         raise ServiceError(
@@ -554,12 +683,21 @@ class AggregationServer:
         writer: asyncio.StreamWriter,
         frame_type: FrameType,
         payload: Any,
+        trace_id: Optional[int] = None,
     ) -> None:
-        writer.write(encode_frame(frame_type, payload))
+        # Replies carry a trace id only when the request did: a v2
+        # reply to a v1 request would break old decoders.
+        started = time.perf_counter()
+        writer.write(encode_frame(frame_type, payload, trace_id))
         try:
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
+        reply_seconds = time.perf_counter() - started
+        self._reply_hist.observe(reply_seconds)
+        self.telemetry.tracer.record(
+            trace_id, "reply", reply_seconds
+        )
 
     # -- stats ------------------------------------------------------
 
@@ -609,7 +747,18 @@ class AggregationServer:
                 if service_snapshot is not None
                 else self.gateway.snapshot()
             ),
+            "telemetry": self.telemetry.snapshot(),
         }
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition of the server's hub.
+
+        Includes the service-side instruments (shard fold, merge)
+        because the hub is attached to the wrapped service; safe to
+        call from any thread.
+        """
+        self._inflight_gauge.set(self._budget.records)
+        return self.telemetry.render_text()
 
 
 def _normalize_records(

@@ -45,24 +45,29 @@ class ServiceGateway:
 
     # -- ingestion --------------------------------------------------
 
-    def submit(self, key: Any, value: Any) -> int:
+    def submit(
+        self, key: Any, value: Any, trace_id: Optional[int] = None
+    ) -> int:
         """Ingest one keyed record; returns 1 (records accepted)."""
-        return self.submit_many([(key, value)])
+        return self.submit_many([(key, value)], trace_id)
 
     def submit_many(
-        self, records: Iterable[Tuple[Any, Any]]
+        self,
+        records: Iterable[Tuple[Any, Any]],
+        trace_id: Optional[int] = None,
     ) -> int:
         """Ingest ``(key, value)`` pairs atomically w.r.t. other callers.
 
         Returns the number of records handed to the service.  Blocks
         while the service's own backpressure blocks; callers that must
         not stall (event loops) should invoke this from an executor
-        thread.
+        thread.  ``trace_id`` attributes the whole batch to one
+        telemetry trace.
         """
         batch = list(records)
         with self._lock:
             self._require_open()
-            self._service.submit_many(batch)
+            self._service.submit_many(batch, trace_id)
             self._records_submitted += len(batch)
             self._batches_submitted += 1
         return len(batch)
@@ -74,6 +79,19 @@ class ServiceGateway:
         with self._lock:
             self._require_open()
             return self._service.poll()
+
+    def poll_traced(self) -> List[Tuple[Any, Optional[int]]]:
+        """Released answers paired with their submission trace ids."""
+        with self._lock:
+            self._require_open()
+            return self._service.poll_traced()
+
+    # -- telemetry --------------------------------------------------
+
+    def attach_telemetry(self, telemetry: Any) -> None:
+        """Point the wrapped service at a telemetry hub (see service)."""
+        with self._lock:
+            self._service.attach_telemetry(telemetry)
 
     # -- introspection ----------------------------------------------
 

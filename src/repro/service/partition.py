@@ -66,6 +66,9 @@ class Batch:
         positions: Global 1-based positions of the records.
         keys: Record keys, parallel to ``positions``.
         values: Record payloads, parallel to ``positions``.
+        traces: Per-record trace ids, parallel to ``positions`` — or
+            ``None`` (the common case) when no record of the batch is
+            traced, so untraced batches pay nothing for the field.
     """
 
     shard: int
@@ -74,6 +77,7 @@ class Batch:
     positions: List[int] = field(default_factory=list)
     keys: List[Any] = field(default_factory=list)
     values: List[Any] = field(default_factory=list)
+    traces: Optional[List[Optional[int]]] = None
 
     def __len__(self) -> int:
         """Number of records framed in this batch."""
@@ -110,6 +114,7 @@ def thin_batch(batch: Batch, keep_every: int = 2) -> Tuple[Batch, int]:
         batch.positions[kept],
         batch.keys[kept],
         batch.values[kept],
+        batch.traces[kept] if batch.traces is not None else None,
     )
     return thinned, len(batch) - len(thinned)
 
@@ -146,6 +151,9 @@ class Router:
         self._positions: List[List[int]] = [[] for _ in range(num_shards)]
         self._keys: List[List[Any]] = [[] for _ in range(num_shards)]
         self._values: List[List[Any]] = [[] for _ in range(num_shards)]
+        # Per-shard trace columns exist only once a traced record has
+        # been routed; until then ``put`` pays a single flag check.
+        self._traces: Optional[List[List[Optional[int]]]] = None
         self._seqs = [0] * num_shards
         self._sent_watermarks = [0] * num_shards
         #: Distinct keys routed to each shard so far — consulted when a
@@ -156,14 +164,31 @@ class Router:
         #: Flush rounds completed.
         self.flush_rounds = 0
 
-    def put(self, key: Any, value: Any) -> List[Batch]:
-        """Route one record; return the batches a full buffer released."""
+    def put(
+        self, key: Any, value: Any, trace: Optional[int] = None
+    ) -> List[Batch]:
+        """Route one record; return the batches a full buffer released.
+
+        ``trace`` attributes the record to a telemetry trace (see
+        :mod:`repro.telemetry.trace`); the id travels on the record's
+        batch so shard outputs can echo which traces they served.
+        """
         self.position += 1
         shard = shard_of(key, self.num_shards)
         self.seen_keys[shard].add(key)
         self._positions[shard].append(self.position)
         self._keys[shard].append(key)
         self._values[shard].append(value)
+        if trace is not None and self._traces is None:
+            # First traced record: materialise the trace columns,
+            # backfilling the still-buffered untraced records.
+            self._traces = [
+                [None] * len(self._positions[index])
+                for index in range(self.num_shards)
+            ]
+            self._traces[shard][-1] = trace
+        elif self._traces is not None:
+            self._traces[shard].append(trace)
         if len(self._positions[shard]) >= self.batch_size:
             return self.flush()
         return []
@@ -192,6 +217,9 @@ class Router:
                 ):
                     continue
             self._seqs[shard] += 1
+            traces = (
+                self._traces[shard] if self._traces is not None else None
+            )
             batches.append(
                 Batch(
                     shard,
@@ -200,12 +228,15 @@ class Router:
                     self._positions[shard],
                     self._keys[shard],
                     self._values[shard],
+                    traces if traces else None,
                 )
             )
             self._sent_watermarks[shard] = watermark
             self._positions[shard] = []
             self._keys[shard] = []
             self._values[shard] = []
+            if self._traces is not None:
+                self._traces[shard] = []
         if batches:
             self.flush_rounds += 1
         return batches

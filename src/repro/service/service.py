@@ -39,6 +39,7 @@ and the rest of the service keeps answering.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -177,6 +178,12 @@ class AggregationService:
         injector: Optional
             :class:`~repro.service.chaos.FaultInjector` wired through
             the supervisor's lifecycle hooks (tests only).
+        telemetry: Optional :class:`~repro.telemetry.Telemetry` hub.
+            When set (at construction or later via
+            :meth:`attach_telemetry`) the service observes per-batch
+            shard-fold and merge latencies into the hub's registry and
+            attributes them to submission traces; when ``None`` every
+            hot path pays only a ``None`` check.
     """
 
     def __init__(
@@ -199,6 +206,7 @@ class AggregationService:
         poison_policy: str = "quarantine",
         dead_letter_sink: Optional[DeadLetterSink] = None,
         injector: Optional[Any] = None,
+        telemetry: Optional[Any] = None,
     ):
         if num_shards < 1:
             raise ServiceError(
@@ -275,20 +283,120 @@ class AggregationService:
         self._fresh_per_key: List[Tuple[Any, int, Query, Any]] = []
         self._closed = False
         self._started_at = time.perf_counter()
+        # Telemetry: instrument handles are bound in attach_telemetry
+        # so the uninstrumented hot path is a single None check.
+        self._telemetry: Optional[Any] = None
+        self._fold_hist: Optional[Any] = None
+        self._merge_hist: Optional[Any] = None
+        self._records_counter: Optional[Any] = None
+        self._answers_counter: Optional[Any] = None
+        self._dead_letter_counter: Optional[Any] = None
+        # (first_position, last_position, trace_id) per traced submit
+        # call, consumed ascending as answers pass their positions.
+        self._trace_intervals: deque = deque()
+        self._max_trace_intervals = 4096
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
+    # -- telemetry --------------------------------------------------
+
+    def attach_telemetry(self, telemetry: Any) -> None:
+        """Bind a :class:`~repro.telemetry.Telemetry` hub to observe into.
+
+        Registers the service's per-stage histograms and counters on
+        the hub's registry (idempotent for the same hub: instruments
+        are get-or-create).  May be called after construction — the
+        network server uses this to point an already-built service at
+        its own hub so one exposition covers every stage.
+        """
+        registry = telemetry.registry
+        self._telemetry = telemetry
+        self._fold_hist = registry.histogram(
+            "repro_shard_fold_seconds",
+            "Per-batch shard worker fold latency (busy time)",
+        )
+        self._merge_hist = registry.histogram(
+            "repro_merge_seconds",
+            "Per-output global merge frontier-advance latency",
+        )
+        self._records_counter = registry.counter(
+            "repro_service_records_processed_total",
+            "Records folded by shard workers",
+        )
+        self._answers_counter = registry.counter(
+            "repro_service_answers_total",
+            "Answers released by the merge layer",
+        )
+        self._dead_letter_counter = registry.counter(
+            "repro_service_dead_letters_total",
+            "Records quarantined to the dead-letter sink",
+        )
+
+    @property
+    def telemetry(self) -> Optional[Any]:
+        """The attached telemetry hub, or ``None``."""
+        return self._telemetry
+
+    def _note_trace_interval(self, first: int, last: int, trace_id):
+        """Remember that positions ``first..last`` belong to a trace."""
+        if trace_id is None or first > last:
+            return
+        self._trace_intervals.append((first, last, trace_id))
+        while len(self._trace_intervals) > self._max_trace_intervals:
+            self._trace_intervals.popleft()
+
+    def _trace_for_position(self, position: int) -> Optional[int]:
+        """Trace owning a (monotone ascending) answer position.
+
+        Intervals wholly behind ``position`` are pruned as a side
+        effect, keeping the scan O(1) amortised over a run.
+        """
+        intervals = self._trace_intervals
+        while intervals and intervals[0][1] < position:
+            intervals.popleft()
+        for first, last, trace_id in intervals:
+            if first > position:
+                return None
+            if position <= last:
+                return trace_id
+        return None
 
     # -- ingestion --------------------------------------------------
 
-    def submit(self, key: Any, value: Any) -> None:
-        """Ingest one keyed record."""
+    def submit(
+        self, key: Any, value: Any, trace_id: Optional[int] = None
+    ) -> None:
+        """Ingest one keyed record, optionally attributed to a trace."""
         if self._closed:
             raise ServiceError("cannot submit to a closed service")
-        for batch in self._router.put(key, value):
+        if trace_id is not None:
+            self._note_trace_interval(
+                self._router.position + 1,
+                self._router.position + 1,
+                trace_id,
+            )
+        for batch in self._router.put(key, value, trace_id):
             self._transport.ship(batch)
 
-    def submit_many(self, records: Iterable[Tuple[Any, Any]]) -> None:
-        """Ingest an iterable of ``(key, value)`` pairs."""
+    def submit_many(
+        self,
+        records: Iterable[Tuple[Any, Any]],
+        trace_id: Optional[int] = None,
+    ) -> None:
+        """Ingest ``(key, value)`` pairs, optionally under one trace."""
+        if trace_id is None:
+            for key, value in records:
+                self.submit(key, value)
+            return
+        first = self._router.position + 1
+        if self._closed:
+            raise ServiceError("cannot submit to a closed service")
         for key, value in records:
-            self.submit(key, value)
+            for batch in self._router.put(key, value, trace_id):
+                self._transport.ship(batch)
+        self._note_trace_interval(
+            first, self._router.position, trace_id
+        )
 
     # -- failure reporting ------------------------------------------
 
@@ -320,19 +428,55 @@ class AggregationService:
 
     def _absorb(self, outputs) -> None:
         self._quarantine(self._transport.take_dead_letters())
+        telemetry = self._telemetry
         for output in outputs:
             if output.dead_letters:
                 self._quarantine(output.dead_letters)
             for key in output.degraded_keys:
                 self._mark_degraded(key)
+            if telemetry is not None:
+                self._observe_output(telemetry, output)
             if self._merger is not None:
-                released = self._merger.on_output(output)
+                if telemetry is None:
+                    released = self._merger.on_output(output)
+                else:
+                    started = time.perf_counter()
+                    released = self._merger.on_output(output)
+                    merge_seconds = time.perf_counter() - started
+                    self._merge_hist.observe(merge_seconds)
+                    if released:
+                        self._answers_counter.inc(len(released))
+                    tracer = telemetry.tracer
+                    for trace_id in output.trace_ids:
+                        tracer.record(
+                            trace_id, "merge", merge_seconds
+                        )
                 self._answers.extend(released)
                 self._fresh_answers.extend(released)
             else:
                 self._fresh_per_key.extend(
                     self._collator.on_output(output)
                 )
+
+    def _observe_output(self, telemetry, output) -> None:
+        """Record one shard output's instrumentation into the hub.
+
+        The fold ran in the worker (possibly another process); its
+        ``busy_seconds`` is attributed here, parent-side, both to the
+        fold histogram and to every trace the batch carried — the
+        worker itself stays telemetry-free.
+        """
+        if output.records or output.busy_seconds:
+            self._fold_hist.observe(output.busy_seconds)
+        if output.records:
+            self._records_counter.inc(output.records)
+        if output.dead_letters:
+            self._dead_letter_counter.inc(len(output.dead_letters))
+        tracer = telemetry.tracer
+        for trace_id in output.trace_ids:
+            tracer.record(
+                trace_id, "shard_fold", output.busy_seconds
+            )
 
     def poll(self) -> List[Answer]:
         """Return answers released since the last poll.
@@ -350,6 +494,25 @@ class AggregationService:
             fresh = self._fresh_per_key
             self._fresh_per_key = []
         return fresh
+
+    def poll_traced(
+        self,
+    ) -> List[Tuple[Answer, Optional[int]]]:
+        """Like :meth:`poll`, pairing each answer with its trace id.
+
+        A global-mode answer is attributed to the trace of the
+        submission that contained the record closing its window
+        (``None`` for untraced submissions).  Per-key answers carry
+        per-key stream positions, which the position→trace map cannot
+        resolve, so they are returned untraced.
+        """
+        fresh = self.poll()
+        if self._merger is None:
+            return [(answer, None) for answer in fresh]
+        return [
+            (answer, self._trace_for_position(answer[0]))
+            for answer in fresh
+        ]
 
     # -- shutdown ---------------------------------------------------
 

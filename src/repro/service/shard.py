@@ -147,6 +147,10 @@ class ShardOutput:
         busy_seconds: Wall time spent processing the batch.
         snapshot: A checkpoint of the post-batch shard state, when the
             checkpoint interval elapsed.
+        trace_ids: Distinct telemetry trace ids of the batch's records,
+            in first-appearance order — lets the parent attribute the
+            fold's ``busy_seconds`` to the traces it served without the
+            worker knowing anything about telemetry.
     """
 
     shard_id: int
@@ -161,6 +165,7 @@ class ShardOutput:
     degraded_keys: List[Any] = field(default_factory=list)
     busy_seconds: float = 0.0
     snapshot: Optional[bytes] = None
+    trace_ids: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -277,6 +282,12 @@ class ShardState:
             batch.seq,
             batch.watermark,
         )
+        if batch.traces is not None:
+            output.trace_ids = tuple(
+                dict.fromkeys(
+                    trace for trace in batch.traces if trace is not None
+                )
+            )
         folded = 0
         if self.config.mode == "global":
             folded = self._process_global(batch, output)

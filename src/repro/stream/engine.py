@@ -18,6 +18,7 @@ pipelines:
 from __future__ import annotations
 
 from itertools import islice
+from time import perf_counter as _perf_counter
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.multiquery import SharedSlickDeque
@@ -27,6 +28,7 @@ from repro.operators.base import AggregateOperator
 from repro.operators.views import partial_view, raw_view
 from repro.registry import get_algorithm
 from repro.stream.sink import Sink
+from repro.telemetry import runtime as _telemetry_runtime
 from repro.windows.partial import PartialAggregator
 from repro.windows.plan import build_shared_plan
 from repro.windows.query import Query
@@ -146,7 +148,26 @@ class StreamEngine:
         mode keeps the per-value, per-query delivery order of
         :meth:`feed`.  Either way every sink sees exactly the triples,
         in exactly the order, that per-value feeding would produce.
+
+        When a process-global telemetry hub is installed (see
+        :func:`repro.telemetry.install`) each call observes its batch
+        latency and tuple/answer counts into the hub; with no hub the
+        instrumentation costs one module-attribute load and a ``None``
+        check (pinned by ``benchmarks/bench_telemetry_overhead.py``).
         """
+        hub = _telemetry_runtime.active()
+        if hub is None:
+            values = as_sequence(values)
+            self.tuples_consumed += len(values)
+            if self._shared is not None:
+                self._deliver(self._shared.feed_many(values))
+            else:
+                for value in values:
+                    for independent in self._independent:
+                        self._deliver(independent.feed(value))
+            return
+        started = _perf_counter()
+        answers_before = self.answers_emitted
         values = as_sequence(values)
         self.tuples_consumed += len(values)
         if self._shared is not None:
@@ -155,6 +176,21 @@ class StreamEngine:
             for value in values:
                 for independent in self._independent:
                     self._deliver(independent.feed(value))
+        registry = hub.registry
+        registry.histogram(
+            "repro_engine_feed_many_seconds",
+            "StreamEngine.feed_many batch latency",
+        ).observe(_perf_counter() - started)
+        registry.counter(
+            "repro_engine_tuples_total",
+            "Tuples consumed through StreamEngine.feed_many",
+        ).inc(len(values))
+        emitted = self.answers_emitted - answers_before
+        if emitted:
+            registry.counter(
+                "repro_engine_answers_total",
+                "Answers emitted through StreamEngine.feed_many",
+            ).inc(emitted)
 
     def run(
         self, values: Iterable[Any], batch_size: int = 1024

@@ -1,0 +1,526 @@
+"""Dependency-free metrics: counters, gauges, fixed-bucket histograms.
+
+The observability substrate for the serving stack.  Three instrument
+kinds, all thread-safe and snapshot-able:
+
+* :class:`Counter` — monotone event counts (records accepted, frames
+  decoded).  ``inc`` rejects negative deltas, so any snapshot sequence
+  of a counter is non-decreasing by construction.
+* :class:`Gauge` — instantaneous levels (in-flight records, open
+  connections).
+* :class:`Histogram` — fixed-bucket latency distributions.  Bucket
+  boundaries are chosen at construction (defaults span 50 µs – 10 s,
+  the range of interest for per-stage serving latencies); recorded
+  values land in the first bucket whose upper bound contains them.
+  :meth:`Histogram.quantile` is *exact within bucket resolution*: it
+  returns the upper bound of the bucket holding the requested rank,
+  which is the tightest upper estimate the sketch can give — the true
+  sorted-reference quantile is always in the same bucket (a property
+  the test suite pins).  Histograms over identical bounds merge by
+  bucket-count addition, and a merge of histograms is indistinguishable
+  from one histogram fed the concatenated observations.
+
+:class:`MetricsRegistry` names and owns instruments (get-or-create,
+label-set aware), snapshots them all consistently, and renders the
+whole collection in the Prometheus text exposition format
+(``render_text``) so any scraper — or ``curl`` — can read it.
+
+Everything here is intentionally free of I/O and third-party
+dependencies: the registry is pure bookkeeping, cheap enough to leave
+enabled in production paths.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import TelemetryError
+
+#: Default latency buckets, in seconds: 50 µs to 10 s, roughly
+#: logarithmic.  Wide enough for wire framing (~µs) and shard folds
+#: under backpressure (~s) on one scale.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise TelemetryError(
+            f"invalid metric name {name!r}: must match "
+            "[a-zA-Z_:][a-zA-Z0-9_:]*"
+        )
+    return name
+
+
+def _freeze_labels(
+    labels: Optional[Mapping[str, Any]]
+) -> Tuple[Tuple[str, str], ...]:
+    if not labels:
+        return ()
+    frozen = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(str(key)):
+            raise TelemetryError(
+                f"invalid label name {key!r}: must match "
+                "[a-zA-Z_][a-zA-Z0-9_]*"
+            )
+        frozen.append((str(key), str(labels[key])))
+    return tuple(frozen)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_number(value: float) -> str:
+    """Prometheus-style number rendering (+Inf, integral floats bare)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Instrument:
+    """Shared identity and locking for every instrument kind."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, Any]] = None,
+    ):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = _freeze_labels(labels)
+        self._lock = threading.Lock()
+
+    def _label_suffix(self) -> str:
+        if not self.labels:
+            return ""
+        body = ",".join(
+            f'{key}="{_escape_label_value(value)}"'
+            for key, value in self.labels
+        )
+        return "{" + body + "}"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing event count."""
+
+    kind = "counter"
+
+    def __init__(self, name, help="", labels=None):
+        super().__init__(name, help, labels)
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (>= 0) to the count."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name} cannot decrease "
+                f"(inc({amount!r}))"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        """The current count."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Wire-friendly state: ``{"value": n}``."""
+        return {"value": self.value}
+
+
+class Gauge(_Instrument):
+    """An instantaneous level that can move both ways."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", labels=None):
+        super().__init__(name, help, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the level."""
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Raise the level by ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Lower the level by ``amount``."""
+        self.inc(-amount)
+
+    @property
+    def value(self):
+        """The current level."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Wire-friendly state: ``{"value": x}``."""
+        return {"value": self.value}
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution with exact-within-bucket quantiles.
+
+    Args:
+        name: Metric name.
+        help: Free-text description for the exposition.
+        labels: Optional label set distinguishing this series.
+        buckets: Ascending finite upper bounds; an implicit ``+Inf``
+            bucket catches everything above the last bound.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name,
+        help="",
+        labels=None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise TelemetryError(
+                f"histogram {name} needs at least one bucket bound"
+            )
+        if any(
+            bounds[i] >= bounds[i + 1] for i in range(len(bounds) - 1)
+        ):
+            raise TelemetryError(
+                f"histogram {name} bounds must be strictly ascending, "
+                f"got {bounds}"
+            )
+        if any(not math.isfinite(b) for b in bounds):
+            raise TelemetryError(
+                f"histogram {name} bounds must be finite "
+                "(+Inf is implicit)"
+            )
+        self.bounds = bounds
+        # counts[i] pairs with bounds[i]; counts[-1] is the +Inf bucket.
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one value."""
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of recorded values."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of recorded values."""
+        with self._lock:
+            return self._sum
+
+    @property
+    def minimum(self) -> Optional[float]:
+        """Smallest recorded value, or ``None`` when empty."""
+        with self._lock:
+            return self._min if self._count else None
+
+    @property
+    def maximum(self) -> Optional[float]:
+        """Largest recorded value, or ``None`` when empty."""
+        with self._lock:
+            return self._max if self._count else None
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; last is the +Inf bucket."""
+        with self._lock:
+            return list(self._counts)
+
+    def bucket_of(self, value: float) -> int:
+        """Index of the bucket a value lands in (len(bounds) = +Inf)."""
+        return bisect_left(self.bounds, float(value))
+
+    def quantile(self, fraction: float) -> Optional[float]:
+        """The q-quantile, exact within bucket resolution.
+
+        Uses the rank definition ``rank = ceil(q * count)`` (clamped to
+        at least 1): the returned value is the upper bound of the
+        bucket containing the rank-th smallest observation — precisely
+        the bucket a sorted-reference oracle's value at the same rank
+        falls in.  The open-ended ``+Inf`` bucket reports the observed
+        maximum instead of infinity.  Returns ``None`` when empty.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise TelemetryError(
+                f"quantile fraction must be in [0, 1], got {fraction}"
+            )
+        with self._lock:
+            if not self._count:
+                return None
+            rank = max(1, math.ceil(fraction * self._count))
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= rank:
+                    if index < len(self.bounds):
+                        return self.bounds[index]
+                    return self._max
+            return self._max  # pragma: no cover - rank <= count
+
+    def merge(self, other: "Histogram") -> None:
+        """Absorb another histogram recorded over identical bounds.
+
+        After the merge this histogram is indistinguishable from one
+        that observed both value streams (bucket counts, count, sum,
+        min, and max all add/combine exactly).
+        """
+        if self.bounds != other.bounds:
+            raise TelemetryError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        with other._lock:
+            counts = list(other._counts)
+            other_sum = other._sum
+            other_count = other._count
+            other_min = other._min
+            other_max = other._max
+        with self._lock:
+            for index, bucket_count in enumerate(counts):
+                self._counts[index] += bucket_count
+            self._sum += other_sum
+            self._count += other_count
+            if other_min < self._min:
+                self._min = other_min
+            if other_max > self._max:
+                self._max = other_max
+
+    @classmethod
+    def merged(
+        cls, histograms: Iterable["Histogram"], name: str = "merged"
+    ) -> "Histogram":
+        """A fresh histogram equal to the merge of ``histograms``."""
+        result: Optional[Histogram] = None
+        for histogram in histograms:
+            if result is None:
+                result = cls(name, buckets=histogram.bounds)
+            result.merge(histogram)
+        if result is None:
+            raise TelemetryError("cannot merge zero histograms")
+        return result
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Wire-friendly state with cumulative buckets and quantiles."""
+        with self._lock:
+            count = self._count
+            total = self._sum
+            counts = list(self._counts)
+            minimum = self._min if count else None
+            maximum = self._max if count else None
+        cumulative = 0
+        buckets = []
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            upper = (
+                self.bounds[index]
+                if index < len(self.bounds)
+                else math.inf
+            )
+            buckets.append([upper, cumulative])
+        return {
+            "count": count,
+            "sum": total,
+            "min": minimum,
+            "max": maximum,
+            "buckets": buckets,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with consistent snapshot/exposition.
+
+    Get-or-create semantics: asking twice for the same (name, labels)
+    returns the same instrument; asking for an existing name with a
+    different *kind* is a bug and raises
+    :class:`~repro.errors.TelemetryError`.  All methods are
+    thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> kind; (name, labels) -> instrument.
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+        self._instruments: Dict[
+            Tuple[str, Tuple[Tuple[str, str], ...]], _Instrument
+        ] = {}
+
+    def _get_or_create(self, factory, name, help, labels, **kwargs):
+        key = (name, _freeze_labels(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if existing.kind != factory.kind:
+                    raise TelemetryError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {factory.kind}"
+                    )
+                return existing
+            registered_kind = self._kinds.get(name)
+            if (
+                registered_kind is not None
+                and registered_kind != factory.kind
+            ):
+                raise TelemetryError(
+                    f"metric {name!r} already registered as "
+                    f"{registered_kind}, not {factory.kind}"
+                )
+            instrument = factory(name, help, labels, **kwargs)
+            self._kinds[name] = factory.kind
+            if help or name not in self._help:
+                self._help[name] = help
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name, help="", labels=None) -> Counter:
+        """Get or create a counter series."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name, help="", labels=None) -> Gauge:
+        """Get or create a gauge series."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self, name, help="", labels=None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram series."""
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    def instruments(self) -> List[_Instrument]:
+        """Every registered instrument, in registration order."""
+        with self._lock:
+            return list(self._instruments.values())
+
+    def get(self, name, labels=None) -> Optional[_Instrument]:
+        """The instrument for (name, labels), or ``None``."""
+        with self._lock:
+            return self._instruments.get((name, _freeze_labels(labels)))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One wire-encodable dict of every metric's current state.
+
+        Shape::
+
+            {name: {"type": kind, "help": ...,
+                    "series": [{"labels": {...}, ...state...}]}}
+
+        Each instrument snapshots under its own lock, so every
+        individual series is internally consistent (a histogram's
+        ``count`` always equals its +Inf cumulative bucket).
+        """
+        result: Dict[str, Any] = {}
+        for instrument in self.instruments():
+            entry = result.setdefault(
+                instrument.name,
+                {
+                    "type": instrument.kind,
+                    "help": self._help.get(instrument.name, ""),
+                    "series": [],
+                },
+            )
+            state = instrument.snapshot()
+            state["labels"] = dict(instrument.labels)
+            entry["series"].append(state)
+        return result
+
+    def render_text(self) -> str:
+        """The Prometheus text exposition of every metric.
+
+        Counters and gauges render one sample per series; histograms
+        render cumulative ``_bucket{le=...}`` samples plus ``_sum`` and
+        ``_count``, all label-sets grouped under one HELP/TYPE header.
+        """
+        lines: List[str] = []
+        by_name: Dict[str, List[_Instrument]] = {}
+        for instrument in self.instruments():
+            by_name.setdefault(instrument.name, []).append(instrument)
+        for name, instruments in by_name.items():
+            help_text = self._help.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {instruments[0].kind}")
+            for instrument in instruments:
+                lines.extend(_render_instrument(instrument))
+        return "\n".join(lines) + "\n"
+
+
+def _render_instrument(instrument: _Instrument) -> List[str]:
+    name = instrument.name
+    if isinstance(instrument, Histogram):
+        state = instrument.snapshot()
+        lines = []
+        for upper, cumulative in state["buckets"]:
+            le = _format_number(float(upper))
+            labels = dict(instrument.labels)
+            body = ",".join(
+                f'{k}="{_escape_label_value(v)}"'
+                for k, v in labels.items()
+            )
+            prefix = f'{name}_bucket{{{body + "," if body else ""}le="{le}"}}'
+            lines.append(f"{prefix} {cumulative}")
+        suffix = instrument._label_suffix()
+        lines.append(
+            f"{name}_sum{suffix} {_format_number(float(state['sum']))}"
+        )
+        lines.append(f"{name}_count{suffix} {state['count']}")
+        return lines
+    value = instrument.snapshot()["value"]
+    return [
+        f"{name}{instrument._label_suffix()} "
+        f"{_format_number(float(value))}"
+    ]

@@ -1,0 +1,158 @@
+"""Lightweight trace spans and the slow-operation log.
+
+A *trace* follows one submission through the serving stack.  Its ID is
+a random 63-bit integer minted at ``submit``/SUBMIT-frame time
+(:func:`mint_trace_id`); the same integer rides the request through
+router, shard worker, and global merge, crosses the wire in the
+protocol v2 header, and comes back on the reply — so a slow answer can
+be matched to the exact stages that produced it.
+
+Stages are recorded with :meth:`Tracer.span` (a context manager timing
+a block) or :meth:`Tracer.record` (attributing an externally measured
+duration, e.g. a shard worker's ``busy_seconds`` observed by the
+parent process).  :meth:`Tracer.finish` closes a trace, computes its
+total and per-stage breakdown, and — when the total exceeds the
+configured threshold — appends it to a bounded in-memory slow-op log
+(:meth:`Tracer.slow_ops`) that the STATS frame exposes.
+
+Everything is thread-safe and bounded: at most ``max_live_traces``
+open traces and ``max_slow_ops`` retained slow entries, so a stuck
+client cannot grow server memory.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from collections import OrderedDict, deque
+from contextlib import contextmanager
+from typing import Any, Deque, Dict, List, Optional
+
+#: Trace IDs are uniform in [1, 2**63): they fit a signed 64-bit slot
+#: and the wire codec's fixed-width field, and 0 is reserved to mean
+#: "no trace" in the protocol header.
+_TRACE_ID_BITS = 63
+
+
+def mint_trace_id() -> int:
+    """A fresh random non-zero trace ID (63 usable bits)."""
+    while True:
+        trace_id = secrets.randbits(_TRACE_ID_BITS)
+        if trace_id:
+            return trace_id
+
+
+class Tracer:
+    """Collects per-trace stage timings and keeps a slow-op log.
+
+    Args:
+        slow_threshold: Traces whose wall-clock total (first stage
+            start to ``finish``) meets or exceeds this many seconds are
+            retained in the slow-op log with their per-stage breakdown.
+        max_slow_ops: Bound on retained slow entries (oldest evicted).
+        max_live_traces: Bound on concurrently open traces; the oldest
+            open trace is dropped (never finished) beyond this, so an
+            abandoned trace cannot leak.
+    """
+
+    def __init__(
+        self,
+        slow_threshold: float = 0.050,
+        max_slow_ops: int = 128,
+        max_live_traces: int = 4096,
+    ):
+        self.slow_threshold = float(slow_threshold)
+        self.max_slow_ops = int(max_slow_ops)
+        self.max_live_traces = int(max_live_traces)
+        self._lock = threading.Lock()
+        # trace_id -> {"started": t, "stages": [(stage, seconds), ...]}
+        self._live: "OrderedDict[int, Dict[str, Any]]" = OrderedDict()
+        self._slow: Deque[Dict[str, Any]] = deque(maxlen=self.max_slow_ops)
+        self._finished = 0
+        self._slow_total = 0
+
+    def _entry(self, trace_id: int) -> Dict[str, Any]:
+        entry = self._live.get(trace_id)
+        if entry is None:
+            entry = {"started": time.perf_counter(), "stages": []}
+            self._live[trace_id] = entry
+            while len(self._live) > self.max_live_traces:
+                self._live.popitem(last=False)
+        return entry
+
+    def record(
+        self, trace_id: Optional[int], stage: str, seconds: float
+    ) -> None:
+        """Attribute an externally measured duration to a stage.
+
+        A ``None`` trace ID is a no-op, so call sites need no guard.
+        """
+        if trace_id is None:
+            return
+        with self._lock:
+            self._entry(trace_id)["stages"].append(
+                (stage, float(seconds))
+            )
+
+    @contextmanager
+    def span(self, trace_id: Optional[int], stage: str):
+        """Time a block and record it against ``trace_id``/``stage``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(
+                trace_id, stage, time.perf_counter() - started
+            )
+
+    def finish(self, trace_id: Optional[int]) -> Optional[Dict[str, Any]]:
+        """Close a trace and return its summary.
+
+        The summary maps ``trace_id``, ``total_seconds`` (wall clock
+        from the first recorded stage), and ``stages`` (ordered
+        ``[stage, seconds]`` pairs, repeated stages kept separate).
+        Slow traces are additionally retained in :meth:`slow_ops`.
+        Finishing an unknown/``None`` trace returns ``None``.
+        """
+        if trace_id is None:
+            return None
+        with self._lock:
+            entry = self._live.pop(trace_id, None)
+            if entry is None:
+                return None
+            total = time.perf_counter() - entry["started"]
+            summary = {
+                "trace_id": trace_id,
+                "total_seconds": total,
+                "stages": [
+                    [stage, seconds]
+                    for stage, seconds in entry["stages"]
+                ],
+            }
+            self._finished += 1
+            if total >= self.slow_threshold:
+                self._slow_total += 1
+                self._slow.append(summary)
+            return summary
+
+    def live_count(self) -> int:
+        """Number of currently open traces."""
+        with self._lock:
+            return len(self._live)
+
+    def slow_ops(self) -> List[Dict[str, Any]]:
+        """Retained slow-trace summaries, oldest first."""
+        with self._lock:
+            return [dict(entry) for entry in self._slow]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Wire-friendly state: counts plus the slow-op log."""
+        with self._lock:
+            return {
+                "live": len(self._live),
+                "finished": self._finished,
+                "slow_total": self._slow_total,
+                "slow_threshold": self.slow_threshold,
+                "slow_ops": [dict(entry) for entry in self._slow],
+            }

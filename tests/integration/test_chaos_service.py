@@ -84,6 +84,37 @@ def _wait_snapshot(service, shard_id, seq, timeout=10.0):
     )
 
 
+def _wait_pid_dead(pid, timeout=10.0):
+    """Poll until ``pid`` is gone or a zombie awaiting reap.
+
+    SIGKILL delivery is asynchronous: a fixed post-kill sleep races the
+    kernel on a loaded runner.  A zombie counts as dead — it can never
+    touch its queues again — and we must *not* wait for the reap
+    itself, because the supervisor only reaps during the next
+    submit/poll, which these tests deliberately hold back.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(f"/proc/{pid}/stat", "rb") as stat:
+                line = stat.read().decode("ascii", "replace")
+        except (FileNotFoundError, ProcessLookupError):
+            if not os.path.isdir("/proc"):
+                # No procfs (macOS dev boxes): fall back to the old
+                # fixed wait rather than skipping it entirely.
+                time.sleep(0.05)
+            return
+        # State is the first field after the parenthesised comm, which
+        # may itself contain spaces and parentheses.
+        state = line.rpartition(")")[2].split()
+        if state and state[0] in ("Z", "X", "x"):
+            return
+        time.sleep(0.005)
+    raise AssertionError(
+        f"pid {pid} still running {timeout}s after SIGKILL"
+    )
+
+
 def _prefix_with_n_shard_records(records, shard_id, n):
     """Split so the prefix routes exactly ``n`` records to ``shard_id``.
 
@@ -144,8 +175,9 @@ def test_acceptance_full_chaos_suite():
         head, tail = _prefix_with_n_shard_records(poisoned, 1, 40)
         service.submit_many(head)
         _wait_snapshot(service, 1, 4)
-        os.kill(service.shard_pids()[1], signal.SIGKILL)
-        time.sleep(0.05)
+        victim = service.shard_pids()[1]
+        os.kill(victim, signal.SIGKILL)
+        _wait_pid_dead(victim)
         service.submit_many(tail)
         result = service.close(timeout=60.0)
     except BaseException:
@@ -207,8 +239,9 @@ def test_corrupt_checkpoint_falls_back_one_generation():
         # (seq 6) is deterministically current at kill time.
         service.submit_many(records[:65])
         _wait_snapshot(service, 0, 6)
-        os.kill(service.shard_pids()[0], signal.SIGKILL)
-        time.sleep(0.05)
+        victim = service.shard_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        _wait_pid_dead(victim)
         service.submit_many(records[65:])
         result = service.close(timeout=60.0)
     except BaseException:
@@ -242,8 +275,9 @@ def test_both_generations_corrupt_fails_the_shard_cleanly():
         # on file at kill time, and both are bit-flipped.
         service.submit_many(records[:65])
         _wait_snapshot(service, 0, 6)
-        os.kill(service.shard_pids()[0], signal.SIGKILL)
-        time.sleep(0.05)
+        victim = service.shard_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        _wait_pid_dead(victim)
         service.submit_many(records[65:])
         result = service.close(timeout=60.0)
     except BaseException:

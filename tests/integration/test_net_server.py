@@ -70,10 +70,10 @@ class SlowGateway(ServiceGateway):
         super().__init__(service)
         self._delay = delay
 
-    def submit_many(self, records):
+    def submit_many(self, records, trace_id=None):
         """Sleep, then delegate — simulates a busy backend."""
         time.sleep(self._delay)
-        return super().submit_many(records)
+        return super().submit_many(records, trace_id)
 
 
 @pytest.mark.timeout(120)
@@ -245,7 +245,15 @@ class TestAdmissionControl:
                 saturator.send_frame(
                     FrameType.SUBMIT_BATCH, [("k", 1)] * 8
                 )
-                time.sleep(0.1)  # let the server admit the burst
+                # Wait for the server to actually admit the burst (a
+                # fixed sleep races the event loop on loaded runners):
+                # the in-flight budget is observable server state.
+                deadline = time.monotonic() + 10.0
+                while server._budget.records < 8:
+                    assert time.monotonic() < deadline, (
+                        "server never admitted the saturating burst"
+                    )
+                    time.sleep(0.001)
                 with pytest.raises(ServerOverloadedError):
                     victim.submit_batch([("k", 999)] * 8)
                 assert saturator.read_reply()[1]["accepted"] == 8

@@ -22,12 +22,14 @@ from hypothesis import strategies as st
 
 from repro.errors import ProtocolError
 from repro.net.protocol import (
+    MAX_TRACE_ID,
     FrameDecoder,
     FrameType,
     decode_value,
     encode_frame,
     encode_value,
     try_decode_frame,
+    try_decode_frame_traced,
 )
 
 # NaN breaks == comparison; it has its own explicit unit test.
@@ -122,6 +124,64 @@ def test_streaming_decode_is_chunking_invariant(
         decoder.feed(stream[start : start + chunk_size])
         seen.extend(decoder.frames())
     assert seen == [(frame_type, payload)] * 3
+    assert decoder.pending_bytes == 0
+
+
+trace_ids = st.one_of(
+    st.none(), st.integers(min_value=1, max_value=MAX_TRACE_ID)
+)
+
+
+@given(frame_types, values, trace_ids)
+def test_traced_frame_round_trip(frame_type, payload, trace_id):
+    """Any trace id (or none) survives the wire unchanged."""
+    frame = encode_frame(frame_type, payload, trace_id=trace_id)
+    decoded = try_decode_frame_traced(frame)
+    assert decoded is not None
+    got, consumed = decoded
+    assert got.frame_type is frame_type
+    assert got.payload == payload
+    assert got.trace_id == trace_id
+    assert consumed == len(frame)
+    # The untraced API sees the same frame, minus the trace.
+    assert try_decode_frame(frame) == (frame_type, payload, len(frame))
+
+
+@given(frame_types, values, trace_ids, st.data())
+def test_traced_strict_prefixes_never_decode(
+    frame_type, payload, trace_id, data
+):
+    frame = encode_frame(frame_type, payload, trace_id=trace_id)
+    cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    assert try_decode_frame_traced(frame[:cut]) is None
+
+
+@given(
+    st.lists(
+        st.tuples(frame_types, values, trace_ids),
+        min_size=1,
+        max_size=5,
+    ),
+    st.integers(min_value=1, max_value=7),
+)
+@settings(max_examples=50)
+def test_mixed_version_streaming_is_chunking_invariant(
+    messages, chunk_size
+):
+    """v1 and v2 frames interleave freely on one byte stream."""
+    stream = b"".join(
+        encode_frame(frame_type, payload, trace_id=trace_id)
+        for frame_type, payload, trace_id in messages
+    )
+    decoder = FrameDecoder()
+    seen = []
+    for start in range(0, len(stream), chunk_size):
+        decoder.feed(stream[start : start + chunk_size])
+        seen.extend(decoder.frames_traced())
+    assert [
+        (frame.frame_type, frame.payload, frame.trace_id)
+        for frame in seen
+    ] == messages
     assert decoder.pending_bytes == 0
 
 

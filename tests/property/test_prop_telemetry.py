@@ -1,0 +1,229 @@
+"""Property tests: the telemetry sketches agree with exact oracles.
+
+Hypothesis drives random observation sets and bucket layouts through
+the fixed-bucket :class:`~repro.telemetry.Histogram` and asserts it
+behaves like the exact reference computed from the raw values: every
+quantile answer is the resolution-limited projection of the true
+rank-order statistic, merging histograms equals histogramming the
+concatenation, and counters/gauges stay exact under thread hammering.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+values = st.floats(
+    min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+observations = st.lists(values, min_size=1, max_size=80)
+
+bucket_bounds = st.lists(
+    st.floats(
+        min_value=1e-3, max_value=1e4,
+        allow_nan=False, allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=12,
+    unique=True,
+).map(sorted)
+
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+def oracle_bucket(bounds, value):
+    """Index of the finite bucket holding ``value``; len(bounds) = +Inf."""
+    return bisect.bisect_left(bounds, value)
+
+
+@given(samples=observations, bounds=bucket_bounds, fraction=fractions)
+@settings(max_examples=200, deadline=None)
+def test_quantile_matches_sorted_reference_oracle(
+    samples, bounds, fraction
+):
+    """quantile(q) is the exact rank statistic rounded up to its bucket.
+
+    The sketch cannot distinguish values within a bucket, so the
+    tightest claim it can honour is: take the true q-quantile from the
+    sorted raw values, find the bucket it falls in, and report that
+    bucket's upper bound (or the observed max in the overflow bucket).
+    The histogram must match that projection exactly.
+    """
+    histogram = Histogram("h", buckets=bounds)
+    for sample in samples:
+        histogram.observe(sample)
+
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    exact = ordered[rank - 1]
+    bucket = oracle_bucket(bounds, exact)
+    if bucket == len(bounds):
+        expected = max(samples)
+    else:
+        expected = bounds[bucket]
+
+    assert histogram.quantile(fraction) == expected
+
+
+@given(samples=observations, bounds=bucket_bounds)
+@settings(max_examples=200, deadline=None)
+def test_bucket_counts_match_exact_partition(samples, bounds):
+    histogram = Histogram("h", buckets=bounds)
+    for sample in samples:
+        histogram.observe(sample)
+    expected = [0] * (len(bounds) + 1)
+    for sample in samples:
+        expected[oracle_bucket(bounds, sample)] += 1
+    assert histogram.bucket_counts() == expected
+    assert histogram.count == len(samples)
+    assert histogram.sum == pytest.approx(sum(samples))
+    assert histogram.minimum == min(samples)
+    assert histogram.maximum == max(samples)
+
+
+@given(
+    parts=st.lists(observations, min_size=1, max_size=5),
+    bounds=bucket_bounds,
+)
+@settings(max_examples=150, deadline=None)
+def test_merge_of_histograms_equals_histogram_of_concatenation(
+    parts, bounds
+):
+    merged_parts = []
+    reference = Histogram("all", buckets=bounds)
+    for index, part in enumerate(parts):
+        histogram = Histogram(f"part_{index}", buckets=bounds)
+        for sample in part:
+            histogram.observe(sample)
+            reference.observe(sample)
+        merged_parts.append(histogram)
+
+    merged = Histogram.merged(merged_parts, name="merged")
+
+    assert merged.bucket_counts() == reference.bucket_counts()
+    assert merged.count == reference.count
+    assert merged.sum == pytest.approx(reference.sum)
+    assert merged.minimum == reference.minimum
+    assert merged.maximum == reference.maximum
+    for fraction in (0.0, 0.5, 0.9, 0.99, 1.0):
+        assert merged.quantile(fraction) == reference.quantile(fraction)
+
+
+@given(samples=observations, bounds=bucket_bounds)
+@settings(max_examples=100, deadline=None)
+def test_snapshot_cumulative_buckets_are_monotone_and_total(
+    samples, bounds
+):
+    histogram = Histogram("h", buckets=bounds)
+    for sample in samples:
+        histogram.observe(sample)
+    state = histogram.snapshot()
+    cumulative = [count for _, count in state["buckets"]]
+    assert all(
+        earlier <= later
+        for earlier, later in zip(cumulative, cumulative[1:])
+    )
+    assert cumulative[-1] == len(samples)
+    uppers = [upper for upper, _ in state["buckets"]]
+    assert uppers == list(bounds) + [math.inf]
+
+
+@given(
+    increments=st.lists(
+        st.integers(min_value=0, max_value=1000),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_counter_equals_running_total(increments):
+    counter = Counter("c")
+    total = 0
+    for step in increments:
+        counter.inc(step)
+        total += step
+        assert counter.value == total
+
+
+@given(
+    deltas=st.lists(
+        st.integers(min_value=-500, max_value=500),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_gauge_tracks_sum_of_deltas(deltas):
+    gauge = Gauge("g")
+    for delta in deltas:
+        gauge.inc(delta)
+    assert gauge.value == sum(deltas)
+
+
+class TestThreadHammering:
+    """Snapshots stay exact and internally consistent under contention."""
+
+    def test_counter_hammered_from_many_threads(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        threads_count, per_thread = 8, 2500
+        barrier = threading.Barrier(threads_count)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [
+            threading.Thread(target=hammer)
+            for _ in range(threads_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == threads_count * per_thread
+        snap = registry.snapshot()
+        assert snap["hits_total"]["series"][0]["value"] == (
+            threads_count * per_thread
+        )
+
+    def test_histogram_snapshot_consistent_while_hammered(self):
+        """count == sum of per-bucket counts in every live snapshot."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=[0.5, 2.0])
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                for sample in (0.1, 1.0, 5.0):
+                    histogram.observe(sample)
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            for _ in range(200):
+                state = histogram.snapshot()
+                cumulative = [count for _, count in state["buckets"]]
+                assert cumulative[-1] == state["count"]
+                assert all(
+                    earlier <= later
+                    for earlier, later in zip(
+                        cumulative, cumulative[1:]
+                    )
+                )
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join()
+        final = histogram.snapshot()
+        assert final["count"] == histogram.count
+        assert final["count"] % 3 == 0  # observes happen in triples

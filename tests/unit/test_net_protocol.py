@@ -9,9 +9,12 @@ import pytest
 from repro.errors import ProtocolError
 from repro.net.protocol import (
     HEADER,
+    LEGACY_PROTOCOL_VERSION,
     MAGIC,
     MAX_PAYLOAD_BYTES,
+    MAX_TRACE_ID,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     FrameDecoder,
     FrameType,
     decode_answers,
@@ -20,6 +23,7 @@ from repro.net.protocol import (
     encode_frame,
     encode_value,
     try_decode_frame,
+    try_decode_frame_traced,
 )
 from repro.windows.query import Query
 
@@ -177,6 +181,98 @@ class TestFrameCodec:
         second = try_decode_frame(buffer, first[2])
         assert second[0] is FrameType.STATS
         assert second[2] == len(buffer)
+
+
+class TestTracedFrames:
+    """The v2 trace-id field: minimal-version emission, back-compat."""
+
+    def test_version_constants_are_consistent(self):
+        assert PROTOCOL_VERSION == 2
+        assert LEGACY_PROTOCOL_VERSION == 1
+        assert SUPPORTED_VERSIONS == frozenset({1, 2})
+
+    def test_untraced_frame_is_byte_identical_v1(self):
+        frame = encode_frame(FrameType.POLL, None)
+        assert frame[2] == LEGACY_PROTOCOL_VERSION
+        assert len(frame) == HEADER.size + len(encode_value(None))
+
+    def test_traced_round_trip(self):
+        trace = 0x1234_5678_9ABC_DEF0
+        frame = encode_frame(FrameType.SUBMIT, ("k", 1), trace_id=trace)
+        assert frame[2] == PROTOCOL_VERSION
+        decoded, consumed = try_decode_frame_traced(frame)
+        assert consumed == len(frame)
+        assert decoded.frame_type is FrameType.SUBMIT
+        assert decoded.payload == ("k", 1)
+        assert decoded.trace_id == trace
+
+    def test_traced_frame_is_header_plus_eight_bytes_larger(self):
+        untraced = encode_frame(FrameType.POLL, None)
+        traced = encode_frame(FrameType.POLL, None, trace_id=1)
+        assert len(traced) == len(untraced) + 8
+
+    def test_v1_frame_decodes_with_no_trace(self):
+        frame = encode_frame(FrameType.STATS, None)
+        decoded, consumed = try_decode_frame_traced(frame)
+        assert consumed == len(frame)
+        assert decoded.trace_id is None
+
+    def test_zero_trace_field_on_the_wire_decodes_as_none(self):
+        """A v2 peer may send an explicit 'no trace' zero field."""
+        body = encode_value(None)
+        frame = (
+            HEADER.pack(
+                MAGIC, PROTOCOL_VERSION, int(FrameType.POLL), len(body)
+            )
+            + (0).to_bytes(8, "big")
+            + body
+        )
+        decoded, consumed = try_decode_frame_traced(frame)
+        assert consumed == len(frame)
+        assert decoded.trace_id is None
+
+    def test_trace_id_bounds_are_enforced_at_encode_time(self):
+        encode_frame(FrameType.POLL, None, trace_id=1)
+        encode_frame(FrameType.POLL, None, trace_id=MAX_TRACE_ID)
+        for bad in (0, -1, MAX_TRACE_ID + 1):
+            with pytest.raises(ProtocolError, match="trace id"):
+                encode_frame(FrameType.POLL, None, trace_id=bad)
+
+    def test_truncated_v2_header_waits_for_more_bytes(self):
+        frame = encode_frame(FrameType.SUBMIT, ("k", 1), trace_id=7)
+        for cut in range(len(frame)):
+            assert try_decode_frame_traced(frame[:cut]) is None
+
+    def test_legacy_api_discards_the_trace(self):
+        frame = encode_frame(FrameType.SUBMIT, ("k", 1), trace_id=7)
+        assert try_decode_frame(frame) == (
+            FrameType.SUBMIT, ("k", 1), len(frame),
+        )
+
+    def test_decoder_streams_mixed_version_frames(self):
+        frames = [
+            encode_frame(FrameType.SUBMIT, ("a", 1)),
+            encode_frame(FrameType.SUBMIT, ("b", 2), trace_id=42),
+            encode_frame(FrameType.POLL, None),
+        ]
+        blob = b"".join(frames)
+        decoder = FrameDecoder()
+        collected = []
+        for cut in range(0, len(blob), 3):
+            decoder.feed(blob[cut : cut + 3])
+            collected.extend(decoder.frames_traced())
+        assert [frame.trace_id for frame in collected] == [None, 42, None]
+        assert [frame.payload for frame in collected] == [
+            ("a", 1), ("b", 2), None,
+        ]
+
+    def test_oversized_traced_length_is_rejected(self):
+        header = HEADER.pack(
+            MAGIC, PROTOCOL_VERSION, int(FrameType.POLL),
+            MAX_PAYLOAD_BYTES + 1,
+        )
+        with pytest.raises(ProtocolError, match="frame limit"):
+            try_decode_frame_traced(header + (1).to_bytes(8, "big"))
 
 
 class TestAnswerMarshalling:

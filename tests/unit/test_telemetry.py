@@ -1,0 +1,442 @@
+"""Unit tests pinning the semantics of :mod:`repro.telemetry`.
+
+Instrument behaviour (counter monotonicity, gauge levels, histogram
+bucketing/quantiles/merge), registry get-or-create and exposition
+format, tracer span/record/finish and the slow-op log, the Telemetry
+hub, and the process-global install/active/uninstall hook.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    active,
+    install,
+    mint_trace_id,
+    uninstall,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_global_hub():
+    """Keep the process-global hook clean around every test."""
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("events_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        assert counter.snapshot() == {"value": 42}
+
+    def test_zero_increment_is_allowed(self):
+        counter = Counter("events_total")
+        counter.inc(0)
+        assert counter.value == 0
+
+    def test_negative_increment_is_rejected(self):
+        counter = Counter("events_total")
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("level")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+        gauge.inc(-12)
+        assert gauge.value == 0
+
+    def test_snapshot(self):
+        gauge = Gauge("level")
+        gauge.set(2.5)
+        assert gauge.snapshot() == {"value": 2.5}
+
+
+class TestHistogram:
+    def test_default_buckets_cover_latency_range(self):
+        histogram = Histogram("latency")
+        assert histogram.bounds == DEFAULT_LATENCY_BUCKETS
+        assert histogram.bounds[0] == pytest.approx(5e-5)
+        assert histogram.bounds[-1] == 10.0
+
+    def test_observe_places_values_in_buckets(self):
+        histogram = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        for value in [0.5, 1.0, 1.5, 3.0, 100.0]:
+            histogram.observe(value)
+        # counts: <=1: {0.5, 1.0}; <=2: {1.5}; <=4: {3.0}; +Inf: {100}
+        assert histogram.bucket_counts() == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(106.0)
+        assert histogram.minimum == 0.5
+        assert histogram.maximum == 100.0
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        histogram = Histogram("h", buckets=[1.0, 2.0])
+        histogram.observe(1.0)  # le="1" is inclusive
+        assert histogram.bucket_counts() == [1, 0, 0]
+
+    def test_bucket_of_maps_values_to_indices(self):
+        histogram = Histogram("h", buckets=[1.0, 2.0])
+        assert histogram.bucket_of(0.5) == 0
+        assert histogram.bucket_of(1.0) == 0
+        assert histogram.bucket_of(1.5) == 1
+        assert histogram.bucket_of(99.0) == 2  # overflow bucket
+
+    def test_empty_histogram_reports_none(self):
+        histogram = Histogram("h", buckets=[1.0])
+        assert histogram.quantile(0.5) is None
+        assert histogram.minimum is None
+        assert histogram.maximum is None
+
+    def test_quantile_returns_bucket_upper_bound(self):
+        histogram = Histogram("h", buckets=[1.0, 2.0, 4.0])
+        for value in [0.1, 0.2, 1.5, 3.0]:
+            histogram.observe(value)
+        # ranks: q=0.5 -> rank 2 -> first bucket (upper 1.0)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.75) == 2.0
+        assert histogram.quantile(1.0) == 4.0
+        assert histogram.quantile(0.0) == 1.0  # rank clamps to 1
+
+    def test_quantile_in_overflow_bucket_reports_observed_max(self):
+        histogram = Histogram("h", buckets=[1.0])
+        histogram.observe(50.0)
+        histogram.observe(75.0)
+        assert histogram.quantile(0.99) == 75.0
+
+    def test_quantile_fraction_out_of_range(self):
+        histogram = Histogram("h", buckets=[1.0])
+        with pytest.raises(TelemetryError):
+            histogram.quantile(1.5)
+        with pytest.raises(TelemetryError):
+            histogram.quantile(-0.1)
+
+    def test_bounds_must_be_ascending_finite_nonempty(self):
+        with pytest.raises(TelemetryError):
+            Histogram("h", buckets=[])
+        with pytest.raises(TelemetryError):
+            Histogram("h", buckets=[2.0, 1.0])
+        with pytest.raises(TelemetryError):
+            Histogram("h", buckets=[1.0, 1.0])
+        with pytest.raises(TelemetryError):
+            Histogram("h", buckets=[1.0, math.inf])
+
+    def test_merge_requires_identical_bounds(self):
+        left = Histogram("h", buckets=[1.0, 2.0])
+        right = Histogram("h", buckets=[1.0, 3.0])
+        with pytest.raises(TelemetryError):
+            left.merge(right)
+
+    def test_merge_equals_concatenation(self):
+        bounds = [1.0, 2.0, 4.0]
+        left, right, both = (
+            Histogram("l", buckets=bounds),
+            Histogram("r", buckets=bounds),
+            Histogram("b", buckets=bounds),
+        )
+        first, second = [0.5, 3.0, 9.0], [1.5, 0.25]
+        for value in first:
+            left.observe(value)
+            both.observe(value)
+        for value in second:
+            right.observe(value)
+            both.observe(value)
+        left.merge(right)
+        assert left.bucket_counts() == both.bucket_counts()
+        assert left.count == both.count
+        assert left.sum == pytest.approx(both.sum)
+        assert left.minimum == both.minimum
+        assert left.maximum == both.maximum
+
+    def test_merged_classmethod(self):
+        bounds = [1.0]
+        parts = []
+        for start in range(3):
+            histogram = Histogram("p", buckets=bounds)
+            histogram.observe(start * 1.0)
+            parts.append(histogram)
+        merged = Histogram.merged(parts)
+        assert merged.count == 3
+        with pytest.raises(TelemetryError):
+            Histogram.merged([])
+
+    def test_snapshot_buckets_are_cumulative_and_end_at_count(self):
+        histogram = Histogram("h", buckets=[1.0, 2.0])
+        for value in [0.5, 1.5, 5.0, 7.0]:
+            histogram.observe(value)
+        state = histogram.snapshot()
+        uppers = [upper for upper, _ in state["buckets"]]
+        cumulative = [count for _, count in state["buckets"]]
+        assert uppers == [1.0, 2.0, math.inf]
+        assert cumulative == [1, 2, 4]
+        assert cumulative[-1] == state["count"]
+        assert state["p50"] == 2.0
+        assert state["max"] == 7.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", "Hits")
+        second = registry.counter("hits_total")
+        assert first is second
+        first.inc()
+        assert second.value == 1
+
+    def test_label_sets_are_distinct_series(self):
+        registry = MetricsRegistry()
+        ok = registry.counter("replies", labels={"code": "ok"})
+        err = registry.counter("replies", labels={"code": "err"})
+        assert ok is not err
+        ok.inc(3)
+        assert err.value == 0
+        assert registry.get("replies", {"code": "ok"}) is ok
+        assert registry.get("replies", {"code": "missing"}) is None
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        one = registry.counter("c", labels={"a": "1", "b": "2"})
+        two = registry.counter("c", labels={"b": "2", "a": "1"})
+        assert one is two
+
+    def test_kind_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(TelemetryError):
+            registry.gauge("thing")
+        with pytest.raises(TelemetryError):
+            registry.histogram("thing", labels={"x": "y"})
+
+    def test_invalid_names_are_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.counter("bad name")
+        with pytest.raises(TelemetryError):
+            registry.counter("1starts_with_digit")
+        with pytest.raises(TelemetryError):
+            registry.counter("ok_name", labels={"bad-label": "v"})
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help here").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=[1.0]).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["c"]["type"] == "counter"
+        assert snap["c"]["help"] == "help here"
+        assert snap["c"]["series"][0]["value"] == 2
+        assert snap["g"]["series"][0]["value"] == 1.5
+        assert snap["h"]["series"][0]["count"] == 1
+
+    def test_render_text_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "requests_total", "Requests", labels={"kind": "submit"}
+        ).inc(7)
+        registry.gauge("inflight").set(3)
+        registry.histogram(
+            "latency_seconds", "Latency", buckets=[0.1, 1.0]
+        ).observe(0.5)
+        text = registry.render_text()
+        assert "# HELP requests_total Requests\n" in text
+        assert "# TYPE requests_total counter\n" in text
+        assert 'requests_total{kind="submit"} 7\n' in text
+        assert "inflight 3\n" in text
+        assert "# TYPE latency_seconds histogram\n" in text
+        assert 'latency_seconds_bucket{le="0.1"} 0\n' in text
+        assert 'latency_seconds_bucket{le="1"} 1\n' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 1\n' in text
+        assert "latency_seconds_sum 0.5\n" in text
+        assert "latency_seconds_count 1\n" in text
+        assert text.endswith("\n")
+
+    def test_render_text_formats_infinities_and_integral_floats(self):
+        registry = MetricsRegistry()
+        registry.gauge("low").set(-math.inf)
+        registry.gauge("high").set(math.inf)
+        registry.gauge("level").set(3.0)
+        text = registry.render_text()
+        assert "low -Inf\n" in text
+        assert "high +Inf\n" in text
+        assert "level 3\n" in text  # integral floats render bare
+
+    def test_render_text_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "c", labels={"path": 'a"b\\c\nd'}
+        ).inc()
+        text = registry.render_text()
+        assert r'c{path="a\"b\\c\nd"} 1' in text
+
+    def test_histogram_labels_render_before_le(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "h", labels={"stage": "fold"}, buckets=[1.0]
+        ).observe(0.5)
+        text = registry.render_text()
+        assert 'h_bucket{stage="fold",le="1"} 1' in text
+        assert 'h_sum{stage="fold"} 0.5' in text
+
+
+class TestTracer:
+    def test_mint_trace_id_is_nonzero_and_wire_sized(self):
+        seen = {mint_trace_id() for _ in range(100)}
+        assert 0 not in seen
+        assert all(1 <= trace < 2**63 for trace in seen)
+        assert len(seen) == 100  # collisions astronomically unlikely
+
+    def test_span_and_record_accumulate_stages(self):
+        tracer = Tracer(slow_threshold=1e9)
+        trace = mint_trace_id()
+        with tracer.span(trace, "decode"):
+            pass
+        tracer.record(trace, "fold", 0.25)
+        summary = tracer.finish(trace)
+        stages = dict(
+            (stage, seconds) for stage, seconds in summary["stages"]
+        )
+        assert set(stages) == {"decode", "fold"}
+        assert stages["fold"] == 0.25
+        assert summary["trace_id"] == trace
+        assert summary["total_seconds"] >= 0.0
+
+    def test_none_trace_is_a_noop(self):
+        tracer = Tracer()
+        tracer.record(None, "stage", 1.0)
+        with tracer.span(None, "stage"):
+            pass
+        assert tracer.finish(None) is None
+        assert tracer.live_count() == 0
+
+    def test_finish_unknown_trace_returns_none(self):
+        tracer = Tracer()
+        assert tracer.finish(12345) is None
+
+    def test_slow_ops_capture_threshold_exceeders(self):
+        tracer = Tracer(slow_threshold=0.0)
+        trace = mint_trace_id()
+        tracer.record(trace, "fold", 0.5)
+        tracer.finish(trace)
+        ops = tracer.slow_ops()
+        assert len(ops) == 1
+        assert ops[0]["trace_id"] == trace
+        snap = tracer.snapshot()
+        assert snap["finished"] == 1
+        assert snap["slow_total"] == 1
+        assert snap["live"] == 0
+
+    def test_fast_traces_stay_out_of_slow_log(self):
+        tracer = Tracer(slow_threshold=1e9)
+        trace = mint_trace_id()
+        tracer.record(trace, "fold", 0.0)
+        tracer.finish(trace)
+        assert tracer.slow_ops() == []
+        assert tracer.snapshot()["slow_total"] == 0
+
+    def test_slow_log_is_bounded(self):
+        tracer = Tracer(slow_threshold=0.0, max_slow_ops=3)
+        traces = [mint_trace_id() for _ in range(5)]
+        for trace in traces:
+            tracer.record(trace, "s", 0.0)
+            tracer.finish(trace)
+        ops = tracer.slow_ops()
+        assert len(ops) == 3
+        assert [op["trace_id"] for op in ops] == traces[-3:]
+        assert tracer.snapshot()["slow_total"] == 5
+
+    def test_live_traces_are_bounded(self):
+        tracer = Tracer(max_live_traces=2)
+        oldest = mint_trace_id()
+        tracer.record(oldest, "s", 0.0)
+        for _ in range(2):
+            tracer.record(mint_trace_id(), "s", 0.0)
+        assert tracer.live_count() == 2
+        assert tracer.finish(oldest) is None  # evicted, never finished
+
+    def test_total_reflects_wall_clock_not_stage_sum(self):
+        tracer = Tracer(slow_threshold=1e9)
+        trace = mint_trace_id()
+        tracer.record(trace, "first", 0.0)
+        time.sleep(0.02)
+        summary = tracer.finish(trace)
+        assert summary["total_seconds"] >= 0.015
+
+
+class TestTelemetryHub:
+    def test_bundles_registry_and_tracer(self):
+        hub = Telemetry(slow_threshold=0.0, max_slow_ops=7)
+        hub.registry.counter("c").inc()
+        trace = mint_trace_id()
+        hub.tracer.record(trace, "s", 1.0)
+        hub.tracer.finish(trace)
+        snap = hub.snapshot()
+        assert snap["metrics"]["c"]["series"][0]["value"] == 1
+        assert snap["traces"]["slow_total"] == 1
+        assert "# TYPE c counter" in hub.render_text()
+
+    def test_install_active_uninstall(self):
+        assert active() is None
+        hub = install()
+        assert active() is hub
+        mine = Telemetry()
+        assert install(mine) is mine
+        assert active() is mine
+        uninstall()
+        assert active() is None
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_increments_are_exact(self):
+        counter = Counter("c")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+    def test_concurrent_histogram_observes_are_exact(self):
+        histogram = Histogram("h", buckets=[0.5])
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    histogram.observe(0.25) for _ in range(500)
+                ]
+            )
+            for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 3000
+        assert histogram.bucket_counts() == [3000, 0]
+        assert histogram.sum == pytest.approx(750.0)
