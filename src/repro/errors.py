@@ -96,6 +96,30 @@ class ShardFailedError(ReproError, RuntimeError):
     """
 
 
+class TransportError(ReproError, RuntimeError):
+    """The shared-memory data plane was misused or misconfigured.
+
+    Raised for lifecycle violations on a ring endpoint (reading before
+    committing the previous frame, writing a payload larger than the
+    ring can ever hold without the spill path) and for frame-codec
+    misuse (encoding a batch the columnar codec declared unsupported).
+    Corrupt bytes on the ring raise the more specific
+    :class:`TornFrameError` instead.
+    """
+
+
+class TornFrameError(TransportError):
+    """A frame read off a shared-memory ring failed validation.
+
+    Raised when a frame's magic bytes, declared length, or CRC32 do
+    not match the bytes actually present — the signature of a torn
+    write (producer died mid-frame) or memory corruption.  The ring's
+    contents after a torn frame are unrecoverable; the consumer's
+    process exits and the supervisor's crash-recovery path (respawn,
+    fresh rings, retained-batch replay) takes over.
+    """
+
+
 class ProtocolError(ReproError, ValueError):
     """A network frame violated the wire protocol.
 

@@ -4,10 +4,13 @@ Import-guarded: when numpy is absent this module still imports cleanly
 with ``HAS_NUMPY = False`` and registers nothing, so the library keeps
 zero hard dependencies.
 
-numpy kernels engage **only for ndarray inputs** — converting a Python
-list to an array costs one boxed pass over the data, which is the very
-cost the pure kernels already avoid; every method delegates to the
-wrapped pure kernel for any other input type.
+numpy kernels engage **only for inputs already in array form** —
+ndarrays, plus the 1-D int64/float64 ``memoryview`` columns the shm
+transport decodes out of its rings (viewed zero-copy with
+``np.frombuffer``).  Converting a Python list to an array costs one
+boxed pass over the data, which is the very cost the pure kernels
+already avoid; every method delegates to the wrapped pure kernel for
+any other input type.
 
 Exactness:
 
@@ -16,16 +19,20 @@ Exactness:
   in the last ulps.  These kernels therefore report ``exact = False``
   and :func:`repro.kernels.exact_fold` routes around them wherever
   bit-exact equivalence is asserted.
-* Integer arrays are *not* reduced with numpy at all: fixed-width
-  integer reductions overflow silently, while Python ints are exact at
-  any magnitude.  Integer ndarrays take the pure path (``tolist`` +
-  builtin fold), which is both exact and overflow-free.
+* Integer sums reduce in numpy **only behind an overflow proof**:
+  ``size * max|x| < 2**63`` bounds every partial sum of any subset, so
+  the int64 reduction provably cannot wrap and — integer addition
+  being associative and exact — the result is bit-identical to the
+  Python fold.  Arrays that fail the proof (and all integer products,
+  whose bound degrades multiplicatively) take the pure path, which is
+  exact at any magnitude.
 * Selection kernels (Max/Min) return actual stream elements, so they
   stay ``exact = True`` even on float arrays.
 """
 
 from __future__ import annotations
 
+from array import array as _stdarray
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.kernels import BatchKernel
@@ -40,11 +47,113 @@ except ImportError:  # pragma: no cover - numpy-less environments
     HAS_NUMPY = False
 
 
-def _float_array(values: Any) -> bool:
-    """Whether ``values`` is a float ndarray worth reducing in numpy."""
-    return (
-        isinstance(values, _np.ndarray) and values.dtype.kind == "f"
-    )
+def as_ndarray(values: Any) -> Optional[Any]:
+    """Zero-copy ndarray view of ``values``, or ``None``.
+
+    ndarrays pass through; 1-D int64 (``'q'``) and float64 (``'d'``)
+    memoryviews — the value columns the shm transport decodes straight
+    out of its rings — and the equivalent ``array('q')``/``array('d')``
+    buffers the router frames are wrapped with ``np.frombuffer``, which
+    shares the underlying buffer.  Anything else (lists,
+    sliced-with-step views, other formats) returns ``None`` and takes
+    the pure path.
+    """
+    if isinstance(values, _np.ndarray):
+        return values
+    if isinstance(values, memoryview) and values.ndim == 1:
+        try:
+            if values.format == "q":
+                return _np.frombuffer(values, dtype=_np.int64)
+            if values.format == "d":
+                return _np.frombuffer(values, dtype=_np.float64)
+        except ValueError:  # pragma: no cover - non-contiguous view
+            return None
+    if type(values) is _stdarray:
+        # The router's typed value buffers (zero-copy via the buffer
+        # protocol, same as the memoryview columns).
+        if values.typecode == "q":
+            return _np.frombuffer(values, dtype=_np.int64)
+        if values.typecode == "d":
+            return _np.frombuffer(values, dtype=_np.float64)
+    return None
+
+
+def _float_array(values: Any) -> Optional[Any]:
+    """Float ndarray view of ``values`` if one is free, else ``None``.
+
+    Truthy exactly when ``values`` is worth reducing in numpy: a float
+    ndarray, or a float64 memoryview column viewed via
+    ``np.frombuffer`` without copying.
+    """
+    array = as_ndarray(values)
+    if array is not None and array.dtype.kind == "f":
+        return array
+    return None
+
+
+_I64_LIMIT = 1 << 63
+
+#: Below this many elements the boxed builtin ``sum`` beats numpy: the
+#: int fast path pays fixed call overhead (``frombuffer`` + the
+#: min/max overflow proof + the reduction) of several microseconds,
+#: which only amortises on wide columns.  Slice-run folds in the
+#: sharded service are often a few dozen records, so the floor matters.
+_MIN_INT_COLUMN = 256
+
+
+def _int_array(values: Any) -> Optional[Any]:
+    """Wide signed-integer ndarray view of ``values``, or ``None``."""
+    array = as_ndarray(values)
+    if (
+        array is not None
+        and array.dtype.kind == "i"
+        and array.size >= _MIN_INT_COLUMN
+    ):
+        return array
+    return None
+
+
+def _abs_bound(array: Any) -> int:
+    """``max(|x|)`` of an int array as an exact Python int.
+
+    Computed from min/max (not ``np.abs``, whose ``abs(INT64_MIN)``
+    wraps negative) so the overflow proofs below stay sound at the
+    extremes of the i64 range.
+    """
+    return max(-int(array.min()), int(array.max()))
+
+
+def _exact_int_sum(values: Any) -> Optional[int]:
+    """C-speed exact sum of an int column, or ``None`` when unprovable.
+
+    Any partial sum over any subset is bounded by ``size * max|x|``;
+    when that product stays below ``2**63`` the int64 reduction cannot
+    wrap at any intermediate step, and since integer addition is
+    associative and exact the result is bit-identical to the pure
+    Python fold.
+    """
+    array = _int_array(values)
+    if array is None:
+        return None
+    if _abs_bound(array) * array.size >= _I64_LIMIT:
+        return None
+    return int(_np.add.reduce(array))
+
+
+def _exact_int_sum_of_squares(values: Any) -> Optional[int]:
+    """C-speed exact sum of squares, or ``None`` when unprovable.
+
+    Same proof shape as :func:`_exact_int_sum` with the per-term bound
+    squared: ``size * max|x|**2 < 2**63`` covers both the elementwise
+    squaring and every partial sum of the reduction.
+    """
+    array = _int_array(values)
+    if array is None:
+        return None
+    bound = _abs_bound(array)
+    if bound * bound * array.size >= _I64_LIMIT:
+        return None
+    return int(_np.add.reduce(array * array))
 
 
 class _DelegatingKernel(BatchKernel):
@@ -70,33 +179,47 @@ class _DelegatingKernel(BatchKernel):
 
 
 class NumpySumKernel(_DelegatingKernel):
-    """Sum over float arrays via one C reduction."""
+    """Sum via one C reduction: floats always, ints behind the proof."""
 
     exact = False  # pairwise float summation reassociates
 
     def is_exact_for(self, values: Sequence[Any]) -> bool:
-        # Everything that is not a float ndarray takes the pure path.
-        return not _float_array(values)
+        # Everything that is not a float array/column is exact here:
+        # the int fast path only engages with its no-overflow proof,
+        # and anything else delegates to the exact pure kernel.
+        return _float_array(values) is None
 
     def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
-        if _float_array(values):
-            return seed + _np.add.reduce(values).item()
+        floats = _float_array(values)
+        if floats is not None:
+            return seed + _np.add.reduce(floats).item()
+        total = _exact_int_sum(values)
+        if total is not None:
+            return seed + total
         return self._pure.fold(values, seed)
 
     fold_aggs = fold
 
 
 class NumpySumOfSquaresKernel(NumpySumKernel):
-    """Sum of squares over float arrays."""
+    """Sum of squares: floats always, ints behind the squared proof."""
 
     def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
-        if _float_array(values):
-            return seed + _np.add.reduce(values * values).item()
+        floats = _float_array(values)
+        if floats is not None:
+            return seed + _np.add.reduce(floats * floats).item()
+        total = _exact_int_sum_of_squares(values)
+        if total is not None:
+            return seed + total
         return self._pure.fold(values, seed)
 
     def fold_aggs(self, aggs: Sequence[Agg], seed: Agg) -> Agg:
-        if _float_array(aggs):
-            return seed + _np.add.reduce(aggs).item()
+        floats = _float_array(aggs)
+        if floats is not None:
+            return seed + _np.add.reduce(floats).item()
+        total = _exact_int_sum(aggs)
+        if total is not None:
+            return seed + total
         return self._pure.fold_aggs(aggs, seed)
 
 
@@ -106,14 +229,15 @@ class NumpyProductKernel(_DelegatingKernel):
     exact = False
 
     def is_exact_for(self, values: Sequence[Any]) -> bool:
-        return not _float_array(values)
+        return _float_array(values) is None
 
     def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
-        if _float_array(values):
-            nonzero = values[values != 0]
+        floats = _float_array(values)
+        if floats is not None:
+            nonzero = floats[floats != 0]
             return (
                 seed[0] * _np.multiply.reduce(nonzero).item(),
-                seed[1] + int(values.size - nonzero.size),
+                seed[1] + int(floats.size - nonzero.size),
             )
         return self._pure.fold(values, seed)
 
@@ -129,17 +253,17 @@ class _NumpySelectionKernel(_DelegatingKernel):
     _reduce_name = "maximum"
     _strictly_better = staticmethod(lambda a, b: a > b)
 
-    def _numeric(self, values: Any) -> bool:
-        return isinstance(values, _np.ndarray) and values.dtype.kind in (
-            "f",
-            "i",
-            "u",
-        )
+    def _numeric(self, values: Any) -> Optional[Any]:
+        array = as_ndarray(values)
+        if array is not None and array.dtype.kind in ("f", "i", "u"):
+            return array
+        return None
 
     def fold(self, values: Sequence[Any], seed: Agg) -> Agg:
-        if self._numeric(values) and len(values):
+        array = self._numeric(values)
+        if array is not None and len(array):
             ufunc = getattr(_np, self._reduce_name)
-            return self._combine(seed, ufunc.reduce(values).item())
+            return self._combine(seed, ufunc.reduce(array).item())
         return self._pure.fold(values, seed)
 
     def fold_aggs(self, aggs: Sequence[Agg], seed: Agg) -> Agg:
@@ -148,19 +272,20 @@ class _NumpySelectionKernel(_DelegatingKernel):
     def suffix_chain(
         self, values: Sequence[Any]
     ) -> List[Tuple[int, Agg]]:
-        if not self._numeric(values) or len(values) < 2:
+        array = self._numeric(values)
+        if array is None or len(array) < 2:
             return self._pure.suffix_chain(values)
         ufunc = getattr(_np, self._reduce_name)
         # suffix_best[i] = extremum of values[i:]; an element survives
         # iff it strictly beats the extremum of everything after it
         # (strictness = the operators' prefer-newer tie rule).
-        suffix_best = ufunc.accumulate(values[::-1])[::-1]
-        keep = _np.empty(len(values), dtype=bool)
+        suffix_best = ufunc.accumulate(array[::-1])[::-1]
+        keep = _np.empty(len(array), dtype=bool)
         keep[-1] = True
-        keep[:-1] = self._strictly_better(values[:-1], suffix_best[1:])
+        keep[:-1] = self._strictly_better(array[:-1], suffix_best[1:])
         indices = _np.flatnonzero(keep)
         return list(
-            zip(indices.tolist(), values[indices].tolist())
+            zip(indices.tolist(), array[indices].tolist())
         )
 
 

@@ -34,6 +34,7 @@ from repro.net.protocol import (
     encode_answers,
     encode_frame,
     encode_value,
+    pack_column,
     try_decode_frame,
     try_decode_frame_traced,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "encode_value",
     "decode_value",
     "encode_frame",
+    "pack_column",
     "try_decode_frame",
     "try_decode_frame_traced",
     "encode_answers",

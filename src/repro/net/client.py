@@ -49,6 +49,7 @@ from repro.net.protocol import (
     FrameType,
     decode_answers,
     encode_frame,
+    pack_column,
 )
 
 _RECV_CHUNK = 64 * 1024
@@ -195,6 +196,33 @@ class AggregationClient:
         batch = [tuple(record) for record in records]
         _, reply = self._request(
             FrameType.SUBMIT_BATCH, batch, trace_id
+        )
+        return reply.get("accepted", 0)
+
+    def submit_column(
+        self,
+        key: Any,
+        values: Iterable[Any],
+        trace_id: Optional[int] = None,
+    ) -> int:
+        """Submit one key's value column in a single packed frame.
+
+        Homogeneous int64/float64 columns travel as one packed byte
+        blob (8 bytes per record, no per-record tags or tuples) and
+        decode server-side into a zero-copy typed view feeding the
+        router's single-lookup column path; anything else falls back
+        to the tagged object-column encoding, which is semantically
+        identical.  Returns the accepted count.
+        """
+        column = list(values)
+        if not column:
+            return 0
+        packed = pack_column(column)
+        payload = (
+            (key, *packed) if packed is not None else (key, "o", column)
+        )
+        _, reply = self._request(
+            FrameType.SUBMIT_COLUMN, payload, trace_id
         )
         return reply.get("accepted", 0)
 
@@ -429,6 +457,29 @@ class AsyncAggregationClient:
         batch = [tuple(record) for record in records]
         _, reply = await self._request(
             FrameType.SUBMIT_BATCH, batch, trace_id
+        )
+        return reply.get("accepted", 0)
+
+    async def submit_column(
+        self,
+        key: Any,
+        values: Iterable[Any],
+        trace_id: Optional[int] = None,
+    ) -> int:
+        """Submit one key's value column in a single packed frame.
+
+        See :meth:`AggregationClient.submit_column`; the packing and
+        fallback rules are identical.
+        """
+        column = list(values)
+        if not column:
+            return 0
+        packed = pack_column(column)
+        payload = (
+            (key, *packed) if packed is not None else (key, "o", column)
+        )
+        _, reply = await self._request(
+            FrameType.SUBMIT_COLUMN, payload, trace_id
         )
         return reply.get("accepted", 0)
 

@@ -43,7 +43,16 @@ from __future__ import annotations
 
 import enum
 import struct
-from typing import Any, Iterator, List, NamedTuple, Optional, Tuple
+import sys
+from typing import (
+    Any,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ProtocolError
 
@@ -91,6 +100,14 @@ class FrameType(enum.IntEnum):
     DRAIN = 0x05
     #: End this connection (the server stays up): payload ``None``.
     CLOSE = 0x06
+    #: One key's value column: payload ``(key, kind, body)`` where
+    #: ``kind`` is ``"q"`` (body = packed little-endian int64s),
+    #: ``"d"`` (packed float64s), or ``"o"`` (body = a list of tagged
+    #: values, the fallback for non-numeric columns).  Packed columns
+    #: decode server-side into a zero-copy typed view that feeds the
+    #: router's single-lookup column path — no per-record tuples on
+    #: the wire, no per-record decode loop on the server.
+    SUBMIT_COLUMN = 0x07
 
     #: Success without answers: payload ``{"accepted": n}``-style dict.
     OK = 0x81
@@ -109,6 +126,7 @@ REQUEST_TYPES = frozenset(
     {
         FrameType.SUBMIT,
         FrameType.SUBMIT_BATCH,
+        FrameType.SUBMIT_COLUMN,
         FrameType.POLL,
         FrameType.STATS,
         FrameType.DRAIN,
@@ -302,6 +320,32 @@ def _decode_at(payload: bytes, offset: int) -> Tuple[Any, int]:
             mapping[key] = item
         return mapping, offset
     raise ProtocolError(f"unknown value tag 0x{tag:02x}")
+
+
+# -- column packing -------------------------------------------------
+
+
+def pack_column(values: Sequence[Any]) -> Optional[Tuple[str, bytes]]:
+    """Pack a homogeneous numeric column for ``SUBMIT_COLUMN``.
+
+    Returns ``(kind, body)`` — ``("q", <packed int64s>)`` or
+    ``("d", <packed float64s>)`` — or ``None`` when the column is not
+    eligible (mixed types, bools, ints outside int64, or a big-endian
+    host, where native packing would not match the little-endian wire
+    layout).  Eligibility intentionally matches the shm transport's
+    columnar capability check (:func:`repro.service.transport.frame.
+    encode_values`), so a column that packs here also rides the shard
+    rings columnar end to end.
+    """
+    if sys.byteorder != "little":  # pragma: no cover - LE hosts only
+        return None
+    from repro.service.transport.frame import encode_values
+
+    encoded = encode_values(values)
+    if encoded is None:
+        return None
+    body, is_float = encoded
+    return ("d" if is_float else "q", body)
 
 
 # -- frame codec ----------------------------------------------------

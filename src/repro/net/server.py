@@ -44,12 +44,15 @@ STATS under ``"telemetry"`` and via :meth:`AggregationServer.render_metrics`
 from __future__ import annotations
 
 import asyncio
+import struct
+import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.kernels import column_view
 from repro.metrics import Reservoir, maybe_summary
 from repro.net.protocol import (
     FrameType,
@@ -462,21 +465,28 @@ class AggregationServer:
         if frame_type not in (
             FrameType.SUBMIT,
             FrameType.SUBMIT_BATCH,
+            FrameType.SUBMIT_COLUMN,
         ):
             return ("request", (frame_type, payload), 0, trace_id)
         try:
-            records = _normalize_records(frame_type, payload)
+            if frame_type is FrameType.SUBMIT_COLUMN:
+                kind = "submit_column"
+                work: Any = _normalize_column(payload)
+                count = len(work[1])
+            else:
+                kind = "submit"
+                work = _normalize_records(frame_type, payload)
+                count = len(work)
         except ProtocolError as error:
             return ("bad_request", str(error), 0, trace_id)
         if self._draining or self.gateway.closed:
             return ("rejected", "server is draining", 0, trace_id)
-        count = len(records)
         if self.admission_policy == "block":
             await self._budget.acquire(count, nbytes)
             if connection.budget is not None:
                 await connection.budget.acquire(count, nbytes)
             self._inflight_gauge.set(self._budget.records)
-            return ("submit", records, nbytes, trace_id)
+            return (kind, work, nbytes, trace_id)
         if not self._budget.try_acquire(count, nbytes):
             return self._shed(connection, count, trace_id)
         if connection.budget is not None and not (
@@ -485,7 +495,7 @@ class AggregationServer:
             await self._budget.release(count, nbytes)
             return self._shed(connection, count, trace_id)
         self._inflight_gauge.set(self._budget.records)
-        return ("submit", records, nbytes, trace_id)
+        return (kind, work, nbytes, trace_id)
 
     def _shed(
         self,
@@ -540,8 +550,29 @@ class AggregationServer:
                 self.telemetry.tracer.finish(trace_id)
                 continue
             if kind == "submit":
+                records = value
                 await self._handle_submit(
-                    loop, writer, connection, value, nbytes, trace_id
+                    loop,
+                    writer,
+                    connection,
+                    lambda: self.gateway.submit_many(records, trace_id),
+                    len(records),
+                    nbytes,
+                    trace_id,
+                )
+                continue
+            if kind == "submit_column":
+                key, column = value
+                await self._handle_submit(
+                    loop,
+                    writer,
+                    connection,
+                    lambda: self.gateway.submit_column(
+                        key, column, trace_id
+                    ),
+                    len(column),
+                    nbytes,
+                    trace_id,
                 )
                 continue
             frame_type, payload = value
@@ -570,17 +601,14 @@ class AggregationServer:
         loop: asyncio.AbstractEventLoop,
         writer: asyncio.StreamWriter,
         connection: _Connection,
-        records: List[Tuple[Any, Any]],
+        submit: Callable[[], int],
+        count: int,
         nbytes: int,
         trace_id: Optional[int],
     ) -> None:
-        count = len(records)
         started = time.perf_counter()
         try:
-            await loop.run_in_executor(
-                self._executor,
-                lambda: self.gateway.submit_many(records, trace_id),
-            )
+            await loop.run_in_executor(self._executor, submit)
         except ReproError as error:
             await self._reply(
                 writer,
@@ -785,6 +813,49 @@ def _normalize_records(
     return records
 
 
+def _normalize_column(payload: Any) -> Tuple[Any, Any]:
+    """Validate a SUBMIT_COLUMN payload into ``(key, values)``.
+
+    Packed numeric columns (kind ``"q"``/``"d"``) come back as a
+    zero-copy typed ``memoryview`` over the payload bytes — no
+    per-record decode loop; the ``"o"`` fallback kind carries a plain
+    list of tagged values.
+    """
+    if not isinstance(payload, (list, tuple)) or len(payload) != 3:
+        raise ProtocolError(
+            "SUBMIT_COLUMN payload must be a (key, kind, body) "
+            f"triple, got {payload!r}"
+        )
+    key, kind, body = payload
+    if kind in ("q", "d"):
+        if not isinstance(body, (bytes, bytearray)):
+            raise ProtocolError(
+                f"packed column body must be bytes, got "
+                f"{type(body).__name__}"
+            )
+        if len(body) % 8:
+            raise ProtocolError(
+                f"packed column of {len(body)} bytes is not a "
+                "multiple of 8"
+            )
+        if sys.byteorder != "little":  # pragma: no cover - LE hosts
+            count = len(body) // 8
+            return key, list(
+                struct.unpack(f"<{count}{kind}", bytes(body))
+            )
+        return key, column_view(bytes(body), kind)
+    if kind == "o":
+        if not isinstance(body, (list, tuple)):
+            raise ProtocolError(
+                f"object column body must be a sequence, got "
+                f"{type(body).__name__}"
+            )
+        return key, list(body)
+    raise ProtocolError(
+        f"unknown column kind {kind!r} (expected 'q', 'd', or 'o')"
+    )
+
+
 def _final_stats(result: ServiceResult) -> Dict[str, Any]:
     """Wire-friendly subset of a final :class:`ServiceResult`'s stats."""
     stats = result.stats
@@ -797,6 +868,7 @@ def _final_stats(result: ServiceResult) -> Dict[str, Any]:
         "dead_letters": stats.dead_letters,
         "failed_shards": list(stats.failed_shards),
         "degraded": stats.degraded,
+        "transport": stats.transport,
     }
 
 

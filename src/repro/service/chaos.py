@@ -150,6 +150,9 @@ class FaultInjector:
         self._put_delays: Dict[int, float] = {}
         self._stalls: Dict[int, Dict[int, float]] = {}
         self._wedges: Dict[int, Set[int]] = {}
+        self._tear_nth: Dict[int, Set[int]] = {}
+        self._stale_nth: Dict[int, Set[int]] = {}
+        self._data_frames_seen: Dict[int, int] = {}
         #: Every fault actually fired, in firing order.
         self.events: List[ChaosEvent] = []
 
@@ -196,6 +199,28 @@ class FaultInjector:
         stall kill, so the replayed batch processes normally.
         """
         self._wedges.setdefault(shard_id, set()).add(seq)
+        return self
+
+    def tear_frame(self, shard_id: int, nth: int = 1) -> "FaultInjector":
+        """Corrupt the shard's ``nth`` data-ring frame (1-based).
+
+        One seeded bit-flip anywhere in the frame, simulating a torn
+        shared-memory write.  The worker's CRC32 check must reject the
+        frame, the worker exits nonzero, and crash recovery replays
+        the batch from the supervisor's retained history.  Only fires
+        on the shm data plane (the pickle plane has no frames).
+        """
+        self._tear_nth.setdefault(shard_id, set()).add(nth)
+        return self
+
+    def stale_frame(self, shard_id: int, nth: int = 1) -> "FaultInjector":
+        """Duplicate the shard's ``nth`` data-ring frame (1-based).
+
+        The worker sees the same sequence number twice; its idempotent
+        replay check must acknowledge the duplicate with an empty
+        output rather than double-fold the records.
+        """
+        self._stale_nth.setdefault(shard_id, set()).add(nth)
         return self
 
     @classmethod
@@ -289,6 +314,43 @@ class FaultInjector:
             ChaosEvent("corrupt-checkpoint", shard_id, seen)
         )
         return bytes(corrupted)
+
+    def has_data_frame_fault(self, shard_id: int) -> bool:
+        """Whether a torn/stale frame is still scheduled for the shard.
+
+        The supervisor routes the shard's batches through its blocking
+        frame writer while this is true, so an injected frame group is
+        never half-applied by the non-blocking fast path.
+        """
+        return bool(
+            self._tear_nth.get(shard_id) or self._stale_nth.get(shard_id)
+        )
+
+    def on_data_frame(self, shard_id: int, frame: bytes) -> List[bytes]:
+        """Data-plane hook: the ring frames to write for one batch.
+
+        Counts the shard's outbound data frames and substitutes the
+        scheduled faults: a *tear* replaces the frame with a one-bit
+        corruption (each schedule entry fires once), a *stale* appends
+        a byte-identical duplicate after the original.
+        """
+        seen = self._data_frames_seen.get(shard_id, 0) + 1
+        self._data_frames_seen[shard_id] = seen
+        frames = [frame]
+        torn = self._tear_nth.get(shard_id)
+        if torn and seen in torn:
+            torn.discard(seen)
+            corrupted = bytearray(frame)
+            index = self._rng.randrange(len(corrupted))
+            corrupted[index] ^= 1 << self._rng.randrange(8)
+            frames = [bytes(corrupted)]
+            self.events.append(ChaosEvent("torn-frame", shard_id, seen))
+        stale = self._stale_nth.get(shard_id)
+        if stale and seen in stale:
+            stale.discard(seen)
+            frames = frames + [frame]
+            self.events.append(ChaosEvent("stale-frame", shard_id, seen))
+        return frames
 
     def on_stall_killed(self, shard_id: int) -> None:
         """Stall-kill hook: clear the shard's wedges so replay proceeds."""

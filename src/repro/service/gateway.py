@@ -72,6 +72,28 @@ class ServiceGateway:
             self._batches_submitted += 1
         return len(batch)
 
+    def submit_column(
+        self,
+        key: Any,
+        values: Iterable[Any],
+        trace_id: Optional[int] = None,
+    ) -> int:
+        """Ingest a column of values for one key (bulk fast path).
+
+        Returns the number of records handed to the service.  The
+        column rides the router's single-lookup path end to end, so a
+        ``SUBMIT_COLUMNS`` wire request never pays per-record routing.
+        """
+        column = list(values)
+        if not column:
+            return 0
+        with self._lock:
+            self._require_open()
+            self._service.submit_column(key, column, trace_id)
+            self._records_submitted += len(column)
+            self._batches_submitted += 1
+        return len(column)
+
     # -- answers ----------------------------------------------------
 
     def poll(self) -> List[Any]:
@@ -100,8 +122,9 @@ class ServiceGateway:
 
         Keys: ``records_submitted`` / ``batches_submitted`` (through
         this gateway), ``mode``, ``num_shards``, ``dead_letters``
-        (poison-quarantine count so far), ``failed_shards``, and
-        ``closed``.
+        (poison-quarantine count so far), ``failed_shards``,
+        ``transport`` (live data-plane counters — plane name, frame
+        mix, encode/ring-wait/decode seconds), and ``closed``.
         """
         with self._lock:
             service = self._service
@@ -112,6 +135,7 @@ class ServiceGateway:
                 "num_shards": service.num_shards,
                 "dead_letters": len(service.dead_letters),
                 "failed_shards": sorted(service.failed_shards()),
+                "transport": service.transport_stats(),
                 "closed": self._closed,
             }
 

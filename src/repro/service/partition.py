@@ -17,8 +17,9 @@ keeping an exact dropped-record count either way.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ServiceError
 from repro.service.slices import SliceClock
@@ -63,9 +64,16 @@ class Batch:
         watermark: Slices fully closed by the global stream at frame
             time (every record of those slices has been framed, across
             all shards of the same flush round).
-        positions: Global 1-based positions of the records.
+        positions: Global 1-based positions of the records — an
+            ``array('q')`` from the router (typed end to end, so the
+            shm plane encodes it with a plain buffer copy), though any
+            integer sequence is accepted.
         keys: Record keys, parallel to ``positions``.
-        values: Record payloads, parallel to ``positions``.
+        values: Record payloads, parallel to ``positions``.  A column
+            that entered typed (``array('q')``/``array('d')``, e.g.
+            from the wire's packed ``SUBMIT_COLUMN`` body) stays typed
+            through the router, which makes the columnar encode a
+            buffer copy with no per-value capability scan.
         traces: Per-record trace ids, parallel to ``positions`` — or
             ``None`` (the common case) when no record of the batch is
             traced, so untraced batches pay nothing for the field.
@@ -74,9 +82,9 @@ class Batch:
     shard: int
     seq: int
     watermark: int
-    positions: List[int] = field(default_factory=list)
+    positions: Sequence[int] = field(default_factory=list)
     keys: List[Any] = field(default_factory=list)
-    values: List[Any] = field(default_factory=list)
+    values: Sequence[Any] = field(default_factory=list)
     traces: Optional[List[Optional[int]]] = None
 
     def __len__(self) -> int:
@@ -119,6 +127,94 @@ def thin_batch(batch: Batch, keep_every: int = 2) -> Tuple[Batch, int]:
     return thinned, len(batch) - len(thinned)
 
 
+#: A per-shard value buffer: a plain list (heterogeneous records) or a
+#: typed array when every buffered value arrived through a typed column.
+ValueBuffer = Union[List[Any], array]
+
+
+def typed_column(values: Any) -> Optional[array]:
+    """``array('q'|'d')`` view-copy of an already-typed numeric column.
+
+    Accepts ``array('q')``/``array('d')``, 1-D i64/f64 memoryviews
+    (what :func:`repro.net.server` hands the router for packed
+    ``SUBMIT_COLUMN`` bodies), and any other object exposing an
+    equivalent 8-byte numeric buffer (e.g. an int64/float64 ndarray).
+    Returns ``None`` for plain sequences — those keep the per-record
+    list path, where the shm encoder's capability scan decides.
+
+    The container itself proves the element type, so downstream
+    consumers (the router's buffers, the columnar encoder) can skip
+    per-value type checks without giving up exactness.
+    """
+    if type(values) is array and values.typecode in ("q", "d"):
+        return values
+    if type(values) is memoryview:
+        view = values
+    elif isinstance(values, (list, tuple, str, bytes, bytearray, range)):
+        return None
+    else:
+        try:
+            view = memoryview(values)
+        except TypeError:
+            return None
+    if view.ndim != 1 or view.itemsize != 8:
+        return None
+    if view.format in ("q", "l"):  # 'l' is i64 on LP64 platforms
+        typecode = "q"
+    elif view.format == "d":
+        typecode = "d"
+    else:
+        return None
+    column = array(typecode)
+    column.frombytes(view.cast("B"))
+    return column
+
+
+def _append_value(buffer: ValueBuffer, value: Any) -> ValueBuffer:
+    """Append one record to a value buffer, demoting a typed buffer
+    to a list the moment the value would not round-trip exactly.
+
+    The type checks are exact on purpose: a ``bool`` (or any int
+    subclass) appended to an i64 buffer would silently re-type through
+    the column, so it demotes instead.
+    """
+    if type(buffer) is list:
+        buffer.append(value)
+        return buffer
+    kind = type(value)
+    if (buffer.typecode == "q" and kind is int) or (
+        buffer.typecode == "d" and kind is float
+    ):
+        try:
+            buffer.append(value)
+            return buffer
+        except OverflowError:
+            pass  # int outside i64: fall through to the list demotion
+    demoted = list(buffer)
+    demoted.append(value)
+    return demoted
+
+
+def _extend_values(buffer: ValueBuffer, chunk: Any) -> ValueBuffer:
+    """Extend a value buffer with a column chunk, staying typed when
+    both sides agree on a typecode (a C ``memcpy``) and demoting to a
+    list otherwise."""
+    if type(chunk) is array:
+        if type(buffer) is array and buffer.typecode == chunk.typecode:
+            buffer.extend(chunk)
+            return buffer
+        if type(buffer) is list and not buffer:
+            return chunk  # fresh slice copy: adopt it as the buffer
+        if type(buffer) is array:
+            buffer = list(buffer)
+        buffer.extend(chunk)
+        return buffer
+    if type(buffer) is array:
+        buffer = list(buffer)
+    buffer.extend(chunk)
+    return buffer
+
+
 class Router:
     """Assign global positions and frame per-shard micro-batches.
 
@@ -148,14 +244,25 @@ class Router:
         self.num_shards = num_shards
         self.batch_size = batch_size
         self._clock = clock
-        self._positions: List[List[int]] = [[] for _ in range(num_shards)]
+        # Positions are always i64-typed (they are stream indices), so
+        # the shm encoder ships them with one buffer copy; values stay
+        # lists unless a typed column lands on the buffer.
+        self._positions: List[array] = [
+            array("q") for _ in range(num_shards)
+        ]
         self._keys: List[List[Any]] = [[] for _ in range(num_shards)]
-        self._values: List[List[Any]] = [[] for _ in range(num_shards)]
+        self._values: List[ValueBuffer] = [[] for _ in range(num_shards)]
         # Per-shard trace columns exist only once a traced record has
         # been routed; until then ``put`` pays a single flag check.
         self._traces: Optional[List[List[Optional[int]]]] = None
         self._seqs = [0] * num_shards
         self._sent_watermarks = [0] * num_shards
+        # Key -> shard memo for the ingestion hot loop: ``stable_hash``
+        # walks ``repr(key)`` byte by byte, so re-hashing every record
+        # of a hot key dominates routing cost.  The memo is exact (the
+        # hash is deterministic) and its footprint matches
+        # ``seen_keys``, which already retains every distinct key.
+        self._shard_cache: dict = {}
         #: Distinct keys routed to each shard so far — consulted when a
         #: shard fails, to report exactly whose answers are degraded.
         self.seen_keys: List[set] = [set() for _ in range(num_shards)]
@@ -174,11 +281,14 @@ class Router:
         batch so shard outputs can echo which traces they served.
         """
         self.position += 1
-        shard = shard_of(key, self.num_shards)
-        self.seen_keys[shard].add(key)
+        shard = self._shard_cache.get(key)
+        if shard is None:
+            shard = shard_of(key, self.num_shards)
+            self._shard_cache[key] = shard
+            self.seen_keys[shard].add(key)
         self._positions[shard].append(self.position)
         self._keys[shard].append(key)
-        self._values[shard].append(value)
+        self._values[shard] = _append_value(self._values[shard], value)
         if trace is not None and self._traces is None:
             # First traced record: materialise the trace columns,
             # backfilling the still-buffered untraced records.
@@ -192,6 +302,95 @@ class Router:
         if len(self._positions[shard]) >= self.batch_size:
             return self.flush()
         return []
+
+    def put_column(
+        self,
+        key: Any,
+        values: Sequence[Any],
+        trace: Optional[int] = None,
+    ) -> List[Batch]:
+        """Route a run of records sharing one key; one shard lookup.
+
+        The column path of the ingestion front: the shard is resolved
+        once, positions are assigned as a range, and the per-shard
+        buffers grow by ``extend`` instead of per-record ``append``.
+        Flush rounds fire at exactly the same stream positions as the
+        equivalent sequence of :meth:`put` calls, so batching,
+        watermarks, and sequence numbers are byte-identical between
+        the two paths.
+
+        A column that arrives typed (see :func:`typed_column` — packed
+        wire bodies, arrays, numeric ndarrays) is buffered typed, so
+        the batches it frames carry ``array``-backed value columns the
+        shm plane encodes without a capability scan.
+        """
+        column = typed_column(values)
+        if column is not None:
+            values = column
+        elif type(values) is not list:
+            values = list(values)
+        if not values:
+            return []
+        shard = self._shard_cache.get(key)
+        if shard is None:
+            shard = shard_of(key, self.num_shards)
+            self._shard_cache[key] = shard
+            self.seen_keys[shard].add(key)
+        if trace is not None and self._traces is None:
+            self._traces = [
+                [None] * len(self._positions[index])
+                for index in range(self.num_shards)
+            ]
+        batches: List[Batch] = []
+        total = len(values)
+        start = 0
+        while start < total:
+            positions = self._positions[shard]
+            take = min(self.batch_size - len(positions), total - start)
+            first = self.position + 1
+            self.position += take
+            positions.extend(range(first, first + take))
+            self._keys[shard].extend([key] * take)
+            self._values[shard] = _extend_values(
+                self._values[shard], values[start : start + take]
+            )
+            if self._traces is not None:
+                self._traces[shard].extend([trace] * take)
+            start += take
+            if len(positions) >= self.batch_size:
+                batches.extend(self.flush())
+        return batches
+
+    def put_many(
+        self,
+        records: Iterable[Tuple[Any, Any]],
+        trace: Optional[int] = None,
+    ) -> List[Batch]:
+        """Route ``(key, value)`` pairs, grouping contiguous key runs.
+
+        Mirrors the shard side (which folds contiguous same-key runs
+        through the bulk kernel path): each run of consecutive records
+        with the same key pays one shard lookup and one buffer extend
+        via :meth:`put_column`.  Record order — and therefore global
+        positions, flush rounds, and watermarks — is exactly that of
+        calling :meth:`put` per record.
+        """
+        batches: List[Batch] = []
+        run_key: Any = None
+        run_values: List[Any] = []
+        for key, value in records:
+            if run_values and (key is run_key or key == run_key):
+                run_values.append(value)
+                continue
+            if run_values:
+                batches.extend(
+                    self.put_column(run_key, run_values, trace)
+                )
+            run_key = key
+            run_values = [value]
+        if run_values:
+            batches.extend(self.put_column(run_key, run_values, trace))
+        return batches
 
     def flush(self) -> List[Batch]:
         """Frame every shard's buffer into batches (one flush round).
@@ -232,7 +431,7 @@ class Router:
                 )
             )
             self._sent_watermarks[shard] = watermark
-            self._positions[shard] = []
+            self._positions[shard] = array("q")
             self._keys[shard] = []
             self._values[shard] = []
             if self._traces is not None:

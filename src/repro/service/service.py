@@ -50,7 +50,11 @@ from repro.service.merge import GlobalMerger, PerKeyCollator
 from repro.service.partition import Router
 from repro.service.shard import SHARD_MODES, ShardConfig
 from repro.service.slices import SliceClock
-from repro.service.supervisor import InlineTransport, Supervisor
+from repro.service.supervisor import (
+    DEFAULT_RING_CAPACITY,
+    InlineTransport,
+    Supervisor,
+)
 from repro.operators.base import AggregateOperator
 from repro.stream.sink import DeadLetter, DeadLetterSink
 from repro.windows.plan import build_shared_plan
@@ -104,6 +108,10 @@ class ServiceStats:
     #: Keys whose answers are degraded/stale: every key routed to a
     #: failed shard, plus per-key-mode keys poisoned mid-stream.
     degraded_keys: Tuple[Any, ...] = ()
+    #: Data-plane accounting (plane name, columnar/pickled/spilled
+    #: frame counts, encode/ring-wait/decode seconds); ``None`` only
+    #: on results predating the transport layer.
+    transport: Optional[Dict[str, Any]] = None
 
     @property
     def degraded(self) -> bool:
@@ -184,6 +192,11 @@ class AggregationService:
             shard-fold and merge latencies into the hub's registry and
             attributes them to submission traces; when ``None`` every
             hot path pays only a ``None`` check.
+        data_plane: Process-transport data plane: ``"auto"`` (columnar
+            shared-memory rings where the platform supports them, else
+            the pickle queue transport), ``"shm"``, or ``"pickle"``.
+            Ignored by the inline transport.
+        ring_capacity: Per-ring byte capacity of the shm data plane.
     """
 
     def __init__(
@@ -207,6 +220,8 @@ class AggregationService:
         dead_letter_sink: Optional[DeadLetterSink] = None,
         injector: Optional[Any] = None,
         telemetry: Optional[Any] = None,
+        data_plane: str = "auto",
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
     ):
         if num_shards < 1:
             raise ServiceError(
@@ -268,6 +283,8 @@ class AggregationService:
                 restart_backoff=restart_backoff,
                 stall_timeout=stall_timeout,
                 on_shard_failed=self._on_shard_failed,
+                data_plane=data_plane,
+                ring_capacity=ring_capacity,
             )
         elif transport == "inline":
             self._transport = InlineTransport(
@@ -291,6 +308,8 @@ class AggregationService:
         self._records_counter: Optional[Any] = None
         self._answers_counter: Optional[Any] = None
         self._dead_letter_counter: Optional[Any] = None
+        self._transport_hists: Dict[str, Any] = {}
+        self._ring_gauges: List[Any] = []
         # (first_position, last_position, trace_id) per traced submit
         # call, consumed ascending as answers pass their positions.
         self._trace_intervals: deque = deque()
@@ -331,6 +350,35 @@ class AggregationService:
             "repro_service_dead_letters_total",
             "Records quarantined to the dead-letter sink",
         )
+        self._transport_hists = {
+            "encode": registry.histogram(
+                "repro_transport_encode_seconds",
+                "Per-batch columnar/pickle frame encode latency",
+            ),
+            "ring_wait": registry.histogram(
+                "repro_transport_ring_wait_seconds",
+                "Backpressure wait for shared-memory ring capacity",
+            ),
+            "decode": registry.histogram(
+                "repro_transport_decode_seconds",
+                "Worker-side per-batch ring frame decode latency",
+            ),
+        }
+        self._ring_gauges = [
+            registry.gauge(
+                "repro_transport_ring_occupancy",
+                "Shared-memory ring occupancy fraction (fuller ring)",
+                labels={"shard": str(shard)},
+            )
+            for shard in range(self.num_shards)
+        ]
+        self._transport.transport_observer = self._observe_transport
+
+    def _observe_transport(self, stage: str, seconds: float) -> None:
+        """Supervisor callback: one transport-stage latency sample."""
+        histogram = self._transport_hists.get(stage)
+        if histogram is not None:
+            histogram.observe(seconds)
 
     @property
     def telemetry(self) -> Optional[Any]:
@@ -383,20 +431,44 @@ class AggregationService:
         records: Iterable[Tuple[Any, Any]],
         trace_id: Optional[int] = None,
     ) -> None:
-        """Ingest ``(key, value)`` pairs, optionally under one trace."""
-        if trace_id is None:
-            for key, value in records:
-                self.submit(key, value)
-            return
-        first = self._router.position + 1
+        """Ingest ``(key, value)`` pairs, optionally under one trace.
+
+        Contiguous same-key runs are routed through the router's
+        column path (one shard lookup and one buffer extend per run),
+        matching the run-grouped fold on the shard side.
+        """
         if self._closed:
             raise ServiceError("cannot submit to a closed service")
-        for key, value in records:
-            for batch in self._router.put(key, value, trace_id):
-                self._transport.ship(batch)
-        self._note_trace_interval(
-            first, self._router.position, trace_id
-        )
+        first = self._router.position + 1
+        for batch in self._router.put_many(records, trace_id):
+            self._transport.ship(batch)
+        if trace_id is not None and self._router.position >= first:
+            self._note_trace_interval(
+                first, self._router.position, trace_id
+            )
+
+    def submit_column(
+        self,
+        key: Any,
+        values: Sequence[Any],
+        trace_id: Optional[int] = None,
+    ) -> None:
+        """Ingest a column of values for one key (bulk fast path).
+
+        Equivalent to ``submit(key, v)`` per value but pays the shard
+        lookup once and frames the column straight into per-shard
+        buffers; the network layer's ``SUBMIT_COLUMN`` request lands
+        here.
+        """
+        if self._closed:
+            raise ServiceError("cannot submit to a closed service")
+        first = self._router.position + 1
+        for batch in self._router.put_column(key, values, trace_id):
+            self._transport.ship(batch)
+        if trace_id is not None and self._router.position >= first:
+            self._note_trace_interval(
+                first, self._router.position, trace_id
+            )
 
     # -- failure reporting ------------------------------------------
 
@@ -487,6 +559,11 @@ class AggregationService:
         :meth:`submit`, so ingest-only phases still self-heal.
         """
         self._absorb(self._transport.poll())
+        if self._ring_gauges:
+            for gauge, ratio in zip(
+                self._ring_gauges, self._transport.ring_occupancy()
+            ):
+                gauge.set(ratio)
         if self._merger is not None:
             fresh: List[Any] = self._fresh_answers
             self._fresh_answers = []
@@ -565,6 +642,7 @@ class AggregationService:
             dead_letters=len(self.dead_letters),
             failed_shards=tuple(sorted(self._failed_shards)),
             degraded_keys=tuple(self._degraded_keys),
+            transport=self._transport.transport_stats(),
         )
         return ServiceResult(
             answers=list(self._answers),
@@ -594,6 +672,16 @@ class AggregationService:
     def failed_shards(self) -> Dict[int, str]:
         """Shards that exhausted their restart budget, with reasons."""
         return dict(self._failed_shards)
+
+    def transport_stats(self) -> Dict[str, Any]:
+        """Live data-plane accounting (also on ``close().stats``).
+
+        Keys: ``data_plane`` (the resolved plane actually running),
+        ``frames_columnar`` / ``frames_pickled`` / ``frames_spilled``
+        frame counts, and cumulative ``encode_seconds`` /
+        ``ring_wait_seconds`` / ``decode_seconds``.
+        """
+        return self._transport.transport_stats()
 
     def __enter__(self) -> "AggregationService":
         """Context-manager entry: the service itself."""

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import queue as queue_module
 import time
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -151,6 +152,8 @@ class ShardOutput:
             in first-appearance order — lets the parent attribute the
             fold's ``busy_seconds`` to the traces it served without the
             worker knowing anything about telemetry.
+        transport_seconds: Worker-side time spent decoding the batch
+            off the shared-memory ring (``0.0`` on the queue plane).
     """
 
     shard_id: int
@@ -166,6 +169,7 @@ class ShardOutput:
     busy_seconds: float = 0.0
     snapshot: Optional[bytes] = None
     trace_ids: Tuple[int, ...] = ()
+    transport_seconds: float = 0.0
 
 
 @dataclass
@@ -308,9 +312,12 @@ class ShardState:
     def _process_global(self, batch: Batch, output: ShardOutput) -> int:
         """Global mode: fold contiguous same-slice runs with one kernel call.
 
-        ``slice_of`` is monotone in the (ascending) batch positions, so
-        a batch decomposes into a handful of contiguous runs per slice;
-        each run folds into its accumulator through
+        Batch positions are strictly ascending (the router ships each
+        shard's records in stream order, and replayed batches are the
+        originals), so the records in slice ``index`` are exactly those
+        with positions up to ``clock.end_position(index)`` — one
+        ``bisect_right`` per run instead of a per-record ``slice_of``
+        scan.  Each run folds into its accumulator through
         :func:`repro.kernels.exact_fold`, which is byte-identical to
         the per-record combine chain.  A run containing a poison record
         makes the bulk fold raise *before* any state is touched (folds
@@ -322,6 +329,7 @@ class ShardState:
         accumulators = self._accumulators
         clock = self._clock
         slice_of = clock.slice_of
+        end_position = clock.end_position
         identity = operator.identity
         positions = batch.positions
         keys = batch.keys
@@ -331,9 +339,9 @@ class ShardState:
         start = 0
         while start < total:
             index = slice_of(positions[start])
-            stop = start + 1
-            while stop < total and slice_of(positions[stop]) == index:
-                stop += 1
+            stop = bisect_right(
+                positions, end_position(index), start + 1, total
+            )
             present = index in accumulators
             seed = accumulators[index] if present else identity
             try:
@@ -508,17 +516,32 @@ def shard_main(
     in_queue: Any,
     out_queue: Any,
     initial_snapshot: Optional[bytes] = None,
+    endpoint: Optional[Any] = None,
 ) -> None:
     """Worker-process entry point: restore, then loop over batches.
 
     Args:
         config: The shard's pipeline configuration.
         in_queue: Bounded queue of :class:`Batch` messages and the
-            :data:`STOP` sentinel.
-        out_queue: Unbounded queue of :class:`ShardOutput` /
-            :class:`ShardHeartbeat` / :class:`ShardStopped` messages.
+            :data:`STOP` sentinel (on the shm plane it carries only
+            ring-spilled payloads; ordering is anchored in the ring).
+        out_queue: Bounded queue of :class:`ShardHeartbeat` /
+            :class:`ShardStopped` liveness messages — and, on the
+            queue plane, :class:`ShardOutput` results.
         initial_snapshot: Checkpoint bytes to resume from (recovery);
             ``None`` starts from a fresh state.
+        endpoint: Shared-memory
+            :class:`~repro.service.transport.shm.WorkerEndpoint`
+            inherited through ``fork``; ``None`` runs the original
+            queue transport.  With an endpoint, batches arrive as
+            zero-copy columnar views off the data ring and outputs
+            return on the result ring.
+
+    A torn ring frame (CRC mismatch — the producer died mid-write or
+    chaos corrupted the bytes) raises out of the receive path: the
+    worker reports it via :class:`ShardStopped` and exits nonzero, and
+    the supervisor's crash recovery respawns it with fresh rings and a
+    checkpoint replay.
     """
     try:
         if initial_snapshot is not None:
@@ -530,9 +553,11 @@ def shard_main(
         batches_since_checkpoint = 0
         while True:
             try:
-                message = in_queue.get(
-                    timeout=heartbeat if heartbeat else None
-                )
+                timeout = heartbeat if heartbeat else None
+                if endpoint is not None:
+                    message = endpoint.receive(in_queue, timeout)
+                else:
+                    message = in_queue.get(timeout=timeout)
             except queue_module.Empty:
                 out_queue.put(
                     ShardHeartbeat(
@@ -563,7 +588,15 @@ def shard_main(
             ):
                 output.snapshot = snapshot(state)
                 batches_since_checkpoint = 0
-            out_queue.put(output)
+            if endpoint is not None:
+                # Release the batch's ring views and consume the frame
+                # before shipping the output: the fold is complete, so
+                # the producer may reuse the bytes.
+                endpoint.commit()
+                output.transport_seconds = endpoint.take_decode_seconds()
+                endpoint.send_output(output, out_queue, heartbeat)
+            else:
+                out_queue.put(output)
     except (KeyboardInterrupt, SystemExit):  # pragma: no cover - signals
         raise
     except BaseException as error:  # pragma: no cover - crash reporting

@@ -1,8 +1,14 @@
 """Worker lifecycle: spawning, backpressure, failure detection, recovery.
 
-The supervisor owns one worker process per shard, connected by a
-bounded inbound queue (batches) and an unbounded outbound queue
-(outputs).  Its responsibilities:
+The supervisor owns one worker process per shard.  On the ``shm`` data
+plane (the default where supported) batches travel as columnar frames
+over per-shard shared-memory rings
+(:mod:`repro.service.transport`), with bounded queues kept for control
+traffic, oversized spills, and platforms without shared memory; on the
+``pickle`` plane everything travels on the queues, as it originally
+did.  Either way both directions are bounded — a slow merger
+backpressures the workers instead of growing an unbounded outbound
+backlog.  Its responsibilities:
 
 * **Backpressure** — a full inbound queue triggers the configured
   policy: ``block`` (lossless, waits for capacity), ``drop`` (sheds the
@@ -51,7 +57,12 @@ import queue as queue_module
 import time
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import ServiceError, ShardFailedError
+from repro.errors import (
+    ServiceError,
+    ShardFailedError,
+    TornFrameError,
+    TransportError,
+)
 from repro.metrics.stats import Reservoir
 from repro.service.partition import (
     BACKPRESSURE_POLICIES,
@@ -68,17 +79,32 @@ from repro.service.shard import (
     ShardStopped,
     shard_main,
 )
+from repro.service.transport import resolve_data_plane
+from repro.service.transport.frame import (
+    FrameKind,
+    decode_frame,
+    encode_control_frame,
+)
+from repro.service.transport.shm import ShardChannel
 from repro.stream.checkpoint import CheckpointError, verify
 from repro.stream.sink import DeadLetter
 
 #: Seconds between liveness checks while waiting on a full queue.
 _PUT_TIMEOUT = 0.05
 
+#: Sleep between liveness checks while waiting on a full ring (rings
+#: drain in sub-millisecond strides, so the wait polls much hotter
+#: than the queue path).
+_RING_WAIT_SLEEP = 0.001
+
 #: Retained batch-latency samples per shard (reservoir capacity).
 _LATENCY_SAMPLES = 1024
 
 #: Upper bound on one exponential-backoff sleep before a respawn.
 _BACKOFF_CAP = 2.0
+
+#: Default per-ring capacity of the shm data plane, in bytes.
+DEFAULT_RING_CAPACITY = 1 << 20
 
 
 def _context():
@@ -102,6 +128,8 @@ class WorkerHandle:
         self.process: Optional[Any] = None
         self.in_queue: Optional[Any] = None
         self.out_queue: Optional[Any] = None
+        #: Shared-memory ring pair (``None`` on the pickle plane).
+        self.channel: Optional[ShardChannel] = None
         #: Batches shipped but not yet covered by two checkpoint
         #: generations (the fallback generation must stay replayable).
         self.retained: List[Batch] = []
@@ -132,6 +160,13 @@ class WorkerHandle:
         self.dropped = 0
         self.stalls = 0
         self.corrupt_checkpoints = 0
+        # Transport accounting (shm plane; zero on the pickle plane).
+        self.frames_columnar = 0
+        self.frames_pickled = 0
+        self.frames_spilled = 0
+        self.encode_seconds = 0.0
+        self.ring_wait_seconds = 0.0
+        self.decode_seconds = 0.0
         #: Bounded uniform sample of ship-to-ack latencies; seeded per
         #: shard so runs are reproducible.
         self.latencies = Reservoir(
@@ -160,6 +195,11 @@ class Supervisor:
         on_shard_failed: Callback ``(shard_id, reason)`` invoked once
             when a shard exhausts its budget (or loses both checkpoint
             generations).
+        data_plane: ``"auto"`` (shm where supported, else pickle),
+            ``"shm"`` (require the shared-memory plane), or
+            ``"pickle"`` (force the legacy queue transport).
+        ring_capacity: Per-ring byte capacity of the shm plane; larger
+            rings absorb deeper bursts before backpressure engages.
     """
 
     def __init__(
@@ -172,6 +212,8 @@ class Supervisor:
         restart_backoff: float = 0.05,
         stall_timeout: float = 10.0,
         on_shard_failed: Optional[Callable[[int, str], None]] = None,
+        data_plane: str = "auto",
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
     ):
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ServiceError(
@@ -186,10 +228,24 @@ class Supervisor:
             raise ServiceError(
                 f"max_restarts must be >= 0, got {max_restarts}"
             )
+        if ring_capacity < 64:
+            raise ServiceError(
+                f"ring_capacity must be >= 64 bytes, got {ring_capacity}"
+            )
         self._ctx = _context()
         self._queue_capacity = queue_capacity
+        #: Outbound queues are bounded too (a slow merger backpressures
+        #: workers instead of growing an unbounded backlog), but looser
+        #: than inbound: outputs are smaller than batches, and the
+        #: supervisor drains them while it waits for inbound capacity.
+        self._out_capacity = max(16, queue_capacity * 4)
+        self.data_plane = resolve_data_plane(data_plane)
+        self._ring_capacity = ring_capacity
         self._backpressure = backpressure
         self._injector = injector
+        #: Optional ``(stage, seconds)`` callback the service binds for
+        #: transport telemetry (stages: encode / ring_wait / decode).
+        self.transport_observer: Optional[Callable[[str, float], None]] = None
         self._max_restarts = max_restarts
         self._restart_backoff = restart_backoff
         self._stall_timeout = stall_timeout
@@ -207,7 +263,15 @@ class Supervisor:
         if self._injector is not None:
             config = self._injector.worker_config(config)
         handle.in_queue = self._ctx.Queue(maxsize=self._queue_capacity)
-        handle.out_queue = self._ctx.Queue()
+        handle.out_queue = self._ctx.Queue(maxsize=self._out_capacity)
+        endpoint = None
+        if self.data_plane == "shm":
+            # Fresh rings every (re)spawn: a crashed worker's rings may
+            # hold a half-consumed frame and are never reused.
+            handle.channel = ShardChannel(
+                handle.config.shard_id, self._ring_capacity
+            )
+            endpoint = handle.channel.endpoint()
         handle.process = self._ctx.Process(
             target=shard_main,
             args=(
@@ -215,6 +279,7 @@ class Supervisor:
                 handle.in_queue,
                 handle.out_queue,
                 initial_snapshot,
+                endpoint,
             ),
             daemon=True,
             name=f"repro-shard-{handle.config.shard_id}",
@@ -348,6 +413,11 @@ class Supervisor:
                 q.cancel_join_thread()
         handle.in_queue = None
         handle.out_queue = None
+        channel = handle.channel
+        if channel is not None:
+            handle.channel = None
+            channel.close()
+            channel.unlink()
 
     def _check(self, handle: WorkerHandle) -> None:
         """Recover ``handle`` if its process died or wedged."""
@@ -383,7 +453,13 @@ class Supervisor:
     # -- shipping with backpressure --------------------------------
 
     def _put(self, handle: WorkerHandle, message: Any) -> None:
-        """Blocking put that survives (and triggers) worker recovery."""
+        """Blocking put that survives (and triggers) worker recovery.
+
+        While waiting for inbound capacity the supervisor keeps
+        draining the worker's outputs — with both directions bounded,
+        a worker blocked on a full outbound path and a supervisor
+        blocked on a full inbound one would otherwise deadlock.
+        """
         if self._injector is not None:
             delay = self._injector.put_delay(handle.config.shard_id)
             if delay:
@@ -400,11 +476,149 @@ class Supervisor:
                         ),
                     )
                 return
+            if handle.channel is not None:
+                if self._shm_send(handle, message):
+                    return
+                # Ring torn down mid-send (worker recovery replaced the
+                # channel, or the shard failed): retry wholesale
+                # against the fresh incarnation.
+                continue
             try:
                 handle.in_queue.put(message, timeout=_PUT_TIMEOUT)
                 return
             except queue_module.Full:
+                self._drain_handle(handle)
                 self._check(handle)
+
+    # -- shm plane ---------------------------------------------------
+
+    def _encode_batch(self, handle: WorkerHandle, batch: Batch) -> bytes:
+        """Encode one batch on the handle's channel, with accounting."""
+        started = time.perf_counter()
+        frame, columnar = handle.channel.encode_batch(batch)
+        elapsed = time.perf_counter() - started
+        handle.encode_seconds += elapsed
+        if columnar:
+            handle.frames_columnar += 1
+        else:
+            handle.frames_pickled += 1
+        if self.transport_observer is not None:
+            self.transport_observer("encode", elapsed)
+        return frame
+
+    def _data_frames(self, handle: WorkerHandle, frame: bytes) -> List[bytes]:
+        """The ring frames to write for one encoded batch frame.
+
+        Normally ``[frame]``; the fault injector's torn-write and
+        stale-sequence schedules substitute corrupted or duplicated
+        frames here.
+        """
+        if self._injector is None:
+            return [frame]
+        on_data_frame = getattr(self._injector, "on_data_frame", None)
+        if on_data_frame is None:
+            return [frame]
+        return on_data_frame(handle.config.shard_id, frame)
+
+    def _shm_send(self, handle: WorkerHandle, message: Any) -> bool:
+        """Deliver one message over the shm plane, blocking on space.
+
+        Returns ``False`` when the channel was replaced (worker
+        recovery) or the shard failed mid-send; the caller restarts
+        against the handle's current state.
+        """
+        channel = handle.channel
+        shard_id = handle.config.shard_id
+        if isinstance(message, Batch):
+            # Respect the per-shard in-flight batch bound (see
+            # ``_shm_try_ship``) before committing ring space: the
+            # block policy waits here, draining so acks can arrive.
+            waited_since = None
+            while (
+                message.seq - handle.acked_seq > self._queue_capacity
+            ):
+                if waited_since is None:
+                    waited_since = time.perf_counter()
+                self._drain_handle(handle)
+                self._check(handle)
+                if handle.failed or handle.channel is not channel:
+                    return False
+                time.sleep(_RING_WAIT_SLEEP)
+            if waited_since is not None:
+                waited = time.perf_counter() - waited_since
+                handle.ring_wait_seconds += waited
+                if self.transport_observer is not None:
+                    self.transport_observer("ring_wait", waited)
+            frame = self._encode_batch(handle, message)
+            if len(frame) > channel.data_ring.max_payload:
+                # Too large for the ring: the payload travels on the
+                # queue, a SPILL marker holds its place in ring order.
+                handle.frames_spilled += 1
+                while True:
+                    try:
+                        handle.in_queue.put(message, timeout=_PUT_TIMEOUT)
+                        break
+                    except queue_module.Full:
+                        self._drain_handle(handle)
+                        self._check(handle)
+                        if handle.failed or handle.channel is not channel:
+                            return False
+                frames = [
+                    encode_control_frame(
+                        FrameKind.SPILL, shard_id, message.seq
+                    )
+                ]
+            else:
+                frames = self._data_frames(handle, frame)
+        else:  # STOP
+            frames = [encode_control_frame(FrameKind.STOP, shard_id)]
+        ring = channel.data_ring
+        for frame in frames:
+            started = None
+            while not ring.try_write(frame):
+                if started is None:
+                    started = time.perf_counter()
+                self._drain_handle(handle)
+                self._check(handle)
+                if handle.failed or handle.channel is not channel:
+                    return False
+                time.sleep(_RING_WAIT_SLEEP)
+            if started is not None:
+                waited = time.perf_counter() - started
+                handle.ring_wait_seconds += waited
+                if self.transport_observer is not None:
+                    self.transport_observer("ring_wait", waited)
+        return True
+
+    def _shm_try_ship(self, handle: WorkerHandle, batch: Batch) -> bool:
+        """Non-blocking shm delivery; ``False`` signals backpressure."""
+        if self._injector is not None and getattr(
+            self._injector, "has_data_frame_fault", lambda _s: False
+        )(handle.config.shard_id):
+            # A torn/stale frame is scheduled for this shard: take the
+            # blocking writer so the injected frame group lands (and
+            # survives any recovery it provokes) atomically.
+            self._put(handle, batch)
+            return True
+        # ``queue_capacity`` bounds in-flight *batches* per shard on
+        # both planes — the ring's byte capacity alone would let a
+        # fast producer run thousands of batches ahead of a slow
+        # worker, which is exactly the situation the drop/sample
+        # policies exist to surface.  The bound is phrased per-seq
+        # (ship N only once N - capacity is acked) so replayed batches
+        # at or below the ack horizon always pass.
+        self._drain_result_ring(handle)
+        if batch.seq - handle.acked_seq > self._queue_capacity:
+            return False
+        channel = handle.channel
+        frame = self._encode_batch(handle, batch)
+        if len(frame) > channel.data_ring.max_payload:
+            # Oversized batches take the blocking spill path directly:
+            # shedding a batch for being large (rather than for the
+            # worker being behind) is not what drop/sample mean.
+            self._put(handle, batch)
+            return True
+        return channel.data_ring.try_write(frame)
 
     def ship(self, batch: Batch) -> None:
         """Deliver one batch under the configured backpressure policy."""
@@ -419,9 +633,15 @@ class Supervisor:
                 ),
             )
             return
-        try:
-            handle.in_queue.put_nowait(batch)
-        except queue_module.Full:
+        if handle.channel is not None:
+            delivered = self._shm_try_ship(handle, batch)
+        else:
+            try:
+                handle.in_queue.put_nowait(batch)
+                delivered = True
+            except queue_module.Full:
+                delivered = False
+        if not delivered:
             if self._backpressure == "drop":
                 batch, dropped = drop_records(batch)
                 handle.dropped += dropped
@@ -429,8 +649,8 @@ class Supervisor:
                 batch, dropped = thin_batch(batch)
                 handle.dropped += dropped
             self._put(handle, batch)
-            if handle.failed:
-                return
+        if handle.failed:
+            return
         # Retain exactly what was shipped so replays are identical.
         handle.retained.append(batch)
         handle.shipped_seq = max(handle.shipped_seq, batch.seq)
@@ -448,6 +668,12 @@ class Supervisor:
             return
         if isinstance(message, ShardStopped):
             if message.error is None and handle.stop_sent:
+                # Every result-ring write happened-before the worker
+                # queued this stop message, but this poll's ring pass
+                # ran before the queue pass — drain once more so a
+                # final output that landed in between is not stranded
+                # when drain_until_stopped breaks.
+                self._drain_result_ring(handle)
                 handle.stopped = True
             # An errored stop is followed by a nonzero exit; _check
             # recovers the worker once the process object reports dead.
@@ -459,6 +685,11 @@ class Supervisor:
             handle.records += output.records
             handle.batches += 1
             handle.busy_seconds += output.busy_seconds
+            decode_seconds = getattr(output, "transport_seconds", 0.0)
+            if decode_seconds:
+                handle.decode_seconds += decode_seconds
+                if self.transport_observer is not None:
+                    self.transport_observer("decode", decode_seconds)
             shipped_at = handle.enqueue_times.pop(output.seq, None)
             if shipped_at is not None:
                 handle.latencies.add(
@@ -486,6 +717,7 @@ class Supervisor:
             output.snapshot = None  # merged layers never need the bytes
 
     def _drain_handle(self, handle: WorkerHandle) -> None:
+        self._drain_result_ring(handle)
         out_queue = handle.out_queue
         if out_queue is None:
             return
@@ -497,6 +729,65 @@ class Supervisor:
             except (EOFError, OSError):  # pragma: no cover - torn pipe
                 return
             self._absorb(handle, message)
+
+    def _drain_result_ring(self, handle: WorkerHandle) -> None:
+        """Absorb every output currently on the shard's result ring.
+
+        A torn frame here means the worker died mid-write: draining
+        stops (the rest of the ring cannot be trusted) and the regular
+        liveness check recovers the shard with fresh rings.
+        """
+        channel = handle.channel
+        if channel is None:
+            return
+        ring = channel.result_ring
+        while True:
+            try:
+                view = ring.try_read()
+            except TransportError:
+                # Torn record, or a frame left uncommitted by an
+                # earlier torn decode: the ring is done for.
+                break
+            if view is None:
+                return
+            try:
+                decoded = decode_frame(view)
+            except TornFrameError:
+                # Leave the frame uncommitted; the ring is discarded
+                # wholesale when the worker is recovered.
+                break
+            if decoded.kind is FrameKind.SPILL:
+                ring.commit()
+                if not self._absorb_spilled_output(handle):
+                    break
+            else:
+                payload = decoded.payload
+                ring.commit()
+                self._absorb(handle, payload)
+
+    def _absorb_spilled_output(self, handle: WorkerHandle) -> bool:
+        """Wait out the queue delivery of one ring-spilled output.
+
+        The worker queued the output *before* writing its SPILL marker,
+        but the queue's feeder thread may still be flushing it when the
+        marker becomes visible in shared memory; block briefly until it
+        lands, giving up only if the worker died (recovery replays the
+        batch anyway).
+        """
+        out_queue = handle.out_queue
+        while True:
+            try:
+                message = out_queue.get(timeout=_PUT_TIMEOUT)
+            except queue_module.Empty:
+                process = handle.process
+                if process is None or not process.is_alive():
+                    return False
+                continue
+            except (EOFError, OSError):  # pragma: no cover - torn pipe
+                return False
+            self._absorb(handle, message)
+            if isinstance(message, ShardOutput):
+                return True
 
     def poll(self) -> List[ShardOutput]:
         """Drain worker outputs, recovering any dead workers en route."""
@@ -516,6 +807,45 @@ class Supervisor:
         letters = self._pending_letters
         self._pending_letters = []
         return letters
+
+    # -- transport introspection -------------------------------------
+
+    def ring_occupancy(self) -> List[float]:
+        """Per-shard ring occupancy as a capacity fraction (shm plane).
+
+        The fuller of a shard's two rings; ``0.0`` for discarded
+        channels and on the pickle plane.
+        """
+        return [
+            handle.channel.occupancy_ratio()
+            if handle.channel is not None
+            else 0.0
+            for handle in self.handles
+        ]
+
+    def transport_stats(self) -> Dict[str, Any]:
+        """Aggregate data-plane accounting across every shard."""
+        return {
+            "data_plane": self.data_plane,
+            "frames_columnar": sum(
+                h.frames_columnar for h in self.handles
+            ),
+            "frames_pickled": sum(
+                h.frames_pickled for h in self.handles
+            ),
+            "frames_spilled": sum(
+                h.frames_spilled for h in self.handles
+            ),
+            "encode_seconds": sum(
+                h.encode_seconds for h in self.handles
+            ),
+            "ring_wait_seconds": sum(
+                h.ring_wait_seconds for h in self.handles
+            ),
+            "decode_seconds": sum(
+                h.decode_seconds for h in self.handles
+            ),
+        }
 
     # -- shutdown ---------------------------------------------------
 
@@ -592,12 +922,18 @@ class InlineTransport:
         restart_backoff: float = 0.05,
         stall_timeout: float = 10.0,
         on_shard_failed: Optional[Callable[[int, str], None]] = None,
+        data_plane: str = "auto",
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
     ):
         if backpressure not in BACKPRESSURE_POLICIES:
             raise ServiceError(
                 f"unknown backpressure policy {backpressure!r}; "
                 f"expected one of {BACKPRESSURE_POLICIES}"
             )
+        self.data_plane = "inline"
+        self.transport_observer: Optional[
+            Callable[[str, float], None]
+        ] = None
         self.handles = [WorkerHandle(config) for config in configs]
         self._states = [ShardState(config) for config in configs]
         self._pending: List[ShardOutput] = []
@@ -623,6 +959,22 @@ class InlineTransport:
     def take_dead_letters(self) -> List[DeadLetter]:
         """Always empty: inline shards cannot fail, only quarantine."""
         return []
+
+    def ring_occupancy(self) -> List[float]:
+        """Always zero: the inline transport has no rings."""
+        return [0.0] * len(self.handles)
+
+    def transport_stats(self) -> Dict[str, Any]:
+        """Zeroed accounting (no process transport in play)."""
+        return {
+            "data_plane": "inline",
+            "frames_columnar": 0,
+            "frames_pickled": 0,
+            "frames_spilled": 0,
+            "encode_seconds": 0.0,
+            "ring_wait_seconds": 0.0,
+            "decode_seconds": 0.0,
+        }
 
     def stop(self) -> None:
         """Mark every (synchronous) shard as stopped."""

@@ -1,0 +1,468 @@
+"""Columnar frame codec for the shared-memory data plane.
+
+A frame is one self-validating unit on a ring: a fixed 36-byte header
+followed by a body whose layout depends on the frame kind.  Every
+frame carries a CRC32 over header-plus-body, so a torn write (producer
+killed mid-frame, or chaos-injected corruption) is detected at the
+consumer rather than silently decoded into wrong aggregates.
+
+Header layout (little-endian)::
+
+    offset  0  magic       b"SDF1"
+    offset  4  kind        u8   (FrameKind)
+    offset  5  flags       u8   (_FLAG_* bits)
+    offset  6  shard       u16
+    offset  8  seq         u64
+    offset 16  watermark   u64  (position + 1; 0 encodes None)
+    offset 24  count       u32  (records in a columnar frame)
+    offset 28  key_table   u32  (key-table byte length)
+    offset 32  crc32       u32  (over header[:32] + body)
+    offset 36  body
+
+Columnar body (``FrameKind.COLUMNAR``), all columns contiguous::
+
+    positions   count * 8 bytes, native i64
+    values      count * 8 bytes, native i64 or f64 (``_FLAG_FLOAT``)
+    key_index   count * 4 bytes, native u32 into the key table
+    traces      count * 8 bytes, native u64, present iff
+                ``_FLAG_TRACES`` (0 encodes "no trace id")
+    key table   ``key_table`` bytes (distinct keys, first-seen order)
+
+The decoder returns the position and value columns as
+``memoryview.cast`` typed views **aliasing the ring** — no copy, no
+unpickle.  Values deliberately decode through ``memoryview`` rather
+than ``numpy.frombuffer``: iterating a ``'q'`` view yields Python
+ints, so integer aggregation keeps arbitrary precision and the
+columnar path is bit-for-bit equivalent to the pickle transport.
+(Kernels that want an ndarray can wrap the same view via
+:func:`repro.kernels.column_ndarray` without a copy.)
+
+The capability check is strict on purpose: a value column encodes only
+when every value is exactly ``int`` (within i64 range) or every value
+exactly ``float``.  ``bool`` is an ``int`` subclass but round-trips as
+``int`` through an i64 column, which would change ``bool_all``-style
+answers — so mixed or subclassed types fall back to a
+``FrameKind.PICKLED`` frame on the same ring, preserving order.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from array import array
+from enum import IntEnum
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import TornFrameError, TransportError
+
+MAGIC = b"SDF1"
+HEADER_BYTES = 36
+
+_HEADER = struct.Struct("<4sBBHQQIII")
+_CRC_OFFSET = 32
+_U32 = struct.Struct("<I")
+
+_FLAG_FLOAT = 0x01  # value column is f64 (else i64)
+_FLAG_TRACES = 0x02  # trace-id column present
+_FLAG_KEYS_PICKLED = 0x04  # key table is a pickled tuple
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+class FrameKind(IntEnum):
+    """What a ring frame carries."""
+
+    #: A numeric batch as flat columns (the zero-copy fast path).
+    COLUMNAR = 1
+    #: A pickled :class:`~repro.service.partition.Batch` (fallback).
+    PICKLED = 2
+    #: Marker: the payload was too large for the ring and travels on
+    #: the queue instead; consume one queue item to stay ordered.
+    SPILL = 3
+    #: Shutdown request (replaces the queue STOP sentinel in-band).
+    STOP = 4
+    #: A pickled :class:`~repro.service.shard.ShardOutput` (result ring).
+    OUTPUT = 5
+
+
+# -- key table ----------------------------------------------------------
+#
+# Distinct keys are dictionary-encoded: the column stores u32 indices
+# into a table of first-seen distinct keys.  Common key types get a
+# compact tagged binary encoding; anything else pickles the whole
+# distinct tuple (never the per-record column).
+
+_KEY_NONE = 0
+_KEY_INT = 1
+_KEY_FLOAT = 2
+_KEY_STR = 3
+_KEY_BYTES = 4
+_KEY_TRUE = 5
+_KEY_FALSE = 6
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+def _encode_key_table(distinct: Sequence[Any]) -> Tuple[bytes, bool]:
+    """Encode distinct keys; returns ``(payload, pickled)``."""
+    parts: List[bytes] = [_U32.pack(len(distinct))]
+    for key in distinct:
+        kind = type(key)
+        if kind is bool:
+            parts.append(bytes([_KEY_TRUE if key else _KEY_FALSE]))
+        elif kind is int and _I64_MIN <= key <= _I64_MAX:
+            parts.append(bytes([_KEY_INT]) + _I64.pack(key))
+        elif kind is float:
+            parts.append(bytes([_KEY_FLOAT]) + _F64.pack(key))
+        elif kind is str:
+            raw = key.encode("utf-8")
+            parts.append(bytes([_KEY_STR]) + _U32.pack(len(raw)) + raw)
+        elif kind is bytes:
+            parts.append(bytes([_KEY_BYTES]) + _U32.pack(len(raw := key)) + raw)
+        elif key is None:
+            parts.append(bytes([_KEY_NONE]))
+        else:
+            return pickle.dumps(tuple(distinct), protocol=5), True
+    return b"".join(parts), False
+
+
+def _decode_key_table(payload: memoryview, pickled: bool) -> List[Any]:
+    if pickled:
+        return list(pickle.loads(payload))
+    count = _U32.unpack_from(payload, 0)[0]
+    keys: List[Any] = []
+    offset = 4
+    for _ in range(count):
+        tag = payload[offset]
+        offset += 1
+        if tag == _KEY_INT:
+            keys.append(_I64.unpack_from(payload, offset)[0])
+            offset += 8
+        elif tag == _KEY_STR:
+            length = _U32.unpack_from(payload, offset)[0]
+            offset += 4
+            keys.append(bytes(payload[offset : offset + length]).decode("utf-8"))
+            offset += length
+        elif tag == _KEY_FLOAT:
+            keys.append(_F64.unpack_from(payload, offset)[0])
+            offset += 8
+        elif tag == _KEY_BYTES:
+            length = _U32.unpack_from(payload, offset)[0]
+            offset += 4
+            keys.append(bytes(payload[offset : offset + length]))
+            offset += length
+        elif tag == _KEY_TRUE:
+            keys.append(True)
+        elif tag == _KEY_FALSE:
+            keys.append(False)
+        elif tag == _KEY_NONE:
+            keys.append(None)
+        else:
+            raise TornFrameError(f"unknown key-table tag {tag}")
+    return keys
+
+
+# -- value capability check ---------------------------------------------
+
+
+def encode_values(values: Sequence[Any]) -> Optional[Tuple[bytes, bool]]:
+    """Try to encode values as one flat column.
+
+    Returns ``(column_bytes, is_float)`` when every value is exactly
+    ``int`` (i64-representable) or exactly ``float``; ``None`` when the
+    batch must take the pickle fallback.  The ``type`` check is
+    deliberately exact — ``bool`` and int subclasses would change
+    type through an i64 column.
+
+    Already-typed columns (``array('q')``/``array('d')``, plus the 1-D
+    typed memoryviews a decoded columnar batch carries) skip the scan
+    entirely: the container proves the element type, so the column is
+    just its bytes.
+    """
+    if type(values) is array:
+        if values.typecode == "q":
+            return values.tobytes(), False
+        if values.typecode == "d":
+            return values.tobytes(), True
+    elif type(values) is memoryview and values.ndim == 1:
+        if values.format == "q":
+            return bytes(values), False
+        if values.format == "d":
+            return bytes(values), True
+    kinds = set(map(type, values))
+    if not kinds:
+        # Empty batches (watermark carriers) are trivially columnar.
+        return b"", False
+    if kinds == {int}:
+        try:
+            return array("q", values).tobytes(), False
+        except OverflowError:
+            return None
+    if kinds == {float}:
+        return array("d", values).tobytes(), True
+    return None
+
+
+def _position_bytes(positions: Sequence[int]) -> bytes:
+    """The position column as raw i64 bytes, free for typed inputs."""
+    if type(positions) is array and positions.typecode == "q":
+        return positions.tobytes()
+    if (
+        type(positions) is memoryview
+        and positions.ndim == 1
+        and positions.format == "q"
+    ):
+        return bytes(positions)
+    return array("q", positions).tobytes()
+
+
+def _distinct_keys(keys: Sequence[Any]) -> List[Any]:
+    """First-seen distinct keys, with a C-speed single-key fast path.
+
+    Run-grouped batches overwhelmingly carry one key, and
+    ``list.count`` verifies that in one C pass (with the pointer-equal
+    shortcut for the repeated-reference case) — much cheaper than the
+    hash-everything ``dict.fromkeys`` scan it short-circuits.
+    """
+    if type(keys) is list and keys and keys.count(keys[0]) == len(keys):
+        return [keys[0]]
+    return list(dict.fromkeys(keys))
+
+
+# -- frame assembly ------------------------------------------------------
+
+
+def _seal(header_fields: tuple, body: bytes) -> bytes:
+    header = bytearray(_HEADER.pack(*header_fields, 0))
+    crc = zlib.crc32(body, zlib.crc32(bytes(header[:_CRC_OFFSET])))
+    _U32.pack_into(header, _CRC_OFFSET, crc)
+    return bytes(header) + body
+
+
+def encode_batch_frame(
+    shard: int,
+    seq: int,
+    watermark: Optional[int],
+    positions: Sequence[int],
+    keys: Sequence[Any],
+    values: Sequence[Any],
+    traces: Optional[Sequence[Optional[int]]],
+) -> Optional[bytes]:
+    """Encode one batch as a columnar frame; ``None`` if unsupported.
+
+    Returns ``None`` when the value column fails the capability check
+    (mixed/unsupported types, out-of-range ints) so the caller can emit
+    a :func:`encode_pickled_frame` instead.  Positions must be
+    i64-representable (they are stream indices, so always are).
+    """
+    encoded = encode_values(values)
+    if encoded is None:
+        return None
+    value_bytes, is_float = encoded
+    count = len(values)
+    distinct = _distinct_keys(keys)
+    if len(distinct) > 0xFFFFFFFF:  # pragma: no cover - 4G distinct keys
+        return None
+    key_table, keys_pickled = _encode_key_table(distinct)
+    flags = 0
+    if is_float:
+        flags |= _FLAG_FLOAT
+    if keys_pickled:
+        flags |= _FLAG_KEYS_PICKLED
+    if len(distinct) == 1:
+        # Single distinct key (the run-grouped common case): the
+        # index column is all zeros, which bytes() produces without
+        # touching the keys again.
+        key_index = bytes(4 * count)
+    else:
+        lookup = {key: index for index, key in enumerate(distinct)}
+        key_index = array("I", map(lookup.__getitem__, keys)).tobytes()
+    parts = [
+        _position_bytes(positions),
+        value_bytes,
+        key_index,
+    ]
+    if traces is not None and any(t is not None for t in traces):
+        flags |= _FLAG_TRACES
+        parts.append(array("Q", (t or 0 for t in traces)).tobytes())
+    parts.append(key_table)
+    body = b"".join(parts)
+    header_fields = (
+        MAGIC,
+        int(FrameKind.COLUMNAR),
+        flags,
+        shard,
+        seq,
+        0 if watermark is None else watermark + 1,
+        count,
+        len(key_table),
+    )
+    return _seal(header_fields, body)
+
+
+def encode_pickled_frame(
+    kind: FrameKind, shard: int, seq: int, payload: Any
+) -> bytes:
+    """Encode an arbitrary object as a CRC-protected pickled frame."""
+    body = pickle.dumps(payload, protocol=5)
+    header_fields = (MAGIC, int(kind), 0, shard, seq, 0, 0, 0)
+    return _seal(header_fields, body)
+
+
+def encode_control_frame(kind: FrameKind, shard: int, seq: int = 0) -> bytes:
+    """Encode a bodyless control frame (STOP / SPILL marker)."""
+    return _seal((MAGIC, int(kind), 0, shard, seq, 0, 0, 0), b"")
+
+
+class DecodedFrame:
+    """One validated frame, with zero-copy columns where applicable.
+
+    For ``COLUMNAR`` frames, :attr:`positions` and :attr:`values` are
+    typed ``memoryview``s aliasing the ring buffer — iterate or hand
+    them to batch kernels, then release before the ring commits.  Keys
+    and traces are decoded eagerly (small, and must outlive the view).
+    For ``PICKLED``/``OUTPUT`` frames, :attr:`payload` holds the
+    unpickled object.
+    """
+
+    __slots__ = (
+        "kind",
+        "shard",
+        "seq",
+        "watermark",
+        "count",
+        "positions",
+        "values",
+        "keys",
+        "traces",
+        "payload",
+    )
+
+    def __init__(self, kind: FrameKind, shard: int, seq: int):
+        self.kind = kind
+        self.shard = shard
+        self.seq = seq
+        self.watermark: Optional[int] = None
+        self.count = 0
+        self.positions: Optional[memoryview] = None
+        self.values: Optional[memoryview] = None
+        self.keys: Optional[List[Any]] = None
+        self.traces: Optional[List[Optional[int]]] = None
+        self.payload: Any = None
+
+    def release(self) -> None:
+        """Release ring-aliasing views so the ring can commit/close."""
+        if self.positions is not None:
+            self.positions.release()
+            self.positions = None
+        if self.values is not None:
+            self.values.release()
+            self.values = None
+
+
+def decode_frame(frame: memoryview) -> DecodedFrame:
+    """Validate and decode one frame read off a ring.
+
+    Raises :class:`~repro.errors.TornFrameError` on bad magic, an
+    impossible length, or a CRC mismatch — the torn-write signature.
+    """
+    if len(frame) < HEADER_BYTES:
+        raise TornFrameError(
+            f"frame of {len(frame)} bytes is shorter than the "
+            f"{HEADER_BYTES}-byte header"
+        )
+    (
+        magic,
+        kind_raw,
+        flags,
+        shard,
+        seq,
+        watermark_raw,
+        count,
+        key_table_len,
+    ) = _HEADER.unpack_from(frame, 0)[:8]
+    if magic != MAGIC:
+        raise TornFrameError(f"bad frame magic {bytes(magic)!r}")
+    crc_stored = _U32.unpack_from(frame, _CRC_OFFSET)[0]
+    body = frame[HEADER_BYTES:]
+    crc_actual = zlib.crc32(body, zlib.crc32(bytes(frame[:_CRC_OFFSET])))
+    if crc_actual != crc_stored:
+        body.release()
+        raise TornFrameError(
+            f"frame CRC mismatch (stored {crc_stored:#010x}, "
+            f"computed {crc_actual:#010x}) for shard {shard} seq {seq}"
+        )
+    try:
+        kind = FrameKind(kind_raw)
+    except ValueError:
+        body.release()
+        raise TornFrameError(f"unknown frame kind {kind_raw}") from None
+    decoded = DecodedFrame(kind, shard, seq)
+    if kind in (FrameKind.STOP, FrameKind.SPILL):
+        body.release()
+        return decoded
+    if kind in (FrameKind.PICKLED, FrameKind.OUTPUT):
+        decoded.payload = pickle.loads(body)
+        body.release()
+        return decoded
+    # COLUMNAR: carve typed views out of the body without copying.
+    decoded.watermark = None if watermark_raw == 0 else watermark_raw - 1
+    decoded.count = count
+    has_traces = bool(flags & _FLAG_TRACES)
+    expected = 8 * count + 8 * count + 4 * count
+    if has_traces:
+        expected += 8 * count
+    expected += key_table_len
+    if len(body) != expected:
+        body.release()
+        raise TornFrameError(
+            f"columnar frame body is {len(body)} bytes, expected "
+            f"{expected} for {count} records"
+        )
+    offset = 0
+    decoded.positions = body[offset : offset + 8 * count].cast("q")
+    offset += 8 * count
+    value_fmt = "d" if flags & _FLAG_FLOAT else "q"
+    decoded.values = body[offset : offset + 8 * count].cast(value_fmt)
+    offset += 8 * count
+    key_index = body[offset : offset + 4 * count].cast("I")
+    offset += 4 * count
+    if has_traces:
+        trace_view = body[offset : offset + 8 * count].cast("Q")
+        decoded.traces = [t or None for t in trace_view]
+        trace_view.release()
+        offset += 8 * count
+    table_view = body[offset : offset + key_table_len]
+    distinct = _decode_key_table(table_view, bool(flags & _FLAG_KEYS_PICKLED))
+    table_view.release()
+    if count and distinct:
+        if len(distinct) == 1:
+            # Mirror of the encoder's single-key fast path: a sealed
+            # frame with one distinct key has an all-zero index column.
+            decoded.keys = distinct * count
+        else:
+            try:
+                # The u32 cast guarantees non-negative indices, so a
+                # plain IndexError is exactly the out-of-range check —
+                # no separate max() pass over the column.
+                decoded.keys = list(map(distinct.__getitem__, key_index))
+            except IndexError:
+                key_index.release()
+                decoded.release()
+                body.release()
+                raise TornFrameError(
+                    "key index out of range for key table"
+                ) from None
+    elif count:
+        key_index.release()
+        decoded.release()
+        body.release()
+        raise TornFrameError("columnar frame has records but no key table")
+    else:
+        decoded.keys = []
+    key_index.release()
+    body.release()
+    return decoded

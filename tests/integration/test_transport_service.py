@@ -1,0 +1,225 @@
+"""Integration tests: the shm data plane is answer-identical to pickle.
+
+The zero-copy transport swaps the wire representation underneath the
+sharded service without touching aggregation logic, so its acceptance
+test is blunt: the same stream through ``data_plane="shm"``,
+``data_plane="pickle"``, and the inline transport must produce the
+same answers, for both the columnar fast path and every fallback
+(mixed numerics, non-numeric values).  Alongside equivalence, these
+tests pin the observability surface (per-plane frame counters, gateway
+snapshots, the wire ``SUBMIT_COLUMN`` path) that the benchmarks and
+docs rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.net.client import AggregationClient
+from repro.net.server import AggregationServer, ServerThread
+from repro.operators.registry import get_operator
+from repro.service import AggregationService
+from repro.service.transport import shm_supported
+from repro.stream.engine import StreamEngine
+from repro.stream.sink import CollectSink
+from repro.windows.query import Query
+
+pytestmark = pytest.mark.timeout(120)
+
+needs_shm = pytest.mark.skipif(
+    not shm_supported(),
+    reason="multiprocessing.shared_memory or fork unavailable",
+)
+
+QUERIES = [Query(16, 8), Query(12, 4)]
+KEYS = [f"sensor-{i}" for i in range(7)]
+
+
+def keyed_records(count, value=lambda i: (i * 37 + 5) % 211 - 105):
+    return [(KEYS[i % len(KEYS)], value(i)) for i in range(count)]
+
+
+def reference_answers(records, operator_name="sum"):
+    sink = CollectSink()
+    StreamEngine(QUERIES, get_operator(operator_name), sinks=[sink]).run(
+        value for _, value in records
+    )
+    return sink.answers
+
+
+def run_service(records, operator_name="sum", **kwargs):
+    kwargs.setdefault("num_shards", 2)
+    kwargs.setdefault("batch_size", 16)
+    service = AggregationService(
+        QUERIES, get_operator(operator_name), **kwargs
+    )
+    service.submit_many(records)
+    result = service.close()
+    return result
+
+
+@needs_shm
+def test_shm_pickle_and_inline_answers_identical():
+    records = keyed_records(300)
+    expected = reference_answers(records)
+    shm = run_service(records, transport="process", data_plane="shm")
+    pickled = run_service(records, transport="process", data_plane="pickle")
+    inline = run_service(records, transport="inline")
+    assert shm.answers == expected
+    assert pickled.answers == expected
+    assert inline.answers == expected
+    assert shm.stats.records_processed == len(records)
+    assert shm.stats.dead_letters == 0
+
+
+@needs_shm
+def test_numeric_batches_travel_columnar():
+    records = keyed_records(300)
+    service = AggregationService(
+        QUERIES, get_operator("sum"), num_shards=2, batch_size=16,
+        transport="process", data_plane="shm",
+    )
+    service.submit_many(records)
+    stats = service.transport_stats()
+    result = service.close()
+    assert stats["data_plane"] == "shm"
+    assert stats["frames_columnar"] > 0
+    assert stats["frames_pickled"] == 0
+    assert stats["encode_seconds"] >= 0.0
+    assert result.answers == reference_answers(records)
+
+
+@needs_shm
+def test_float_batches_travel_columnar_and_match_inline():
+    records = keyed_records(240, value=lambda i: (i % 13) * 0.5 - 3.0)
+    shm = run_service(records, transport="process", data_plane="shm")
+    inline = run_service(records, transport="inline")
+    assert shm.answers == inline.answers
+
+
+@needs_shm
+def test_non_numeric_values_fall_back_to_pickle_frames():
+    # ``max`` over strings: nothing here can take an i64/f64 column,
+    # so every batch must ship as a CRC-protected pickled frame — and
+    # the answers must still match the inline transport exactly.
+    records = [
+        (KEYS[i % len(KEYS)], f"value-{(i * 53) % 97:02d}")
+        for i in range(240)
+    ]
+    service = AggregationService(
+        QUERIES, get_operator("max"), num_shards=2, batch_size=16,
+        transport="process", data_plane="shm",
+    )
+    service.submit_many(records)
+    stats = service.transport_stats()
+    result = service.close()
+    assert stats["frames_pickled"] > 0
+    assert stats["frames_columnar"] == 0
+    inline = run_service(records, "max", transport="inline")
+    assert result.answers == inline.answers
+
+
+@needs_shm
+def test_mixed_numeric_batches_fall_back_and_match():
+    # Alternating int/float values defeat the capability check batch
+    # by batch; answers still match the pickle plane bit for bit.
+    records = keyed_records(
+        240, value=lambda i: i if i % 2 else i * 0.25
+    )
+    shm = run_service(records, transport="process", data_plane="shm")
+    pickled = run_service(
+        records, transport="process", data_plane="pickle"
+    )
+    assert shm.answers == pickled.answers
+
+
+@needs_shm
+def test_submit_column_matches_submit_many():
+    values = [(i * 37 + 5) % 211 - 105 for i in range(200)]
+    columnar = AggregationService(
+        QUERIES, get_operator("sum"), num_shards=2, batch_size=16,
+        transport="process", data_plane="shm",
+    )
+    columnar.submit_column("k", values)
+    rowwise = AggregationService(
+        QUERIES, get_operator("sum"), num_shards=2, batch_size=16,
+        transport="process", data_plane="shm",
+    )
+    rowwise.submit_many([("k", v) for v in values])
+    assert columnar.close().answers == rowwise.close().answers
+
+
+def test_explicit_shm_errors_when_unsupported(monkeypatch):
+    monkeypatch.setattr(
+        "repro.service.transport.shm_supported", lambda: False
+    )
+    with pytest.raises(ServiceError):
+        AggregationService(
+            QUERIES, get_operator("sum"), num_shards=2,
+            transport="process", data_plane="shm",
+        )
+
+
+def test_auto_downgrades_to_pickle_when_unsupported(monkeypatch):
+    monkeypatch.setattr(
+        "repro.service.transport.shm_supported", lambda: False
+    )
+    records = keyed_records(120)
+    service = AggregationService(
+        QUERIES, get_operator("sum"), num_shards=2, batch_size=16,
+        transport="process", data_plane="auto",
+    )
+    service.submit_many(records)
+    stats = service.transport_stats()
+    result = service.close()
+    assert stats["data_plane"] == "pickle"
+    assert result.answers == reference_answers(records)
+
+
+def test_unknown_data_plane_rejected():
+    with pytest.raises(ServiceError):
+        AggregationService(
+            QUERIES, get_operator("sum"), transport="process",
+            data_plane="carrier-pigeon",
+        )
+
+
+class TestSubmitColumnOverTheWire:
+    """``SUBMIT_COLUMN`` frames land identically to row submits."""
+
+    def _serve(self):
+        service = AggregationService(
+            QUERIES, get_operator("sum"), num_shards=2,
+            batch_size=16, transport="inline",
+        )
+        return ServerThread(AggregationServer(service))
+
+    def test_packed_int_column_matches_row_submits(self):
+        values = [(i * 37 + 5) % 211 - 105 for i in range(300)]
+        with self._serve() as thread:
+            with AggregationClient("127.0.0.1", thread.port) as client:
+                accepted = client.submit_column("k", values)
+                assert accepted == len(values)
+                answers, final = client.drain()
+        expected = reference_answers([("k", v) for v in values])
+        assert answers == expected
+        assert final["stats"]["records_submitted"] == len(values)
+        # The gateway snapshot rides along on STATS and must carry
+        # the transport counters for dashboards.
+        assert "transport" in final["stats"]
+        assert "data_plane" in final["stats"]["transport"]
+
+    def test_float_and_object_columns_round_trip(self):
+        floats = [(i % 13) * 0.5 - 3.0 for i in range(120)]
+        mixed = [1, 2.5, 3]  # falls back to the tagged-object payload
+        with self._serve() as thread:
+            with AggregationClient("127.0.0.1", thread.port) as client:
+                assert client.submit_column("f", floats) == len(floats)
+                assert client.submit_column("m", mixed) == len(mixed)
+                assert client.submit_column("e", []) == 0
+                answers, _ = client.drain()
+        reference = reference_answers(
+            [("f", v) for v in floats] + [("m", v) for v in mixed]
+        )
+        assert answers == reference

@@ -1,0 +1,159 @@
+"""Unit tests for the SPSC shared-memory ring.
+
+The ring is the bottom layer of the zero-copy data plane: everything
+above it (frame codec, shard channels, supervisor wiring) assumes the
+exact read-then-commit protocol and wraparound behaviour checked here.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import TornFrameError, TransportError
+from repro.service.transport import shm_supported
+from repro.service.transport.ring import SpscRing
+
+pytestmark = pytest.mark.skipif(
+    not shm_supported(),
+    reason="multiprocessing.shared_memory or fork unavailable",
+)
+
+
+@pytest.fixture
+def ring():
+    ring = SpscRing(capacity=256)
+    yield ring
+    ring.close()
+    ring.unlink()
+
+
+def test_round_trip_preserves_payload_bytes(ring):
+    payloads = [b"alpha", b"", b"\x00" * 40, bytes(range(64))]
+    for payload in payloads:
+        assert ring.try_write(payload)
+        view = ring.try_read()
+        assert view is not None
+        assert bytes(view) == payload
+        view.release()
+        ring.commit()
+    assert ring.try_read() is None
+
+
+def test_empty_ring_reads_none(ring):
+    assert ring.try_read() is None
+    assert ring.occupancy() == 0
+    assert ring.occupancy_ratio() == 0.0
+
+
+def test_fills_and_recovers_capacity(ring):
+    writes = 0
+    while ring.try_write(b"x" * 20):
+        writes += 1
+    assert writes > 0
+    # Full: no further writes until the consumer commits.
+    assert not ring.try_write(b"x" * 20)
+    view = ring.try_read()
+    assert view is not None
+    view.release()
+    ring.commit()
+    assert ring.try_write(b"x" * 20)
+
+
+def test_wraparound_many_times_preserves_order(ring):
+    # Far more traffic than capacity forces repeated wraparound; a
+    # sequence number in each payload catches reordering or loss.
+    inflight = []
+    sent = received = 0
+    while received < 500:
+        payload = b"%06d" % sent
+        if sent - received < 4 and ring.try_write(payload):
+            inflight.append(payload)
+            sent += 1
+            continue
+        view = ring.try_read()
+        assert view is not None
+        assert bytes(view) == inflight.pop(0)
+        view.release()
+        ring.commit()
+        received += 1
+
+
+def test_variable_sizes_across_wrap_boundary(ring):
+    sizes = [1, 37, 80, 3, 120, 60, 11, 99] * 30
+    pending = []
+    for size in sizes:
+        payload = bytes([size % 251]) * size
+        while not ring.try_write(payload):
+            view = ring.try_read()
+            assert bytes(view) == pending.pop(0)
+            view.release()
+            ring.commit()
+        pending.append(payload)
+    while pending:
+        view = ring.try_read()
+        assert bytes(view) == pending.pop(0)
+        view.release()
+        ring.commit()
+
+
+def test_oversized_payload_raises(ring):
+    with pytest.raises(TransportError):
+        ring.try_write(b"x" * (ring.max_payload + 1))
+
+
+def test_read_with_pending_uncommitted_raises(ring):
+    ring.try_write(b"one")
+    ring.try_write(b"two")
+    view = ring.try_read()
+    assert bytes(view) == b"one"
+    with pytest.raises(TransportError):
+        ring.try_read()
+    view.release()
+    ring.commit()
+    view = ring.try_read()
+    assert bytes(view) == b"two"
+    view.release()
+    ring.commit()
+
+
+def test_commit_required_to_free_space(ring):
+    assert ring.try_write(b"y" * 100)
+    occupied = ring.occupancy()
+    assert occupied > 0
+    view = ring.try_read()
+    # Reading without committing must not release space.
+    assert ring.occupancy() == occupied
+    view.release()
+    ring.commit()
+    assert ring.occupancy() == 0
+
+
+def test_capacity_floor_enforced():
+    with pytest.raises(TransportError):
+        SpscRing(capacity=32)
+
+
+def test_ring_is_not_picklable(ring):
+    with pytest.raises(TransportError):
+        pickle.dumps(ring)
+
+
+def test_corrupt_length_prefix_raises_torn_frame(ring):
+    assert ring.try_write(b"payload")
+    # Overwrite the record's length prefix with an impossible length
+    # (simulates a torn write straddling the prefix).  The first record
+    # starts at data offset 0, so its prefix is bytes 0..4 of _data.
+    ring._data[0:4] = b"\xf0\xff\xff\x0f"
+    with pytest.raises(TornFrameError):
+        ring.try_read()
+
+
+def test_occupancy_ratio_is_monotone(ring):
+    ratios = []
+    for _ in range(4):
+        assert ring.try_write(b"z" * 30)
+        ratios.append(ring.occupancy_ratio())
+    assert ratios == sorted(ratios)
+    assert 0.0 < ratios[-1] <= 1.0
