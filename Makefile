@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments validate quick-experiments serve metrics clean
+.PHONY: install test bench experiments validate quick-experiments serve metrics event-time clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -27,6 +27,9 @@ serve:
 
 metrics:
 	PYTHONPATH=src $(PYTHON) examples/net_server.py --metrics-port 0
+
+event-time:
+	PYTHONPATH=src $(PYTHON) examples/event_time_service.py
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis

@@ -1,0 +1,293 @@
+"""Event-time ingest retention: in-order vs bounded-disorder streams.
+
+The event-time layer's cost question: what fraction of the plain
+arrival-ordered time-window ingest rate survives once records carry
+timestamps and flow through the bounded-lateness reorder buffer?  The
+same timestamped stream is ingested two ways at each disorder level —
+
+* ``sorted``  — per-record :meth:`TimeWindowEngine.feed` over the
+  timestamp-sorted stream (the pre-event-time ingest surface, no
+  reorder buffer, no watermark);
+* ``event``   — batched :meth:`EventTimeEngine.feed_many` over the
+  disordered stream (the shape the sharded service ingests in:
+  reorder buffer + batch-granularity watermark in front of the same
+  inner engine).
+
+Disorder levels: 0% (fully in-order), 1%, and 10% of records
+displaced by a deterministic jitter strictly inside the lateness
+bound, so both paths produce identical answers and nothing is late.
+Reported per level: tuples/second for each path, an informational
+per-record event rate, and the *retention ratio* ``event/sorted``.
+Ratios are machine-relative, so the committed baseline transfers
+across runners; the CI gate fails when a smoke-scale ratio drops more
+than ``TOLERANCE`` below the committed ``BENCH_event_time.json``
+smoke baseline, or when the fully in-order retention falls below the
+hard :data:`MIN_INORDER_RETENTION` floor (event-time enabled may cost
+at most 25% on sorted streams).
+
+Usage::
+
+    python benchmarks/bench_event_time.py            # full scale,
+        # writes BENCH_event_time.json at the repo root
+    python benchmarks/bench_event_time.py --smoke    # reduced scale
+    python benchmarks/bench_event_time.py --check    # reduced scale,
+        # fail on ratio regression vs the committed JSON
+
+Not collected by pytest (``testpaths = ["tests"]``): run it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.operators.registry import get_operator  # noqa: E402
+from repro.stream.engine import EventTimeEngine  # noqa: E402
+from repro.windows.timebased import (  # noqa: E402
+    TimeQuery,
+    TimeWindowEngine,
+)
+
+EVENT_JSON = REPO_ROOT / "BENCH_event_time.json"
+
+QUERIES = (TimeQuery(2.0, 1.0), TimeQuery(5.0, 2.0))
+LATENESS = 0.25
+BATCH = 512
+REPEATS = 5
+FULL_STREAM = 200_000
+SMOKE_STREAM = 60_000
+DISORDER_LEVELS = (0, 1, 10)
+#: Allowed relative ratio regression vs the committed smoke baseline.
+TOLERANCE = 0.4
+#: Hard floor for the fully in-order retention ratio: enabling
+#: event-time on a sorted stream may cost at most 25% of ingest.
+MIN_INORDER_RETENTION = 0.75
+
+#: Record spacing in seconds (100 records per one-second slice).
+TICK = 0.01
+
+
+def make_stream(size: int, disorder_pct: int) -> List[Tuple[float, int]]:
+    """A timestamped integer stream with bounded arrival disorder.
+
+    Every ``100 / disorder_pct``-ish record (chosen by a multiplicative
+    hash, so displaced records spread evenly) is jittered forward in
+    *arrival* order by up to 90% of the lateness bound; event
+    timestamps themselves stay unique and sorted, so the event path
+    must re-sequence but never sees a late record.
+    """
+    records = [
+        (index * TICK, (index * 37 + 5) % 211 - 105)
+        for index in range(size)
+    ]
+    if disorder_pct == 0:
+        return records
+    jittered = []
+    for index, record in enumerate(records):
+        mixed = (index * 2654435761) & 0xFFFFFFFF
+        if mixed % 100 < disorder_pct:
+            jitter = (mixed >> 7) % 90 / 100 * LATENESS
+        else:
+            jitter = 0.0
+        jittered.append((record[0] + jitter, record))
+    return [record for _, record in sorted(jittered)]
+
+
+def _time(run) -> float:
+    # GC pauses land on whichever path happens to allocate the
+    # collection-triggering object; disabling it keeps the retention
+    # ratio about the algorithms, not allocator timing.
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        run()
+        return time.perf_counter() - started
+    finally:
+        if enabled:
+            gc.enable()
+
+
+def _sorted_run(records):
+    ordered = sorted(records)
+
+    def run():
+        engine = TimeWindowEngine(list(QUERIES), get_operator("sum"))
+        feed = engine.feed
+        for timestamp, value in ordered:
+            feed(timestamp, value)
+        engine.finish()
+
+    return run
+
+
+def _event_batch_run(records):
+    def run():
+        engine = EventTimeEngine(
+            list(QUERIES), get_operator("sum"), lateness=LATENESS
+        )
+        for start in range(0, len(records), BATCH):
+            engine.feed_many(records[start : start + BATCH])
+        engine.finish()
+
+    return run
+
+
+def _event_record_run(records):
+    def run():
+        engine = EventTimeEngine(
+            list(QUERIES), get_operator("sum"), lateness=LATENESS
+        )
+        feed = engine.feed
+        for timestamp, value in records:
+            feed(timestamp, value)
+        engine.finish()
+
+    return run
+
+
+def measure(stream_size: int) -> List[Dict[str, Any]]:
+    """Interleaved rounds per disorder level; median ratios reported."""
+    rows = []
+    for disorder_pct in DISORDER_LEVELS:
+        records = make_stream(stream_size, disorder_pct)
+        sorted_times, batch_times, record_times = [], [], []
+        retention = []
+        for _ in range(REPEATS):
+            sorted_times.append(_time(_sorted_run(records)))
+            batch_times.append(_time(_event_batch_run(records)))
+            record_times.append(_time(_event_record_run(records)))
+            retention.append(sorted_times[-1] / batch_times[-1])
+        row = {
+            "disorder_pct": disorder_pct,
+            "sorted_tuples_per_s": round(
+                stream_size / statistics.median(sorted_times), 1
+            ),
+            "event_tuples_per_s": round(
+                stream_size / statistics.median(batch_times), 1
+            ),
+            "event_per_record_tuples_per_s": round(
+                stream_size / statistics.median(record_times), 1
+            ),
+            "event_vs_sorted": round(statistics.median(retention), 4),
+        }
+        rows.append(row)
+        print(
+            f"  disorder={disorder_pct:>2d}% event "
+            f"{row['event_tuples_per_s']:>12,.0f} t/s  "
+            f"({row['event_vs_sorted']:.2%} of sorted in-order)"
+        )
+    return rows
+
+
+def check(rows: List[Dict[str, Any]], baseline_path: Path) -> int:
+    """Fail when retention regresses past the tolerance band or floor."""
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; nothing to check")
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    by_level = {
+        row["disorder_pct"]: row
+        for row in baseline["smoke"]["results"]
+    }
+    failures = []
+    for row in rows:
+        expected = by_level.get(row["disorder_pct"])
+        if expected is None:
+            continue
+        floor = expected["event_vs_sorted"] * (1.0 - TOLERANCE)
+        if row["disorder_pct"] == 0:
+            floor = max(floor, MIN_INORDER_RETENTION)
+        if row["event_vs_sorted"] < floor:
+            failures.append(
+                f"disorder {row['disorder_pct']}% event_vs_sorted: "
+                f"{row['event_vs_sorted']:.3f} fell below "
+                f"{floor:.3f} (baseline "
+                f"{expected['event_vs_sorted']:.3f})"
+            )
+    if failures:
+        print("PERF REGRESSION (event-time smoke gate):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "event-time smoke gate passed: ingest retention within "
+        "tolerance"
+    )
+    return 0
+
+
+def main() -> int:
+    """CLI entry point; see the module docstring for modes."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced scale; do not overwrite the baseline",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="reduced scale; fail on regression vs the committed "
+             "BENCH_event_time.json",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=EVENT_JSON,
+        help="where to write the report JSON",
+    )
+    args = parser.parse_args()
+    if args.smoke or args.check:
+        print(f"event-time smoke: stream={SMOKE_STREAM} "
+              f"disorder={DISORDER_LEVELS}")
+        rows = measure(SMOKE_STREAM)
+        if args.check:
+            return check(rows, EVENT_JSON)
+        print("smoke run only; baseline not overwritten")
+        return 0
+    print(f"event-time bench: stream={FULL_STREAM} "
+          f"disorder={DISORDER_LEVELS}")
+    full_rows = measure(FULL_STREAM)
+    # Baseline keeps the *minimum* ratio over several smoke passes so
+    # the gate's band sits below run-to-run variance (bulk pattern).
+    smoke_rows: List[Dict[str, Any]] = []
+    for attempt in range(3):
+        print(f"smoke-scale baseline pass {attempt + 1}/3: "
+              f"stream={SMOKE_STREAM}")
+        for row in measure(SMOKE_STREAM):
+            existing = next(
+                (
+                    r for r in smoke_rows
+                    if r["disorder_pct"] == row["disorder_pct"]
+                ),
+                None,
+            )
+            if existing is None:
+                smoke_rows.append(row)
+            elif row["event_vs_sorted"] < existing["event_vs_sorted"]:
+                existing["event_vs_sorted"] = row["event_vs_sorted"]
+    args.output.write_text(json.dumps({
+        "meta": {
+            "stream": FULL_STREAM,
+            "queries": [
+                [q.range_seconds, q.slide_seconds] for q in QUERIES
+            ],
+            "lateness": LATENESS,
+            "batch": BATCH,
+            "repeats": REPEATS,
+        },
+        "full": {"stream": FULL_STREAM, "results": full_rows},
+        "smoke": {"stream": SMOKE_STREAM, "results": smoke_rows},
+    }, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

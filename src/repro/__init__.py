@@ -45,6 +45,7 @@ from repro.errors import (
     ClientTimeoutError,
     InvalidOperatorError,
     InvalidQueryError,
+    LateRecordError,
     OutOfOrderError,
     PlanError,
     PoisonRecordError,
@@ -153,6 +154,7 @@ __all__ = [
     "InvalidOperatorError",
     "WindowStateError",
     "OutOfOrderError",
+    "LateRecordError",
     "PlanError",
     "UnknownOperatorError",
     "PoisonRecordError",

@@ -41,8 +41,46 @@ class OutOfOrderError(ReproError, ValueError):
     Per the paper's arrival-order assumption (Section 3.1), tuples that
     are slightly out of order are absorbed as long as they fall within
     the still-open partial; anything older is an error surfaced through
-    this exception.
+    this exception.  Where the raiser knows them, the offending
+    ``position`` (arrival position or event timestamp) and the
+    ``watermark`` it fell behind are carried as attributes so late drops
+    are diagnosable from logs; both default to ``None`` for call sites
+    that only have a message.
     """
+
+    def __init__(self, message: str, position=None, watermark=None):
+        super().__init__(message)
+        #: The offending arrival position / event timestamp (or ``None``).
+        self.position = position
+        #: The watermark the record fell behind (or ``None``).
+        self.watermark = watermark
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.position, self.watermark))
+
+
+class LateRecordError(ReproError, ValueError):
+    """An event-time record arrived behind the watermark.
+
+    Raised (under the ``raise`` late-record policy) when a record's
+    event timestamp is older than the current bounded-lateness
+    watermark, i.e. its slice has already been closed.  The offending
+    ``timestamp``, the ``watermark`` it fell behind, and the configured
+    ``lateness_bound`` travel as attributes — and survive pickling
+    across process boundaries — so the drop is diagnosable from logs.
+    """
+
+    def __init__(self, timestamp: float, watermark: float, lateness_bound: float):
+        super().__init__(
+            "late record: timestamp %r behind watermark %r "
+            "(lateness bound %r)" % (timestamp, watermark, lateness_bound)
+        )
+        self.timestamp = timestamp
+        self.watermark = watermark
+        self.lateness_bound = lateness_bound
+
+    def __reduce__(self):
+        return (type(self), (self.timestamp, self.watermark, self.lateness_bound))
 
 
 class PlanError(ReproError, ValueError):

@@ -126,9 +126,12 @@ class AggregationClient:
         frame_type: FrameType,
         payload: Any,
         trace_id: Optional[int] = None,
+        event_time: Optional[float] = None,
     ) -> None:
         """Write one request frame without waiting for its reply."""
-        self._sock.sendall(encode_frame(frame_type, payload, trace_id))
+        self._sock.sendall(
+            encode_frame(frame_type, payload, trace_id, event_time)
+        )
 
     def read_reply(self) -> Tuple[FrameType, Any]:
         """Read the next reply frame (in request order)."""
@@ -155,10 +158,11 @@ class AggregationClient:
         frame_type: FrameType,
         payload: Any,
         trace_id: Optional[int] = None,
+        event_time: Optional[float] = None,
     ) -> Tuple[FrameType, Any]:
         """One request/reply round-trip with RETRY backoff."""
         for attempt in range(self.max_retries + 1):
-            self.send_frame(frame_type, payload, trace_id)
+            self.send_frame(frame_type, payload, trace_id, event_time)
             reply_type, reply = self.read_reply()
             if reply_type is not FrameType.RETRY:
                 if reply_type is FrameType.ERROR:
@@ -223,6 +227,50 @@ class AggregationClient:
         )
         _, reply = self._request(
             FrameType.SUBMIT_COLUMN, payload, trace_id
+        )
+        return reply.get("accepted", 0)
+
+    def submit_event(
+        self,
+        key: Any,
+        value: Any,
+        timestamp: float,
+        trace_id: Optional[int] = None,
+    ) -> int:
+        """Submit one event-timestamped record (``"time"``-mode server).
+
+        The timestamp rides the protocol-v3 event-time header field —
+        this is the only request that emits v3 framing, so a client
+        that never calls it stays wire-compatible with pre-v3 servers.
+        Returns the accepted count (1).  A record behind the server's
+        watermark raises
+        :class:`~repro.errors.ServiceError` under the service's
+        ``"raise"`` late policy.
+        """
+        _, reply = self._request(
+            FrameType.SUBMIT_EVENT,
+            (key, value),
+            trace_id,
+            float(timestamp),
+        )
+        return reply.get("accepted", 0)
+
+    def submit_event_batch(
+        self,
+        records: Iterable[Tuple[Any, float, Any]],
+        trace_id: Optional[int] = None,
+    ) -> int:
+        """Submit ``(key, timestamp, value)`` triples in one frame.
+
+        Timestamps travel in the payload, so the frame itself needs no
+        v3 header field.  Returns the accepted count.
+        """
+        batch = [
+            (key, float(timestamp), value)
+            for key, timestamp, value in records
+        ]
+        _, reply = self._request(
+            FrameType.SUBMIT_EVENT_BATCH, batch, trace_id
         )
         return reply.get("accepted", 0)
 
@@ -384,9 +432,12 @@ class AsyncAggregationClient:
         frame_type: FrameType,
         payload: Any,
         trace_id: Optional[int] = None,
+        event_time: Optional[float] = None,
     ) -> None:
         """Write one request frame without waiting for its reply."""
-        self._writer.write(encode_frame(frame_type, payload, trace_id))
+        self._writer.write(
+            encode_frame(frame_type, payload, trace_id, event_time)
+        )
         await self._writer.drain()
 
     async def read_reply(self) -> Tuple[FrameType, Any]:
@@ -417,9 +468,12 @@ class AsyncAggregationClient:
         frame_type: FrameType,
         payload: Any,
         trace_id: Optional[int] = None,
+        event_time: Optional[float] = None,
     ) -> Tuple[FrameType, Any]:
         for attempt in range(self.max_retries + 1):
-            await self.send_frame(frame_type, payload, trace_id)
+            await self.send_frame(
+                frame_type, payload, trace_id, event_time
+            )
             reply_type, reply = await self.read_reply()
             if reply_type is not FrameType.RETRY:
                 if reply_type is FrameType.ERROR:
@@ -480,6 +534,40 @@ class AsyncAggregationClient:
         )
         _, reply = await self._request(
             FrameType.SUBMIT_COLUMN, payload, trace_id
+        )
+        return reply.get("accepted", 0)
+
+    async def submit_event(
+        self,
+        key: Any,
+        value: Any,
+        timestamp: float,
+        trace_id: Optional[int] = None,
+    ) -> int:
+        """Submit one event-timestamped record (v3 framing).
+
+        See :meth:`AggregationClient.submit_event`.
+        """
+        _, reply = await self._request(
+            FrameType.SUBMIT_EVENT,
+            (key, value),
+            trace_id,
+            float(timestamp),
+        )
+        return reply.get("accepted", 0)
+
+    async def submit_event_batch(
+        self,
+        records: Iterable[Tuple[Any, float, Any]],
+        trace_id: Optional[int] = None,
+    ) -> int:
+        """Submit ``(key, timestamp, value)`` triples in one frame."""
+        batch = [
+            (key, float(timestamp), value)
+            for key, timestamp, value in records
+        ]
+        _, reply = await self._request(
+            FrameType.SUBMIT_EVENT_BATCH, batch, trace_id
         )
         return reply.get("accepted", 0)
 

@@ -16,6 +16,16 @@ Version 2 adds a fixed trace-id field between header and payload::
     | 2 B    | 1 B    | 1 B    | 4 B        | 8 B            | len B   |
     +--------+--------+--------+------------+----------------+---------+
 
+Version 3 adds a fixed event-time field (big-endian f64 seconds) after
+the trace id, carrying a record's event timestamp out-of-band so the
+payload codec never has to disambiguate it from record values::
+
+    0        2        3        4            8          16         24
+    +--------+--------+--------+------------+----------+----------+---------+
+    | magic  | version| type   | length (BE)| trace id | evt time | payload |
+    | 2 B    | 1 B    | 1 B    | 4 B        | 8 B      | f64 (BE) | len B   |
+    +--------+--------+--------+------------+----------+----------+---------+
+
 ``magic`` is ``b"SD"`` (SlickDeque), ``version`` is one of
 :data:`SUPPORTED_VERSIONS`, ``type`` is one of :class:`FrameType`, and
 the payload is one value in the tagged binary encoding of
@@ -60,21 +70,29 @@ from repro.errors import ProtocolError
 MAGIC = b"SD"
 
 #: Current protocol version (v2 added the optional trace-id header
-#: field).  :func:`encode_frame` still emits v1 bytes for untraced
-#: frames, so the bump is invisible to peers that never trace.
+#: field, v3 the event-time field).  :func:`encode_frame` still emits
+#: the *minimal* version for what a frame carries — v1 bytes for plain
+#: frames, v2 for traced ones — so the bump is invisible to peers that
+#: never send event time.
 PROTOCOL_VERSION = 2
+
+#: Version carrying the event-time header field.
+EVENT_TIME_PROTOCOL_VERSION = 3
 
 #: The newest version *before* the trace-id field existed.
 LEGACY_PROTOCOL_VERSION = 1
 
 #: Versions this side decodes.
-SUPPORTED_VERSIONS = frozenset({1, 2})
+SUPPORTED_VERSIONS = frozenset({1, 2, 3})
 
 #: Frame header: magic(2) + version(1) + type(1) + payload length(4).
 HEADER = struct.Struct(">2sBBI")
 
 #: v2 trace-id field, following the base header (0 = no trace).
 _TRACE_FIELD = struct.Struct(">Q")
+
+#: v3 event-time field (f64 seconds), following the trace id.
+_EVENT_FIELD = struct.Struct(">d")
 
 #: Largest trace id the 8-byte wire field can carry.
 MAX_TRACE_ID = 2**64 - 1
@@ -108,6 +126,13 @@ class FrameType(enum.IntEnum):
     #: router's single-lookup column path — no per-record tuples on
     #: the wire, no per-record decode loop on the server.
     SUBMIT_COLUMN = 0x07
+    #: One event-timestamped record: payload ``(key, value)``, with
+    #: the event timestamp in the v3 header field.
+    SUBMIT_EVENT = 0x08
+    #: Many event-timestamped records: payload
+    #: ``[(key, timestamp, value), ...]`` (timestamps in-payload; the
+    #: v3 header field is unused and the frame may travel as v1/v2).
+    SUBMIT_EVENT_BATCH = 0x09
 
     #: Success without answers: payload ``{"accepted": n}``-style dict.
     OK = 0x81
@@ -127,6 +152,8 @@ REQUEST_TYPES = frozenset(
         FrameType.SUBMIT,
         FrameType.SUBMIT_BATCH,
         FrameType.SUBMIT_COLUMN,
+        FrameType.SUBMIT_EVENT,
+        FrameType.SUBMIT_EVENT_BATCH,
         FrameType.POLL,
         FrameType.STATS,
         FrameType.DRAIN,
@@ -317,7 +344,12 @@ def _decode_at(payload: bytes, offset: int) -> Tuple[Any, int]:
         for _ in range(count):
             key, offset = _decode_at(payload, offset)
             item, offset = _decode_at(payload, offset)
-            mapping[key] = item
+            try:
+                mapping[key] = item
+            except TypeError as exc:
+                # Corruption can rewrite a key's tag into a container
+                # tag; an unhashable key is a framing error, not a bug.
+                raise ProtocolError(f"unhashable dict key: {exc}") from exc
         return mapping, offset
     raise ProtocolError(f"unknown value tag 0x{tag:02x}")
 
@@ -352,30 +384,52 @@ def pack_column(values: Sequence[Any]) -> Optional[Tuple[str, bytes]]:
 
 
 class Frame(NamedTuple):
-    """A decoded frame: type, payload, and optional trace id."""
+    """A decoded frame: type, payload, trace id, and event time."""
 
     frame_type: FrameType
     payload: Any
     trace_id: Optional[int]
+    #: v3 event-time header field, ``None`` on v1/v2 frames.
+    event_time: Optional[float] = None
 
 
 def encode_frame(
     frame_type: FrameType,
     payload: Any = None,
     trace_id: Optional[int] = None,
+    event_time: Optional[float] = None,
 ) -> bytes:
-    """Frame one value as ``header [+ trace id] + payload`` bytes.
+    """Frame one value as ``header [+ trace id [+ event time]] + payload``.
 
-    Without a trace id the frame is emitted in the legacy v1 framing —
-    byte-identical to what this function produced before the trace
-    field existed.  With one, the v2 framing carries it in the fixed
-    8-byte field after the header.
+    The minimal version for the frame's content is emitted: v1 without
+    a trace id — byte-identical to what this function produced before
+    the trace field existed — v2 with one, and v3 only when an event
+    timestamp must travel in the header.  Old peers therefore keep
+    interoperating with clients that never send event-timestamped
+    records.
     """
     body = encode_value(payload)
     if len(body) > MAX_PAYLOAD_BYTES:
         raise ProtocolError(
             f"payload of {len(body)} bytes exceeds the "
             f"{MAX_PAYLOAD_BYTES}-byte frame limit"
+        )
+    if trace_id is not None and not 1 <= trace_id <= MAX_TRACE_ID:
+        raise ProtocolError(
+            f"trace id {trace_id!r} outside [1, 2**64 - 1] "
+            "(0 is reserved for 'no trace')"
+        )
+    if event_time is not None:
+        return (
+            HEADER.pack(
+                MAGIC,
+                EVENT_TIME_PROTOCOL_VERSION,
+                int(frame_type),
+                len(body),
+            )
+            + _TRACE_FIELD.pack(trace_id or 0)
+            + _EVENT_FIELD.pack(event_time)
+            + body
         )
     if trace_id is None:
         return (
@@ -384,11 +438,6 @@ def encode_frame(
                 len(body),
             )
             + body
-        )
-    if not 1 <= trace_id <= MAX_TRACE_ID:
-        raise ProtocolError(
-            f"trace id {trace_id!r} outside [1, 2**64 - 1] "
-            "(0 is reserved for 'no trace')"
         )
     return (
         HEADER.pack(
@@ -438,16 +487,25 @@ def try_decode_frame_traced(
         )
     start = offset + HEADER.size
     trace_id: Optional[int] = None
+    event_time: Optional[float] = None
     if version >= 2:
         if len(buffer) - start < _TRACE_FIELD.size:
             return None
         raw_trace = _TRACE_FIELD.unpack_from(buffer, start)[0]
         trace_id = raw_trace or None
         start += _TRACE_FIELD.size
+    if version >= 3:
+        if len(buffer) - start < _EVENT_FIELD.size:
+            return None
+        event_time = _EVENT_FIELD.unpack_from(buffer, start)[0]
+        start += _EVENT_FIELD.size
     if len(buffer) - start < length:
         return None
     payload = decode_value(bytes(buffer[start : start + length]))
-    return Frame(frame_type, payload, trace_id), start + length
+    return (
+        Frame(frame_type, payload, trace_id, event_time),
+        start + length,
+    )
 
 
 def try_decode_frame(
@@ -531,28 +589,49 @@ def encode_answers(answers) -> List[Tuple[Any, ...]]:
 
     Each ``(position, query, value)`` triple becomes ``(position,
     (range_size, slide, name), value)``; per-key four-tuples keep the
-    leading key.
+    leading key.  Time-query answers marshal the query as the tagged
+    4-tuple ``("time", range_seconds, slide_seconds, name)`` — count
+    specs stay 3-tuples, so pre-v3 answer bytes are unchanged.
     """
     marshalled = []
     for answer in answers:
         *prefix, query, value = answer
-        marshalled.append(
-            (
-                *prefix,
-                (query.range_size, query.slide, query.name),
-                value,
+        if hasattr(query, "range_seconds"):
+            spec: Tuple[Any, ...] = (
+                "time",
+                query.range_seconds,
+                query.slide_seconds,
+                query.name,
             )
-        )
+        else:
+            spec = (query.range_size, query.slide, query.name)
+        marshalled.append((*prefix, spec, value))
     return marshalled
 
 
 def decode_answers(rows) -> List[Tuple[Any, ...]]:
-    """Rebuild :class:`~repro.windows.query.Query` objects client-side."""
+    """Rebuild :class:`~repro.windows.query.Query` (or
+    :class:`~repro.windows.timebased.TimeQuery`) objects client-side."""
     from repro.windows.query import Query
+    from repro.windows.timebased import TimeQuery
 
     rebuilt = []
     for row in rows:
         *prefix, spec, value = row
+        if (
+            isinstance(spec, (list, tuple))
+            and len(spec) == 4
+            and spec[0] == "time"
+        ):
+            _, range_seconds, slide_seconds, name = spec
+            rebuilt.append(
+                (
+                    *prefix,
+                    TimeQuery(range_seconds, slide_seconds, name=name),
+                    value,
+                )
+            )
+            continue
         try:
             range_size, slide, name = spec
         except (TypeError, ValueError) as exc:

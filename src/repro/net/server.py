@@ -432,7 +432,7 @@ class AggregationServer:
                 admit_started = time.perf_counter()
                 item = await self._admit(
                     connection, frame_type, frame.payload, nbytes,
-                    trace_id,
+                    trace_id, frame.event_time,
                 )
                 admission_seconds = (
                     time.perf_counter() - admit_started
@@ -455,6 +455,7 @@ class AggregationServer:
         payload: Any,
         nbytes: int,
         trace_id: Optional[int],
+        event_time: Optional[float] = None,
     ) -> Tuple[str, Any, int, Optional[int]]:
         """Turn one decoded frame into a queued work item.
 
@@ -466,6 +467,8 @@ class AggregationServer:
             FrameType.SUBMIT,
             FrameType.SUBMIT_BATCH,
             FrameType.SUBMIT_COLUMN,
+            FrameType.SUBMIT_EVENT,
+            FrameType.SUBMIT_EVENT_BATCH,
         ):
             return ("request", (frame_type, payload), 0, trace_id)
         try:
@@ -473,6 +476,13 @@ class AggregationServer:
                 kind = "submit_column"
                 work: Any = _normalize_column(payload)
                 count = len(work[1])
+            elif frame_type in (
+                FrameType.SUBMIT_EVENT,
+                FrameType.SUBMIT_EVENT_BATCH,
+            ):
+                kind = "submit_events"
+                work = _normalize_events(frame_type, payload, event_time)
+                count = len(work)
             else:
                 kind = "submit"
                 work = _normalize_records(frame_type, payload)
@@ -556,6 +566,20 @@ class AggregationServer:
                     writer,
                     connection,
                     lambda: self.gateway.submit_many(records, trace_id),
+                    len(records),
+                    nbytes,
+                    trace_id,
+                )
+                continue
+            if kind == "submit_events":
+                records = value
+                await self._handle_submit(
+                    loop,
+                    writer,
+                    connection,
+                    lambda: self.gateway.submit_events(
+                        records, trace_id
+                    ),
                     len(records),
                     nbytes,
                     trace_id,
@@ -813,6 +837,51 @@ def _normalize_records(
     return records
 
 
+def _normalize_events(
+    frame_type: FrameType, payload: Any, event_time: Optional[float]
+) -> List[Tuple[Any, float, Any]]:
+    """Validate event frames into ``(key, timestamp, value)`` triples.
+
+    ``SUBMIT_EVENT`` carries its timestamp in the v3 header field and
+    a ``(key, value)`` payload; ``SUBMIT_EVENT_BATCH`` carries triples
+    in the payload (any framing version).
+    """
+    if frame_type is FrameType.SUBMIT_EVENT:
+        if event_time is None:
+            raise ProtocolError(
+                "SUBMIT_EVENT requires the protocol-v3 event-time "
+                "header field"
+            )
+        if not isinstance(payload, (list, tuple)) or len(payload) != 2:
+            raise ProtocolError(
+                f"SUBMIT_EVENT payload must be a (key, value) pair, "
+                f"got {payload!r}"
+            )
+        return [(payload[0], event_time, payload[1])]
+    if not isinstance(payload, (list, tuple)):
+        raise ProtocolError(
+            "SUBMIT_EVENT_BATCH payload must be a sequence of "
+            f"(key, timestamp, value) triples, got "
+            f"{type(payload).__name__}"
+        )
+    records: List[Tuple[Any, float, Any]] = []
+    for row in payload:
+        if not isinstance(row, (list, tuple)) or len(row) != 3:
+            raise ProtocolError(
+                "SUBMIT_EVENT_BATCH record must be a "
+                f"(key, timestamp, value) triple, got {row!r}"
+            )
+        key, timestamp, value = row
+        if isinstance(timestamp, bool) or not isinstance(
+            timestamp, (int, float)
+        ):
+            raise ProtocolError(
+                f"event timestamp must be a number, got {timestamp!r}"
+            )
+        records.append((key, float(timestamp), value))
+    return records
+
+
 def _normalize_column(payload: Any) -> Tuple[Any, Any]:
     """Validate a SUBMIT_COLUMN payload into ``(key, values)``.
 
@@ -866,6 +935,7 @@ def _final_stats(result: ServiceResult) -> Dict[str, Any]:
         "answers_emitted": stats.answers_emitted,
         "elapsed_seconds": stats.elapsed_seconds,
         "dead_letters": stats.dead_letters,
+        "late_records": stats.late_records,
         "failed_shards": list(stats.failed_shards),
         "degraded": stats.degraded,
         "transport": stats.transport,

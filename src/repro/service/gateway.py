@@ -72,6 +72,37 @@ class ServiceGateway:
             self._batches_submitted += 1
         return len(batch)
 
+    def submit_event(
+        self,
+        key: Any,
+        value: Any,
+        timestamp: float,
+        trace_id: Optional[int] = None,
+    ) -> int:
+        """Ingest one event-timestamped record (``"time"`` mode)."""
+        return self.submit_events([(key, timestamp, value)], trace_id)
+
+    def submit_events(
+        self,
+        records: Iterable[Tuple[Any, float, Any]],
+        trace_id: Optional[int] = None,
+    ) -> int:
+        """Ingest ``(key, timestamp, value)`` triples atomically.
+
+        Returns the number of records handed to the service.  Raises
+        :class:`~repro.errors.LateRecordError` under the service's
+        ``"raise"`` late policy; under ``"drop"``/``"side_output"``
+        late records are still counted as submitted here (the service
+        accounts for them in its late-record counters).
+        """
+        batch = list(records)
+        with self._lock:
+            self._require_open()
+            self._service.submit_events(batch, trace_id)
+            self._records_submitted += len(batch)
+            self._batches_submitted += 1
+        return len(batch)
+
     def submit_column(
         self,
         key: Any,
@@ -124,7 +155,9 @@ class ServiceGateway:
         this gateway), ``mode``, ``num_shards``, ``dead_letters``
         (poison-quarantine count so far), ``failed_shards``,
         ``transport`` (live data-plane counters — plane name, frame
-        mix, encode/ring-wait/decode seconds), and ``closed``.
+        mix, encode/ring-wait/decode seconds), ``event_time`` (the
+        watermark/lateness snapshot in ``"time"`` mode, else ``None``),
+        and ``closed``.
         """
         with self._lock:
             service = self._service
@@ -136,6 +169,7 @@ class ServiceGateway:
                 "dead_letters": len(service.dead_letters),
                 "failed_shards": sorted(service.failed_shards()),
                 "transport": service.transport_stats(),
+                "event_time": service.event_time_stats(),
                 "closed": self._closed,
             }
 

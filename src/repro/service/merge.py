@@ -27,10 +27,18 @@ from typing import Any, Dict, List, Sequence, Tuple
 from repro.core.multiquery import Answer, SharedSlickDeque
 from repro.errors import MergeCapabilityError
 from repro.operators.base import AggregateOperator
+from repro.operators.views import partial_view
 from repro.service.shard import ShardOutput
 from repro.service.slices import SliceClock
+from repro.stream.watermark import TimeSliceClock, Watermark
 from repro.windows.plan import build_shared_plan
 from repro.windows.query import Query
+from repro.windows.timebased import (
+    DEFAULT_RESOLUTION,
+    TimeAnswer,
+    TimeQuery,
+    slice_duration,
+)
 
 
 def check_mergeable(operator: AggregateOperator) -> None:
@@ -90,7 +98,10 @@ class GlobalMerger:
         self._final = SharedSlickDeque(
             queries, operator, technique, plan=self.plan
         )
-        self._watermarks = [0] * num_shards
+        # One monotone Watermark per shard: replayed outputs from a
+        # recovered worker present stale values, which ``advance``
+        # ignores by construction.
+        self._watermarks = [Watermark(0) for _ in range(num_shards)]
         self._pending: Dict[int, Dict[int, Any]] = {}
         self._next_slice = 0
         #: Shards declared failed: excluded from the watermark frontier.
@@ -133,15 +144,13 @@ class GlobalMerger:
                 self._pending.setdefault(index, {})[
                     output.shard_id
                 ] = value
-        watermarks = self._watermarks
-        if output.watermark > watermarks[output.shard_id]:
-            watermarks[output.shard_id] = output.watermark
+        self._watermarks[output.shard_id].advance(output.watermark)
         return self._drain()
 
     def _drain(self) -> List[Answer]:
         answers: List[Answer] = []
         active = [
-            watermark
+            watermark.value
             for shard_id, watermark in enumerate(self._watermarks)
             if shard_id not in self._failed
         ]
@@ -159,6 +168,109 @@ class GlobalMerger:
                     merged, self.clock.end_position(self._next_slice)
                 )
             )
+            self._next_slice += 1
+        self.answers_emitted += len(answers)
+        return answers
+
+
+class EventTimeMerger:
+    """Combine per-shard *time-slice* partials into time-query answers.
+
+    The sharded twin of
+    :class:`~repro.windows.timebased.TimeWindowEngine`: the time
+    queries reduce to count queries over uniform time slices (one
+    merged partial per slice, the operator identity for empty slices)
+    and a shared SlickDeque plan over *partials* produces the final
+    aggregation.  Slice completion is the same min-frontier rule as
+    :class:`GlobalMerger`, but the per-shard watermarks count closed
+    *time* slices — the service derives them from its bounded-lateness
+    event watermark, and the shard echoes them monotonically even
+    across a crash/replay cycle.  Answers are
+    ``(window_end_timestamp, time_query, answer)`` triples, identical
+    to the single-node engine's.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[TimeQuery],
+        operator: AggregateOperator,
+        technique: str,
+        num_shards: int,
+        origin: float = 0.0,
+        resolution: float = DEFAULT_RESOLUTION,
+    ):
+        check_mergeable(operator)
+        self.operator = operator
+        self.queries = tuple(queries)
+        self.origin = origin
+        self.slice_seconds = slice_duration(self.queries, resolution)
+        self.clock = TimeSliceClock(self.slice_seconds, origin)
+        count_to_time = {}
+        for query in self.queries:
+            count_to_time[
+                query.to_count_query(self.slice_seconds, resolution)
+            ] = query
+        self._count_to_time = count_to_time
+        self._final = SharedSlickDeque(
+            list(count_to_time), partial_view(operator), technique
+        )
+        self._watermarks = [Watermark(0) for _ in range(num_shards)]
+        self._pending: Dict[int, Dict[int, Any]] = {}
+        self._next_slice = 0
+        self._failed: set = set()
+        #: Global answers emitted so far.
+        self.answers_emitted = 0
+
+    @property
+    def merged_slices(self) -> int:
+        """Number of time slices finalised so far."""
+        return self._next_slice
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard has failed (answers since then are partial)."""
+        return bool(self._failed)
+
+    def mark_failed(self, shard_id: int) -> List[TimeAnswer]:
+        """Stop waiting on a failed shard's watermark (see GlobalMerger)."""
+        self._failed.add(shard_id)
+        return self._drain()
+
+    def on_output(self, output: ShardOutput) -> List[TimeAnswer]:
+        """Absorb one shard output; return newly-released answers."""
+        for index, value in output.partials:
+            if index >= self._next_slice:  # replays of merged slices
+                self._pending.setdefault(index, {})[
+                    output.shard_id
+                ] = value
+        self._watermarks[output.shard_id].advance(output.watermark)
+        return self._drain()
+
+    def _drain(self) -> List[TimeAnswer]:
+        answers: List[TimeAnswer] = []
+        active = [
+            watermark.value
+            for shard_id, watermark in enumerate(self._watermarks)
+            if shard_id not in self._failed
+        ]
+        frontier = min(active) if active else self._next_slice
+        operator = self.operator
+        count_to_time = self._count_to_time
+        while self._next_slice < frontier:
+            shard_partials = self._pending.pop(self._next_slice, {})
+            merged = operator.identity
+            for shard_id in sorted(shard_partials):
+                merged = operator.combine(
+                    merged, shard_partials[shard_id]
+                )
+            for position, count_query, raw in self._final.feed(merged):
+                answers.append(
+                    (
+                        self.origin + position * self.slice_seconds,
+                        count_to_time[count_query],
+                        operator.lower(raw),
+                    )
+                )
             self._next_slice += 1
         self.answers_emitted += len(answers)
         return answers

@@ -23,6 +23,7 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ServiceError
 from repro.service.slices import SliceClock
+from repro.stream.watermark import Watermark
 
 #: Backpressure policies for a full shard queue: ``block`` waits for
 #: capacity (lossless), ``drop`` sheds the whole batch's records,
@@ -77,6 +78,13 @@ class Batch:
         traces: Per-record trace ids, parallel to ``positions`` — or
             ``None`` (the common case) when no record of the batch is
             traced, so untraced batches pay nothing for the field.
+        timestamps: Per-record event timestamps in seconds, parallel to
+            ``positions`` — an ``array('d')`` from the router's
+            event-time mode, ``None`` on the count-based path, so
+            arrival-ordered batches pay nothing for the column.  In
+            event-time mode ``watermark`` counts closed *time* slices
+            (derived from the bounded-lateness event watermark) rather
+            than count slices.
     """
 
     shard: int
@@ -86,6 +94,7 @@ class Batch:
     keys: List[Any] = field(default_factory=list)
     values: Sequence[Any] = field(default_factory=list)
     traces: Optional[List[Optional[int]]] = None
+    timestamps: Optional[Sequence[float]] = None
 
     def __len__(self) -> int:
         """Number of records framed in this batch."""
@@ -123,6 +132,7 @@ def thin_batch(batch: Batch, keep_every: int = 2) -> Tuple[Batch, int]:
         batch.keys[kept],
         batch.values[kept],
         batch.traces[kept] if batch.traces is not None else None,
+        batch.timestamps[kept] if batch.timestamps is not None else None,
     )
     return thinned, len(batch) - len(thinned)
 
@@ -224,7 +234,12 @@ class Router:
             triggered.
         clock: The service's :class:`SliceClock` in global-merge mode;
             ``None`` in per-key mode (no watermarks needed, empty
-            batches are skipped).
+            batches are skipped) and in event-time mode, where the
+            service advances :attr:`watermark` externally from its
+            bounded-lateness event watermark.
+        event_time: When true the router buffers a per-shard f64
+            timestamp column and batches carry it; records must enter
+            through :meth:`put_event`.
     """
 
     def __init__(
@@ -232,6 +247,7 @@ class Router:
         num_shards: int,
         batch_size: int,
         clock: Optional[SliceClock] = None,
+        event_time: bool = False,
     ):
         if num_shards < 1:
             raise ServiceError(
@@ -244,6 +260,17 @@ class Router:
         self.num_shards = num_shards
         self.batch_size = batch_size
         self._clock = clock
+        self.event_time = event_time
+        #: The stream's slice watermark as a single monotone cursor:
+        #: count mode advances it from ``clock.slices_closed_by`` at
+        #: flush time; event-time mode advances it externally (the
+        #: service maps its bounded-lateness event watermark through a
+        #: :class:`~repro.stream.watermark.TimeSliceClock`).  Either
+        #: way :meth:`flush` stamps ``watermark.value`` on the round.
+        self.watermark = Watermark(0)
+        self._timestamps: Optional[List[array]] = (
+            [array("d") for _ in range(num_shards)] if event_time else None
+        )
         # Positions are always i64-typed (they are stream indices), so
         # the shm encoder ships them with one buffer copy; values stay
         # lists unless a typed column lands on the buffer.
@@ -292,6 +319,46 @@ class Router:
         if trace is not None and self._traces is None:
             # First traced record: materialise the trace columns,
             # backfilling the still-buffered untraced records.
+            self._traces = [
+                [None] * len(self._positions[index])
+                for index in range(self.num_shards)
+            ]
+            self._traces[shard][-1] = trace
+        elif self._traces is not None:
+            self._traces[shard].append(trace)
+        if len(self._positions[shard]) >= self.batch_size:
+            return self.flush()
+        return []
+
+    def put_event(
+        self,
+        key: Any,
+        value: Any,
+        timestamp: float,
+        trace: Optional[int] = None,
+    ) -> List[Batch]:
+        """Route one event-timestamped record (event-time mode only).
+
+        The caller (the service's reorder-buffer ingress) must present
+        records in released — i.e. timestamp — order per stream, which
+        keeps every shard's buffered timestamp column ascending; the
+        shard side relies on that to close time slices with a bisect.
+        """
+        if self._timestamps is None:
+            raise ServiceError(
+                "put_event requires a Router in event-time mode"
+            )
+        self.position += 1
+        shard = self._shard_cache.get(key)
+        if shard is None:
+            shard = shard_of(key, self.num_shards)
+            self._shard_cache[key] = shard
+            self.seen_keys[shard].add(key)
+        self._positions[shard].append(self.position)
+        self._keys[shard].append(key)
+        self._values[shard] = _append_value(self._values[shard], value)
+        self._timestamps[shard].append(timestamp)
+        if trace is not None and self._traces is None:
             self._traces = [
                 [None] * len(self._positions[index])
                 for index in range(self.num_shards)
@@ -395,25 +462,24 @@ class Router:
     def flush(self) -> List[Batch]:
         """Frame every shard's buffer into batches (one flush round).
 
-        In global-merge mode every shard receives a frame carrying the
-        round's watermark — an empty frame when the shard has no
-        buffered records but the watermark advanced — so slice
-        finalisation never stalls on an idle shard.  In per-key mode
-        empty frames carry no information and are skipped.
+        In global-merge mode (count- or event-time) every shard
+        receives a frame carrying the round's watermark — an empty
+        frame when the shard has no buffered records but the watermark
+        advanced — so slice finalisation never stalls on an idle
+        shard.  In per-key mode empty frames carry no information and
+        are skipped.
         """
-        watermark = (
-            self._clock.slices_closed_by(self.position)
-            if self._clock is not None
-            else 0
-        )
+        if self._clock is not None:
+            self.watermark.advance(
+                self._clock.slices_closed_by(self.position)
+            )
+        watermark = self.watermark.value
+        merged = self._clock is not None or self.event_time
         batches: List[Batch] = []
         for shard in range(self.num_shards):
             buffered = self._positions[shard]
             if not buffered:
-                if (
-                    self._clock is None
-                    or self._sent_watermarks[shard] == watermark
-                ):
+                if not merged or self._sent_watermarks[shard] == watermark:
                     continue
             self._seqs[shard] += 1
             traces = (
@@ -428,12 +494,17 @@ class Router:
                     self._keys[shard],
                     self._values[shard],
                     traces if traces else None,
+                    self._timestamps[shard]
+                    if self._timestamps is not None
+                    else None,
                 )
             )
             self._sent_watermarks[shard] = watermark
             self._positions[shard] = array("q")
             self._keys[shard] = []
             self._values[shard] = []
+            if self._timestamps is not None:
+                self._timestamps[shard] = array("d")
             if self._traces is not None:
                 self._traces[shard] = []
         if batches:

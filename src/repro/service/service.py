@@ -38,16 +38,17 @@ and the rest of the service keeps answering.
 
 from __future__ import annotations
 
+import math
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.multiquery import Answer
-from repro.errors import ServiceError
+from repro.errors import OutOfOrderError, ServiceError
 from repro.metrics import Summary, ThroughputResult, maybe_summary
-from repro.service.merge import GlobalMerger, PerKeyCollator
-from repro.service.partition import Router
+from repro.service.merge import EventTimeMerger, GlobalMerger, PerKeyCollator
+from repro.service.partition import Router, shard_of
 from repro.service.shard import SHARD_MODES, ShardConfig
 from repro.service.slices import SliceClock
 from repro.service.supervisor import (
@@ -56,9 +57,11 @@ from repro.service.supervisor import (
     Supervisor,
 )
 from repro.operators.base import AggregateOperator
+from repro.stream.outoforder import LATE_POLICIES, TimestampReorderBuffer
 from repro.stream.sink import DeadLetter, DeadLetterSink
 from repro.windows.plan import build_shared_plan
 from repro.windows.query import Query
+from repro.windows.timebased import DEFAULT_RESOLUTION, TimeQuery
 
 
 @dataclass(frozen=True)
@@ -112,6 +115,9 @@ class ServiceStats:
     #: frame counts, encode/ring-wait/decode seconds); ``None`` only
     #: on results predating the transport layer.
     transport: Optional[Dict[str, Any]] = None
+    #: Event-time records rejected as late (behind the bounded-lateness
+    #: watermark) over the run; always ``0`` outside ``"time"`` mode.
+    late_records: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -197,6 +203,18 @@ class AggregationService:
             the pickle queue transport), ``"shm"``, or ``"pickle"``.
             Ignored by the inline transport.
         ring_capacity: Per-ring byte capacity of the shm data plane.
+        lateness: ``"time"`` mode — bounded-lateness allowance in
+            seconds: a record may arrive this far behind the newest
+            event timestamp and still land in its window exactly.
+        late_policy: ``"time"`` mode — what happens to a record behind
+            the watermark: ``"raise"`` surfaces
+            :class:`~repro.errors.LateRecordError` to the submitter,
+            ``"drop"`` quarantines it to the dead-letter sink,
+            ``"side_output"`` only counts it.
+        origin: ``"time"`` mode — timestamp of the first time-slice
+            boundary; records before it are rejected.
+        resolution: ``"time"`` mode — duration resolution of the
+            time-to-count reduction (1 ms by default).
     """
 
     def __init__(
@@ -222,6 +240,10 @@ class AggregationService:
         telemetry: Optional[Any] = None,
         data_plane: str = "auto",
         ring_capacity: int = DEFAULT_RING_CAPACITY,
+        lateness: float = 0.0,
+        late_policy: str = "raise",
+        origin: float = 0.0,
+        resolution: float = DEFAULT_RESOLUTION,
     ):
         if num_shards < 1:
             raise ServiceError(
@@ -231,6 +253,11 @@ class AggregationService:
             raise ServiceError(
                 f"unknown service mode {mode!r}; expected one of "
                 f"{SHARD_MODES}"
+            )
+        if late_policy not in LATE_POLICIES:
+            raise ServiceError(
+                f"unknown late-record policy {late_policy!r}; "
+                f"expected one of {LATE_POLICIES}"
             )
         self.queries = tuple(queries)
         self.operator = operator
@@ -242,19 +269,55 @@ class AggregationService:
             if dead_letter_sink is not None
             else DeadLetterSink()
         )
-        self._merger: Optional[GlobalMerger] = None
+        self._merger: Optional[Any] = None
         self._collator: Optional[PerKeyCollator] = None
+        self._ingress: Optional[TimestampReorderBuffer] = None
+        self._time_clock = None
+        self._late_policy = late_policy
+        self._late_seq = 0
+        self._late_by_shard = [0] * num_shards
         clock = None
+        event_time = False
+        slice_seconds = 0.0
         if mode == "global":
             self._merger = GlobalMerger(
                 self.queries, operator, technique, num_shards
             )
             clock = self._merger.clock
+        elif mode == "time":
+            for query in self.queries:
+                if not isinstance(query, TimeQuery):
+                    raise ServiceError(
+                        "time mode requires TimeQuery queries, got "
+                        f"{query!r}"
+                    )
+            self._merger = EventTimeMerger(
+                self.queries,
+                operator,
+                technique,
+                num_shards,
+                origin=origin,
+                resolution=resolution,
+            )
+            self._time_clock = self._merger.clock
+            slice_seconds = self._merger.slice_seconds
+            event_time = True
+            # The ingress reorder buffer releases records in timestamp
+            # order; ``drop`` diverts late records to the dead-letter
+            # sink, ``side_output`` only counts them, and ``raise``
+            # never reaches the handler.
+            self._ingress = TimestampReorderBuffer(
+                lateness, late_policy, on_late=self._on_late_record
+            )
         else:
             # Validate the plan eagerly (same errors as global mode).
             build_shared_plan(self.queries, technique)
             self._collator = PerKeyCollator()
-        self._router = Router(num_shards, batch_size, clock)
+        self.origin = origin
+        self.slice_seconds = slice_seconds
+        self._router = Router(
+            num_shards, batch_size, clock, event_time=event_time
+        )
         configs = [
             ShardConfig(
                 shard_id=shard,
@@ -267,6 +330,8 @@ class AggregationService:
                 throttle_seconds=shard_delay_seconds,
                 heartbeat_interval=heartbeat_interval,
                 poison_policy=poison_policy,
+                slice_seconds=slice_seconds,
+                origin=origin,
             )
             for shard in range(num_shards)
         ]
@@ -310,6 +375,8 @@ class AggregationService:
         self._dead_letter_counter: Optional[Any] = None
         self._transport_hists: Dict[str, Any] = {}
         self._ring_gauges: List[Any] = []
+        self._watermark_gauges: List[Any] = []
+        self._late_counters: List[Any] = []
         # (first_position, last_position, trace_id) per traced submit
         # call, consumed ascending as answers pass their positions.
         self._trace_intervals: deque = deque()
@@ -372,6 +439,24 @@ class AggregationService:
             )
             for shard in range(self.num_shards)
         ]
+        if self._ingress is not None:
+            self._watermark_gauges = [
+                registry.gauge(
+                    "repro_watermark_lag_seconds",
+                    "Event-time gap between the newest timestamp seen "
+                    "and the slices the shard has closed",
+                    labels={"shard": str(shard)},
+                )
+                for shard in range(self.num_shards)
+            ]
+            self._late_counters = [
+                registry.counter(
+                    "repro_late_records_total",
+                    "Event-time records rejected behind the watermark",
+                    labels={"shard": str(shard)},
+                )
+                for shard in range(self.num_shards)
+            ]
         self._transport.transport_observer = self._observe_transport
 
     def _observe_transport(self, stage: str, seconds: float) -> None:
@@ -417,6 +502,11 @@ class AggregationService:
         """Ingest one keyed record, optionally attributed to a trace."""
         if self._closed:
             raise ServiceError("cannot submit to a closed service")
+        if self._ingress is not None:
+            raise ServiceError(
+                "time-mode service requires submit_event (records "
+                "must carry an event timestamp)"
+            )
         if trace_id is not None:
             self._note_trace_interval(
                 self._router.position + 1,
@@ -439,6 +529,11 @@ class AggregationService:
         """
         if self._closed:
             raise ServiceError("cannot submit to a closed service")
+        if self._ingress is not None:
+            raise ServiceError(
+                "time-mode service requires submit_events (records "
+                "must carry event timestamps)"
+            )
         first = self._router.position + 1
         for batch in self._router.put_many(records, trace_id):
             self._transport.ship(batch)
@@ -462,12 +557,125 @@ class AggregationService:
         """
         if self._closed:
             raise ServiceError("cannot submit to a closed service")
+        if self._ingress is not None:
+            raise ServiceError(
+                "time-mode service requires submit_events (records "
+                "must carry event timestamps)"
+            )
         first = self._router.position + 1
         for batch in self._router.put_column(key, values, trace_id):
             self._transport.ship(batch)
         if trace_id is not None and self._router.position >= first:
             self._note_trace_interval(
                 first, self._router.position, trace_id
+            )
+
+    # -- event-time ingestion ---------------------------------------
+
+    def submit_event(
+        self,
+        key: Any,
+        value: Any,
+        timestamp: float,
+        trace_id: Optional[int] = None,
+    ) -> None:
+        """Ingest one event-timestamped record (``"time"`` mode).
+
+        The record enters the bounded-lateness reorder buffer; records
+        the arrival *releases* (their timestamps are final — nothing
+        older can be admitted any more) are routed to their shards in
+        timestamp order, after which the router's slice watermark
+        advances to the slices the event watermark has closed.  A
+        record behind the watermark is handled per the configured late
+        policy (raise / drop / side-output).
+
+        Raises:
+            LateRecordError: under the ``"raise"`` policy, when the
+                record's timestamp is behind the watermark.
+            OutOfOrderError: when the timestamp precedes ``origin``.
+        """
+        if self._closed:
+            raise ServiceError("cannot submit to a closed service")
+        ingress = self._ingress
+        if ingress is None:
+            raise ServiceError(
+                f"submit_event requires mode='time', not {self.mode!r}"
+            )
+        if timestamp < self.origin:
+            raise OutOfOrderError(
+                f"timestamp {timestamp} precedes the origin "
+                f"{self.origin}",
+                position=timestamp,
+                watermark=self.origin,
+            )
+        arrived = (
+            time.perf_counter()
+            if trace_id is not None and self._telemetry is not None
+            else None
+        )
+        router = self._router
+        for released_ts, (rkey, rvalue, trace, waited_since) in (
+            ingress.push(timestamp, (key, value, trace_id, arrived))
+        ):
+            if waited_since is not None:
+                # Attribute the record's reorder-buffer residence to
+                # its trace: the gap between submission and release is
+                # exactly the wait the lateness bound imposes.
+                self._telemetry.tracer.record(
+                    trace, "reorder", time.perf_counter() - waited_since
+                )
+            for batch in router.put_event(rkey, rvalue, released_ts, trace):
+                self._transport.ship(batch)
+        # Advance the slice watermark only after every released record
+        # is routed: a flush racing mid-release then stamps the older
+        # (conservative) watermark, never one promising records that
+        # are still in flight.
+        router.watermark.advance(
+            self._time_clock.slices_closed_by(ingress.watermark)
+        )
+
+    def submit_events(
+        self,
+        records: Iterable[Tuple[Any, float, Any]],
+        trace_id: Optional[int] = None,
+    ) -> None:
+        """Ingest ``(key, timestamp, value)`` triples (``"time"`` mode)."""
+        for key, timestamp, value in records:
+            self.submit_event(key, value, timestamp, trace_id)
+
+    def _on_late_record(self, timestamp: float, item: Any) -> None:
+        """Reorder-buffer callback for a late record (drop/side-output).
+
+        Counts the drop against the record's would-be shard and, under
+        the ``"drop"`` policy, quarantines it to the dead-letter sink
+        with a synthetic (negative) position — late records never
+        receive a stream position, and the unique negative keeps the
+        sink's per-position deduplication intact.
+        """
+        key, value, _trace, _arrived = item
+        shard = self._router._shard_cache.get(key)
+        if shard is None:
+            shard = shard_of(key, self.num_shards)
+        self._late_by_shard[shard] += 1
+        if self._late_counters:
+            self._late_counters[shard].inc(1)
+        if self._late_policy == "drop":
+            self._late_seq -= 1
+            self._quarantine(
+                [
+                    DeadLetter(
+                        key=key,
+                        value=value,
+                        position=self._late_seq,
+                        shard_id=shard,
+                        error=(
+                            f"LateRecordError: timestamp {timestamp!r} "
+                            f"behind watermark "
+                            f"{self._ingress.watermark!r} (lateness "
+                            f"bound {self._ingress.lateness!r})"
+                        ),
+                    )
+                ]
             )
 
     # -- failure reporting ------------------------------------------
@@ -564,6 +772,8 @@ class AggregationService:
                 self._ring_gauges, self._transport.ring_occupancy()
             ):
                 gauge.set(ratio)
+        if self._watermark_gauges:
+            self._update_watermark_gauges()
         if self._merger is not None:
             fresh: List[Any] = self._fresh_answers
             self._fresh_answers = []
@@ -584,12 +794,64 @@ class AggregationService:
         resolve, so they are returned untraced.
         """
         fresh = self.poll()
-        if self._merger is None:
+        if self._merger is None or self._ingress is not None:
+            # Per-key positions and event-time window ends both live
+            # outside the global arrival-position domain the
+            # position→trace map indexes, so they return untraced.
             return [(answer, None) for answer in fresh]
         return [
             (answer, self._trace_for_position(answer[0]))
             for answer in fresh
         ]
+
+    def _update_watermark_gauges(self) -> None:
+        """Refresh the per-shard watermark-lag gauges (time mode).
+
+        Lag is the event-time distance between the newest timestamp the
+        ingress has seen and the end of the last slice the shard has
+        acknowledged closing — how far the shard's frontier trails the
+        stream, in stream seconds.
+        """
+        high = self._ingress.high
+        if high == -math.inf:
+            return
+        slice_seconds = self.slice_seconds
+        origin = self.origin
+        for gauge, handle in zip(
+            self._watermark_gauges, self._transport.handles
+        ):
+            closed_until = origin + handle.watermark * slice_seconds
+            gauge.set(max(0.0, high - closed_until))
+
+    @property
+    def late_records(self) -> int:
+        """Event-time records rejected as late so far (``0`` otherwise)."""
+        return (
+            self._ingress.late_records if self._ingress is not None else 0
+        )
+
+    def event_time_stats(self) -> Optional[Dict[str, Any]]:
+        """Event-time progress snapshot, or ``None`` outside time mode.
+
+        Surfaced through the gateway's STATS payload so remote clients
+        can watch the watermark advance and late drops accumulate.
+        """
+        ingress = self._ingress
+        if ingress is None:
+            return None
+        return {
+            "watermark": (
+                None if ingress.watermark == -math.inf else ingress.watermark
+            ),
+            "high": None if ingress.high == -math.inf else ingress.high,
+            "lateness": ingress.lateness,
+            "late_policy": self._late_policy,
+            "late_records": ingress.late_records,
+            "late_by_shard": list(self._late_by_shard),
+            "pending_reorder": len(ingress),
+            "slice_seconds": self.slice_seconds,
+            "closed_slices": self._router.watermark.value,
+        }
 
     # -- shutdown ---------------------------------------------------
 
@@ -598,6 +860,29 @@ class AggregationService:
         if self._closed:
             raise ServiceError("service already closed")
         self._closed = True
+        ingress = self._ingress
+        if ingress is not None:
+            # End of stream: every buffered record's timestamp is now
+            # final — release them in order, then close through the
+            # last occupied slice (the event-time analogue of
+            # TimeWindowEngine.finish closing its open slice).
+            for released_ts, (rkey, rvalue, trace, waited_since) in (
+                ingress.drain()
+            ):
+                if waited_since is not None and self._telemetry is not None:
+                    self._telemetry.tracer.record(
+                        trace,
+                        "reorder",
+                        time.perf_counter() - waited_since,
+                    )
+                for batch in self._router.put_event(
+                    rkey, rvalue, released_ts, trace
+                ):
+                    self._transport.ship(batch)
+            if ingress.high != -math.inf:
+                self._router.watermark.advance(
+                    self._time_clock.slice_of(ingress.high) + 1
+                )
         for batch in self._router.flush():
             self._transport.ship(batch)
         self._transport.stop()
@@ -643,6 +928,7 @@ class AggregationService:
             failed_shards=tuple(sorted(self._failed_shards)),
             degraded_keys=tuple(self._degraded_keys),
             transport=self._transport.transport_stats(),
+            late_records=self.late_records,
         )
         return ServiceResult(
             answers=list(self._answers),

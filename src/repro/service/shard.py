@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import queue as queue_module
 import time
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -45,11 +45,14 @@ from repro.service.slices import SliceClock
 from repro.stream.checkpoint import restore, snapshot
 from repro.stream.engine import StreamEngine
 from repro.stream.sink import CollectSink, DeadLetter
+from repro.stream.watermark import TimeSliceClock
 from repro.windows.plan import build_shared_plan
 from repro.windows.query import Query
 
-#: Execution modes a shard can run.
-SHARD_MODES = ("global", "per_key")
+#: Execution modes a shard can run.  ``time`` is event-time global
+#: mode: records carry timestamps, partials accumulate per *time*
+#: slice, and the watermark counts closed time slices.
+SHARD_MODES = ("global", "per_key", "time")
 
 #: What a shard does with a poison record: quarantine it to the
 #: dead-letter sink, or raise (kill the worker — debugging only).
@@ -88,6 +91,10 @@ class ShardConfig:
         chaos: Optional worker-side
             :class:`~repro.service.chaos.WorkerFaultPlan` applied
             before each batch (fault-injection tests only).
+        slice_seconds: Time-slice width for ``"time"`` mode (the GCD of
+            the time queries' ranges and slides); ``0.0`` otherwise.
+        origin: Timestamp of the first time-slice boundary
+            (``"time"`` mode).
     """
 
     shard_id: int
@@ -101,12 +108,19 @@ class ShardConfig:
     heartbeat_interval: float = 0.25
     poison_policy: str = "quarantine"
     chaos: Optional[Any] = None
+    slice_seconds: float = 0.0
+    origin: float = 0.0
 
     def __post_init__(self) -> None:
         if self.mode not in SHARD_MODES:
             raise ServiceError(
                 f"unknown shard mode {self.mode!r}; expected one of "
                 f"{SHARD_MODES}"
+            )
+        if self.mode == "time" and not self.slice_seconds > 0:
+            raise ServiceError(
+                "time mode requires a positive slice_seconds, got "
+                f"{self.slice_seconds!r}"
             )
         if self.checkpoint_interval < 0:
             raise ServiceError(
@@ -214,19 +228,28 @@ class ShardState:
         self.config = config
         self.processed_seq = 0
         self.records = 0
-        plan = build_shared_plan(config.queries, config.technique)
         #: Keys whose per-key engine was poisoned mid-feed and dropped.
         self.degraded_keys: set = set()
+        #: Monotone slice watermark this shard has acknowledged —
+        #: pickled with the state, so a restored worker resumes from
+        #: its checkpointed watermark and, because outputs echo
+        #: ``max(batch.watermark, self.watermark)``, never reports a
+        #: regressed one while replaying.
+        self.watermark = 0
+        self._accumulators: Dict[int, Agg] = {}
+        self._engines: Dict[Any, StreamEngine] = {}
+        self._sinks: Dict[Any, CollectSink] = {}
+        self._clock: Optional[SliceClock] = None
+        self._time_clock: Optional[TimeSliceClock] = None
         if config.mode == "global":
-            self._clock: Optional[SliceClock] = SliceClock(plan)
-            self._accumulators: Dict[int, Agg] = {}
-            self._engines: Dict[Any, StreamEngine] = {}
-            self._sinks: Dict[Any, CollectSink] = {}
+            plan = build_shared_plan(config.queries, config.technique)
+            self._clock = SliceClock(plan)
+        elif config.mode == "per_key":
+            build_shared_plan(config.queries, config.technique)
         else:
-            self._clock = None
-            self._accumulators = {}
-            self._engines = {}
-            self._sinks = {}
+            self._time_clock = TimeSliceClock(
+                config.slice_seconds, config.origin
+            )
 
     def _engine_for(self, key: Any) -> StreamEngine:
         engine = self._engines.get(key)
@@ -277,14 +300,19 @@ class ShardState:
         quarantined per record (see the module docstring) and never
         tear down the fold.
         """
+        if batch.watermark > self.watermark:
+            self.watermark = batch.watermark
         if batch.seq <= self.processed_seq:
+            # Replay acknowledgement: echo the *monotone* watermark, so
+            # a restored worker replaying pre-checkpoint batches never
+            # reports one older than its checkpointed state.
             return ShardOutput(
-                self.config.shard_id, batch.seq, batch.watermark
+                self.config.shard_id, batch.seq, self.watermark
             )
         output = ShardOutput(
             self.config.shard_id,
             batch.seq,
-            batch.watermark,
+            self.watermark,
         )
         if batch.traces is not None:
             output.trace_ids = tuple(
@@ -293,17 +321,21 @@ class ShardState:
                 )
             )
         folded = 0
-        if self.config.mode == "global":
-            folded = self._process_global(batch, output)
+        mode = self.config.mode
+        if mode == "per_key":
+            folded = self._process_per_key(batch, output)
+        else:
+            if mode == "global":
+                folded = self._process_global(batch, output)
+            else:
+                folded = self._process_time(batch, output)
             accumulators = self._accumulators
             closed = sorted(
-                index for index in accumulators if index < batch.watermark
+                index for index in accumulators if index < self.watermark
             )
             output.partials = [
                 (index, accumulators.pop(index)) for index in closed
             ]
-        else:
-            folded = self._process_per_key(batch, output)
         output.records = folded
         self.processed_seq = batch.seq
         self.records += folded
@@ -355,6 +387,64 @@ class ShardState:
                 # ones fold, leaving the accumulator as the per-record
                 # path would.  An all-poison run must not materialise
                 # an accumulator entry the per-record path never made.
+                acc = seed
+                succeeded = False
+                for offset in range(start, stop):
+                    value = values[offset]
+                    try:
+                        acc = operator.combine(acc, operator.lift(value))
+                    except Exception as error:
+                        self._quarantine(
+                            output,
+                            keys[offset],
+                            value,
+                            positions[offset],
+                            error,
+                        )
+                        continue
+                    succeeded = True
+                    folded += 1
+                if present or succeeded:
+                    accumulators[index] = acc
+            start = stop
+        return folded
+
+    def _process_time(self, batch: Batch, output: ShardOutput) -> int:
+        """Time mode: fold contiguous same-time-slice runs in bulk.
+
+        The event-time twin of :meth:`_process_global`: runs are cut by
+        the batch's *timestamp* column instead of its positions.  The
+        ingress reorder buffer releases records in timestamp order and
+        the router preserves that order per shard, so the column is
+        ascending and one ``bisect_left`` per run finds the slice edge
+        (``bisect_left`` because a record exactly on a slice boundary
+        belongs to the next slice).  Poisoned runs replay per record
+        with the same state-preserving semantics as global mode.
+        """
+        operator = self.config.operator
+        accumulators = self._accumulators
+        clock = self._time_clock
+        identity = operator.identity
+        positions = batch.positions
+        timestamps = batch.timestamps
+        keys = batch.keys
+        values = batch.values
+        total = len(values)
+        folded = 0
+        start = 0
+        while start < total:
+            index = clock.slice_of(timestamps[start])
+            stop = bisect_left(
+                timestamps, clock.end_time(index), start + 1, total
+            )
+            present = index in accumulators
+            seed = accumulators[index] if present else identity
+            try:
+                accumulators[index] = exact_fold(
+                    operator, values[start:stop], seed
+                )
+                folded += stop - start
+            except Exception:
                 acc = seed
                 succeeded = False
                 for offset in range(start, stop):

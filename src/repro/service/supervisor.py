@@ -139,6 +139,10 @@ class WorkerHandle:
         self.prev_snapshot: Optional[bytes] = None
         self.prev_snapshot_seq = 0
         self.acked_seq = 0
+        #: Highest slice watermark the worker has acknowledged —
+        #: monotone (shard outputs echo max(batch, state) watermarks),
+        #: feeding the service's watermark-lag gauge.
+        self.watermark = 0
         #: Highest batch sequence number shipped toward the worker.
         self.shipped_seq = 0
         self.stop_sent = False
@@ -680,6 +684,8 @@ class Supervisor:
             return
         output: ShardOutput = message
         self._pending_outputs.append(output)
+        if output.watermark > handle.watermark:
+            handle.watermark = output.watermark
         if output.seq > handle.acked_seq:
             handle.acked_seq = output.seq
             handle.records += output.records
@@ -945,6 +951,8 @@ class InlineTransport:
         output = self._states[batch.shard].process(batch)
         output.busy_seconds = time.perf_counter() - started
         handle.acked_seq = output.seq
+        if output.watermark > handle.watermark:
+            handle.watermark = output.watermark
         handle.records += output.records
         handle.batches += 1
         handle.busy_seconds += output.busy_seconds

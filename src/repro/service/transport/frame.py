@@ -26,6 +26,8 @@ Columnar body (``FrameKind.COLUMNAR``), all columns contiguous::
     key_index   count * 4 bytes, native u32 into the key table
     traces      count * 8 bytes, native u64, present iff
                 ``_FLAG_TRACES`` (0 encodes "no trace id")
+    timestamps  count * 8 bytes, native f64, present iff
+                ``_FLAG_TIMES`` (event-time seconds)
     key table   ``key_table`` bytes (distinct keys, first-seen order)
 
 The decoder returns the position and value columns as
@@ -66,6 +68,7 @@ _U32 = struct.Struct("<I")
 _FLAG_FLOAT = 0x01  # value column is f64 (else i64)
 _FLAG_TRACES = 0x02  # trace-id column present
 _FLAG_KEYS_PICKLED = 0x04  # key table is a pickled tuple
+_FLAG_TIMES = 0x08  # event-timestamp column present (f64)
 
 _I64_MIN = -(1 << 63)
 _I64_MAX = (1 << 63) - 1
@@ -219,6 +222,19 @@ def _position_bytes(positions: Sequence[int]) -> bytes:
     return array("q", positions).tobytes()
 
 
+def _timestamp_bytes(timestamps: Sequence[float]) -> bytes:
+    """The event-time column as raw f64 bytes, free for typed inputs."""
+    if type(timestamps) is array and timestamps.typecode == "d":
+        return timestamps.tobytes()
+    if (
+        type(timestamps) is memoryview
+        and timestamps.ndim == 1
+        and timestamps.format == "d"
+    ):
+        return bytes(timestamps)
+    return array("d", timestamps).tobytes()
+
+
 def _distinct_keys(keys: Sequence[Any]) -> List[Any]:
     """First-seen distinct keys, with a C-speed single-key fast path.
 
@@ -250,6 +266,7 @@ def encode_batch_frame(
     keys: Sequence[Any],
     values: Sequence[Any],
     traces: Optional[Sequence[Optional[int]]],
+    timestamps: Optional[Sequence[float]] = None,
 ) -> Optional[bytes]:
     """Encode one batch as a columnar frame; ``None`` if unsupported.
 
@@ -257,6 +274,8 @@ def encode_batch_frame(
     (mixed/unsupported types, out-of-range ints) so the caller can emit
     a :func:`encode_pickled_frame` instead.  Positions must be
     i64-representable (they are stream indices, so always are).
+    ``timestamps`` (event-time seconds, f64) travels as an extra
+    column when present; frames without it decode exactly as before.
     """
     encoded = encode_values(values)
     if encoded is None:
@@ -288,6 +307,9 @@ def encode_batch_frame(
     if traces is not None and any(t is not None for t in traces):
         flags |= _FLAG_TRACES
         parts.append(array("Q", (t or 0 for t in traces)).tobytes())
+    if timestamps is not None:
+        flags |= _FLAG_TIMES
+        parts.append(_timestamp_bytes(timestamps))
     parts.append(key_table)
     body = b"".join(parts)
     header_fields = (
@@ -338,6 +360,7 @@ class DecodedFrame:
         "values",
         "keys",
         "traces",
+        "timestamps",
         "payload",
     )
 
@@ -351,6 +374,7 @@ class DecodedFrame:
         self.values: Optional[memoryview] = None
         self.keys: Optional[List[Any]] = None
         self.traces: Optional[List[Optional[int]]] = None
+        self.timestamps: Optional[memoryview] = None
         self.payload: Any = None
 
     def release(self) -> None:
@@ -361,6 +385,9 @@ class DecodedFrame:
         if self.values is not None:
             self.values.release()
             self.values = None
+        if self.timestamps is not None:
+            self.timestamps.release()
+            self.timestamps = None
 
 
 def decode_frame(frame: memoryview) -> DecodedFrame:
@@ -412,8 +439,11 @@ def decode_frame(frame: memoryview) -> DecodedFrame:
     decoded.watermark = None if watermark_raw == 0 else watermark_raw - 1
     decoded.count = count
     has_traces = bool(flags & _FLAG_TRACES)
+    has_times = bool(flags & _FLAG_TIMES)
     expected = 8 * count + 8 * count + 4 * count
     if has_traces:
+        expected += 8 * count
+    if has_times:
         expected += 8 * count
     expected += key_table_len
     if len(body) != expected:
@@ -434,6 +464,9 @@ def decode_frame(frame: memoryview) -> DecodedFrame:
         trace_view = body[offset : offset + 8 * count].cast("Q")
         decoded.traces = [t or None for t in trace_view]
         trace_view.release()
+        offset += 8 * count
+    if has_times:
+        decoded.timestamps = body[offset : offset + 8 * count].cast("d")
         offset += 8 * count
     table_view = body[offset : offset + key_table_len]
     distinct = _decode_key_table(table_view, bool(flags & _FLAG_KEYS_PICKLED))

@@ -101,6 +101,7 @@ class ShardChannel:
             batch.keys,
             batch.values,
             batch.traces,
+            batch.timestamps,
         )
         if frame is None:
             return (
@@ -208,6 +209,7 @@ class WorkerEndpoint:
                 decoded.keys,
                 decoded.values,
                 decoded.traces,
+                decoded.timestamps,
             )
             self._decoded = decoded
             return batch

@@ -210,6 +210,116 @@ class StreamEngine:
             sink.close()
 
 
+class EventTimeEngine:
+    """Run time-based ACQs over a *disordered* timestamped stream.
+
+    The single-node composition of the event-time layer: records flow
+    through a :class:`~repro.stream.outoforder.TimestampReorderBuffer`
+    (bounded-lateness re-sequencing with a configurable late-record
+    policy) into a :class:`~repro.windows.timebased.TimeWindowEngine`,
+    whose slice closing is driven by the released, now-sorted stream.
+    For any stream whose disorder stays within ``lateness`` seconds the
+    answers are identical to feeding the sorted stream through
+    :class:`TimeWindowEngine` directly — the property suite in
+    ``tests/property/test_prop_event_time.py`` holds this for every
+    registry operator — which also makes this engine the single-node
+    oracle the sharded event-time service is checked against.
+
+    Args:
+        queries: Time-based ACQs (``TimeQuery`` instances).
+        operator: The shared aggregate operation.
+        lateness: Bounded-lateness allowance in seconds; records more
+            than this far behind the newest timestamp are late.
+        late_policy: One of
+            :data:`~repro.stream.outoforder.LATE_POLICIES`.
+        on_late: Optional ``(timestamp, value)`` handler invoked for
+            late records under the ``drop``/``side_output`` policies.
+        origin: Timestamp of the first slice boundary.
+        resolution: Duration resolution for the tick arithmetic.
+        technique: ``"panes"`` or ``"pairs"`` slicing for the inner
+            shared plan.
+    """
+
+    def __init__(
+        self,
+        queries,
+        operator: AggregateOperator,
+        lateness: float = 0.0,
+        late_policy: str = "raise",
+        on_late=None,
+        origin: float = 0.0,
+        resolution: Optional[float] = None,
+        technique: str = "pairs",
+    ):
+        from repro.stream.outoforder import TimestampReorderBuffer
+        from repro.windows.timebased import DEFAULT_RESOLUTION, TimeWindowEngine
+
+        self._inner = TimeWindowEngine(
+            queries,
+            operator,
+            origin=origin,
+            resolution=DEFAULT_RESOLUTION if resolution is None else resolution,
+            technique=technique,
+        )
+        self._reorder = TimestampReorderBuffer(lateness, late_policy, on_late)
+        self.queries = self._inner.queries
+        self.operator = operator
+
+    @property
+    def watermark(self) -> float:
+        """Current event-time watermark (``-inf`` before any record)."""
+        return self._reorder.watermark
+
+    @property
+    def late_records(self) -> int:
+        """Records rejected as late so far (drop/side-output policies)."""
+        return self._reorder.late_records
+
+    def feed(self, timestamp: float, value: Any) -> List[Tuple[float, Any, Any]]:
+        """Consume one timestamped tuple; return released answers."""
+        released: List[Tuple[float, Any]] = []
+        self._reorder.push_into(timestamp, value, released)
+        if not released:
+            return released
+        inner_feed = self._inner.feed
+        answers: List[Tuple[float, Any, Any]] = []
+        for released_ts, released_value in released:
+            answers.extend(inner_feed(released_ts, released_value))
+        return answers
+
+    def feed_many(
+        self, records: Iterable[Tuple[float, Any]]
+    ) -> List[Tuple[float, Any, Any]]:
+        """Consume a batch of ``(timestamp, value)`` pairs at once.
+
+        Semantically identical to calling :meth:`feed` per record (the
+        reorder buffer fixes the release order either way) but pays the
+        engine-hop overhead once per batch instead of once per record —
+        the shape the sharded service ingests in.
+        """
+        released: List[Tuple[float, Any]] = []
+        self._reorder.push_many_into(records, released)
+        inner_feed = self._inner.feed
+        answers: List[Tuple[float, Any, Any]] = []
+        for released_ts, released_value in released:
+            answers.extend(inner_feed(released_ts, released_value))
+        return answers
+
+    def finish(self) -> List[Tuple[float, Any, Any]]:
+        """Drain the reorder buffer, close the open slice, and answer."""
+        answers: List[Tuple[float, Any, Any]] = []
+        for released_ts, released in self._reorder.drain():
+            answers.extend(self._inner.feed(released_ts, released))
+        answers.extend(self._inner.finish())
+        return answers
+
+    def run(self, stream: Iterable[Tuple[float, Any]]):
+        """Stream ``(timestamp, value)`` pairs; yield every answer."""
+        for timestamp, value in stream:
+            yield from self.feed(timestamp, value)
+        yield from self.finish()
+
+
 class CuttyPipeline:
     """Single-query Cutty execution (Section 2.1, Figure 3).
 

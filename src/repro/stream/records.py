@@ -29,6 +29,27 @@ class Record:
 
 
 @dataclass(frozen=True)
+class KeyedEvent:
+    """A keyed, event-timestamped record as submitted to the service.
+
+    The event-time ingestion surface (``submit_event`` on the service,
+    gateway, and network clients; the ``SUBMIT_EVENT_BATCH`` wire
+    frame) speaks this shape: ordering is derived from ``timestamp`` —
+    the time the event *happened* — rather than from the arrival
+    position the transport assigns, and ``key`` routes the record to
+    its shard exactly as in the count-based path.
+    """
+
+    key: Any
+    timestamp: float
+    value: Any
+
+    def astuple(self) -> Tuple[Any, float, Any]:
+        """The ``(key, timestamp, value)`` wire/batch representation."""
+        return (self.key, self.timestamp, self.value)
+
+
+@dataclass(frozen=True)
 class SensorEvent:
     """A DEBS12-schema manufacturing-equipment event.
 

@@ -133,18 +133,26 @@ class TimeSlicer:
     """
 
     def __init__(self, slice_seconds: float, origin: float = 0.0):
+        # Deferred import: repro.windows initializes before repro.stream
+        # during package import, so binding the watermark types at call
+        # time keeps the layering acyclic.
+        from repro.stream.watermark import TimeSliceClock, Watermark
+
         if slice_seconds <= 0:
             raise InvalidQueryError(
                 f"slice duration must be positive, got {slice_seconds}"
             )
+        self._clock = TimeSliceClock(slice_seconds, origin)
         self.slice_seconds = slice_seconds
         self.origin = origin
         self._current_index = 0
         self._buffer: List[Any] = []
-        self._last_timestamp = -math.inf
+        # A sorted stream is its own watermark: every timestamp promises
+        # nothing older follows, so the cursor trails by zero lateness.
+        self._watermark = Watermark(-math.inf)
 
     def _index_of(self, timestamp: float) -> int:
-        return int((timestamp - self.origin) // self.slice_seconds)
+        return self._clock.slice_of(timestamp)
 
     def feed(
         self, timestamp: float, value: Any
@@ -154,17 +162,22 @@ class TimeSlicer:
         Yields ``(slice_index, values)`` pairs, including empty-value
         pairs for slices no tuple fell into.
         """
-        if timestamp < self._last_timestamp:
+        if timestamp < self._watermark.value:
             raise OutOfOrderError(
-                f"timestamp {timestamp} precedes {self._last_timestamp}"
+                f"timestamp {timestamp} precedes "
+                f"{self._watermark.value}",
+                position=timestamp,
+                watermark=self._watermark.value,
             )
         if timestamp < self.origin:
             raise OutOfOrderError(
                 f"timestamp {timestamp} precedes the origin "
-                f"{self.origin}"
+                f"{self.origin}",
+                position=timestamp,
+                watermark=self.origin,
             )
-        self._last_timestamp = timestamp
-        index = self._index_of(timestamp)
+        self._watermark.advance(timestamp)
+        index = self._clock.slices_closed_by(self._watermark.value)
         while index > self._current_index:
             closed = self._buffer
             self._buffer = []

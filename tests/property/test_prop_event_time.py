@@ -1,0 +1,319 @@
+"""Property-based tests: event-time equivalence under bounded disorder.
+
+The contract the event-time layer sells: a stream shuffled within the
+lateness bound produces *exactly* the answers of the same stream fed
+in timestamp order — for every registry operator on the single-node
+engine, and byte-equal through the sharded service for mergeable
+operators.  Disorder beyond the bound is policy, not corruption: under
+``"drop"`` both paths discard the same records and still agree.
+
+Timestamps are drawn strictly increasing (on the 0.1s grid) so the
+release order out of the reorder buffer is fully determined by the
+timestamps; the jitter applied to arrival order stays strictly below
+the lateness bound, which guarantees no record is ever late.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidOperatorError
+from repro.operators.registry import available_operators, get_operator
+from repro.service.service import AggregationService
+from repro.stream.engine import EventTimeEngine
+from repro.stream.outoforder import TimestampReorderBuffer
+from repro.windows.timebased import TimeQuery, TimeWindowEngine
+
+def _time_engine_supported(name):
+    """Whether the time engine can run this operator at all.
+
+    The time reduction drives a SlickDeque over *partials*, so
+    operators that are neither invertible nor selection-type (e.g.
+    ``range``, ``bit_and``) are rejected at construction — there is no
+    in-order path to compare the shuffled path against.
+    """
+    try:
+        TimeWindowEngine([TimeQuery(2.0, 1.0)], get_operator(name))
+    except InvalidOperatorError:
+        return False
+    return True
+
+
+OPERATOR_NAMES = [
+    name
+    for name in sorted(available_operators())
+    if _time_engine_supported(name)
+]
+
+#: Mergeable operators with a SlickDeque path (the service's global
+#: time mode requires both) whose arithmetic is exact on ints.
+SERVICE_OPERATORS = ["count", "max", "mean", "min", "sum"]
+
+LATENESS = 1.0
+
+#: Strictly increasing arrival gaps in tenths of a second.
+arrival_gaps = st.lists(
+    st.integers(min_value=1, max_value=25), min_size=1, max_size=50
+)
+
+#: Per-record arrival jitter in tenths of a second, strictly below
+#: the lateness bound (0.9 < 1.0) so nothing is ever late.
+jitter_tenths = st.integers(min_value=0, max_value=9)
+
+
+def _value_domain(operator_name):
+    """Values each operator is meant to aggregate."""
+    if operator_name in ("bool_all", "bool_any"):
+        return st.booleans()
+    if operator_name == "geometric_mean":
+        return st.floats(min_value=1e-3, max_value=1e3)
+    if operator_name in ("alpha_max", "argmax_cos"):
+        return st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False
+        )
+    return st.integers(min_value=-(10**6), max_value=10**6)
+
+
+def _build_stream(gaps, values):
+    """A strictly-increasing timestamped stream on the 0.1s grid."""
+    stream = []
+    tick = 0
+    for gap, value in zip(gaps, values):
+        tick += gap
+        stream.append((tick / 10 + 0.011, value))
+    return stream
+
+
+def _shuffle_within_lateness(stream, jitters):
+    """Reorder arrivals by jittered timestamp, disorder < LATENESS."""
+    return [
+        record
+        for _, record in sorted(
+            (record[0] + jitters[i] / 10, record)
+            for i, record in enumerate(stream)
+        )
+    ]
+
+
+def _same_answers(got, expected):
+    """Elementwise equality with NaN == NaN (mean of empty window)."""
+    assert len(got) == len(expected)
+    for (g_end, g_query, g_value), (e_end, e_query, e_value) in zip(
+        got, expected
+    ):
+        assert g_end == e_end and g_query == e_query
+        if e_value != e_value:  # NaN
+            assert g_value != g_value
+        else:
+            assert g_value == e_value
+
+
+@pytest.mark.parametrize("operator_name", OPERATOR_NAMES)
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_engine_shuffled_equals_sorted_every_operator(
+    operator_name, data
+):
+    gaps = data.draw(arrival_gaps)
+    values = data.draw(
+        st.lists(
+            _value_domain(operator_name),
+            min_size=len(gaps),
+            max_size=len(gaps),
+        )
+    )
+    jitters = data.draw(
+        st.lists(
+            jitter_tenths, min_size=len(gaps), max_size=len(gaps)
+        )
+    )
+    stream = _build_stream(gaps, values)
+    shuffled = _shuffle_within_lateness(stream, jitters)
+
+    queries = [TimeQuery(2.0, 1.0), TimeQuery(3.0, 1.5)]
+    oracle = TimeWindowEngine(queries, get_operator(operator_name))
+    expected = list(oracle.run(stream))
+
+    engine = EventTimeEngine(
+        queries, get_operator(operator_name), lateness=LATENESS
+    )
+    got = []
+    for timestamp, value in shuffled:
+        got.extend(engine.feed(timestamp, value))
+    got.extend(engine.finish())
+
+    assert engine.late_records == 0
+    _same_answers(got, expected)
+
+
+@pytest.mark.parametrize("operator_name", SERVICE_OPERATORS)
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_time_service_equals_single_node_oracle(operator_name, data):
+    gaps = data.draw(arrival_gaps)
+    values = data.draw(
+        st.lists(
+            st.integers(min_value=-(10**6), max_value=10**6),
+            min_size=len(gaps),
+            max_size=len(gaps),
+        )
+    )
+    jitters = data.draw(
+        st.lists(
+            jitter_tenths, min_size=len(gaps), max_size=len(gaps)
+        )
+    )
+    num_shards = data.draw(st.integers(min_value=1, max_value=3))
+    stream = _build_stream(gaps, values)
+    shuffled = _shuffle_within_lateness(stream, jitters)
+
+    queries = [TimeQuery(2.0, 1.0), TimeQuery(5.0, 2.0)]
+    oracle = EventTimeEngine(
+        queries, get_operator(operator_name), lateness=LATENESS
+    )
+    expected = []
+    for timestamp, value in shuffled:
+        expected.extend(oracle.feed(timestamp, value))
+    expected.extend(oracle.finish())
+
+    service = AggregationService(
+        queries,
+        get_operator(operator_name),
+        num_shards=num_shards,
+        mode="time",
+        transport="inline",
+        lateness=LATENESS,
+    )
+    got = []
+    try:
+        for index, (timestamp, value) in enumerate(shuffled):
+            service.submit_event(f"key-{index % 5}", value, timestamp)
+        got.extend(service.poll())
+        service.close()
+        got.extend(service.poll())
+    except BaseException:
+        service.abort()
+        raise
+
+    _same_answers(got, expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_drop_policy_agrees_between_engine_and_service(data):
+    # Unbounded jitter: some records genuinely exceed the lateness
+    # bound.  Both paths must drop exactly the same ones.
+    gaps = data.draw(arrival_gaps)
+    values = data.draw(
+        st.lists(
+            st.integers(min_value=-100, max_value=100),
+            min_size=len(gaps),
+            max_size=len(gaps),
+        )
+    )
+    jitters = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=40),
+            min_size=len(gaps),
+            max_size=len(gaps),
+        )
+    )
+    stream = _build_stream(gaps, values)
+    shuffled = _shuffle_within_lateness(stream, jitters)
+
+    queries = [TimeQuery(2.0, 1.0)]
+    oracle = EventTimeEngine(
+        queries,
+        get_operator("sum"),
+        lateness=LATENESS,
+        late_policy="drop",
+    )
+    expected = []
+    for timestamp, value in shuffled:
+        expected.extend(oracle.feed(timestamp, value))
+    expected.extend(oracle.finish())
+
+    service = AggregationService(
+        queries,
+        get_operator("sum"),
+        num_shards=2,
+        mode="time",
+        transport="inline",
+        lateness=LATENESS,
+        late_policy="drop",
+    )
+    got = []
+    try:
+        for index, (timestamp, value) in enumerate(shuffled):
+            service.submit_event(f"key-{index % 3}", value, timestamp)
+        got.extend(service.poll())
+        result = service.close()
+        got.extend(service.poll())
+    except BaseException:
+        service.abort()
+        raise
+
+    assert service.late_records == oracle.late_records
+    assert result.stats.late_records == oracle.late_records
+    assert len(result.dead_letters) == oracle.late_records
+    _same_answers(got, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_feed_many_batches_equal_sorted_oracle(data):
+    gaps = data.draw(arrival_gaps)
+    values = data.draw(
+        st.lists(
+            st.integers(min_value=-(10**6), max_value=10**6),
+            min_size=len(gaps),
+            max_size=len(gaps),
+        )
+    )
+    jitters = data.draw(
+        st.lists(
+            jitter_tenths, min_size=len(gaps), max_size=len(gaps)
+        )
+    )
+    batch_size = data.draw(st.integers(min_value=1, max_value=7))
+    stream = _build_stream(gaps, values)
+    shuffled = _shuffle_within_lateness(stream, jitters)
+
+    queries = [TimeQuery(2.0, 1.0), TimeQuery(3.0, 1.5)]
+    oracle = TimeWindowEngine(queries, get_operator("sum"))
+    expected = list(oracle.run(stream))
+
+    engine = EventTimeEngine(
+        queries, get_operator("sum"), lateness=LATENESS
+    )
+    got = []
+    for start in range(0, len(shuffled), batch_size):
+        got.extend(
+            engine.feed_many(shuffled[start : start + batch_size])
+        )
+    got.extend(engine.finish())
+
+    assert engine.late_records == 0
+    _same_answers(got, expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    timestamps=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    lateness=st.sampled_from([0.0, 0.5, 2.0, 10.0]),
+)
+def test_reorder_buffer_release_order_is_sorted(timestamps, lateness):
+    buffer = TimestampReorderBuffer(lateness, policy="drop")
+    released = []
+    for index, timestamp in enumerate(timestamps):
+        released.extend(buffer.push(timestamp, index))
+    released.extend(buffer.drain())
+    out = [timestamp for timestamp, _ in released]
+    assert out == sorted(out)
+    assert len(released) + buffer.late_records == len(timestamps)

@@ -1,0 +1,379 @@
+"""Unit tests for the event-time layer.
+
+Covers the watermark primitives, the timestamped reorder buffer and
+its late-record policies, the event-time error types (including their
+pickle round-trips across process boundaries), the protocol-v3 frame
+field, and the transport frame codec's timestamp column.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.errors import (
+    InvalidQueryError,
+    LateRecordError,
+    OutOfOrderError,
+    ProtocolError,
+)
+from repro.net.protocol import (
+    HEADER,
+    REQUEST_TYPES,
+    SUPPORTED_VERSIONS,
+    Frame,
+    FrameType,
+    decode_answers,
+    encode_answers,
+    encode_frame,
+    try_decode_frame_traced,
+)
+from repro.operators.registry import get_operator
+from repro.service.transport.frame import (
+    decode_frame,
+    encode_batch_frame,
+)
+from repro.stream.engine import EventTimeEngine
+from repro.stream.outoforder import (
+    LATE_POLICIES,
+    TimestampReorderBuffer,
+)
+from repro.stream.records import KeyedEvent
+from repro.stream.watermark import (
+    BoundedLatenessWatermark,
+    TimeSliceClock,
+    Watermark,
+)
+from repro.windows.query import Query
+from repro.windows.timebased import TimeQuery, TimeWindowEngine
+
+
+# -- watermark primitives -------------------------------------------
+
+
+def test_watermark_is_monotone():
+    wm = Watermark(0)
+    assert wm.advance(3) is True
+    assert wm.value == 3
+    assert wm.advance(2) is False  # regression ignored
+    assert wm.value == 3
+    assert wm.advance(3) is False  # no-op, not an advance
+    assert wm.advance(7) is True
+    assert wm.value == 7
+
+
+def test_bounded_lateness_watermark_tracks_high_minus_lateness():
+    wm = BoundedLatenessWatermark(2.0)
+    assert wm.value == -math.inf and wm.high == -math.inf
+    wm.observe(10.0)
+    assert wm.high == 10.0 and wm.value == 8.0
+    wm.observe(5.0)  # out-of-order observation: high is monotone
+    assert wm.high == 10.0 and wm.value == 8.0
+    assert wm.is_late(7.999)
+    assert not wm.is_late(8.0)  # exactly-at-watermark is not late
+
+
+@pytest.mark.parametrize("lateness", [-1.0, math.inf, math.nan])
+def test_bounded_lateness_watermark_rejects_bad_bounds(lateness):
+    with pytest.raises(InvalidQueryError):
+        BoundedLatenessWatermark(lateness)
+
+
+def test_time_slice_clock_boundaries():
+    clock = TimeSliceClock(0.5, origin=1.0)
+    assert clock.slice_of(1.0) == 0
+    assert clock.slice_of(1.49) == 0
+    # A record exactly on a boundary belongs to the *next* slice.
+    assert clock.slice_of(1.5) == 1
+    assert clock.start_time(2) == 2.0
+    assert clock.end_time(0) == 1.5
+    # slices_closed_by: slice k is closed once the watermark passes
+    # its end; -inf (nothing observed) closes nothing.
+    assert clock.slices_closed_by(-math.inf) == 0
+    assert clock.slices_closed_by(1.2) == 0
+    assert clock.slices_closed_by(1.5) == 1
+    assert clock.slices_closed_by(2.6) == 3
+
+
+def test_time_slice_clock_rejects_bad_slice():
+    for bad in (0.0, -1.0, math.inf, math.nan):
+        with pytest.raises(InvalidQueryError):
+            TimeSliceClock(bad)
+
+
+# -- timestamped reorder buffer -------------------------------------
+
+
+def test_reorder_buffer_releases_in_timestamp_order():
+    buffer = TimestampReorderBuffer(lateness=1.0)
+    released = []
+    for ts in (0.5, 1.5, 0.9, 3.0, 2.2):
+        released.extend(buffer.push(ts, f"r{ts}"))
+    released.extend(buffer.drain())
+    assert [ts for ts, _ in released] == [0.5, 0.9, 1.5, 2.2, 3.0]
+    assert [item for _, item in released] == [
+        "r0.5", "r0.9", "r1.5", "r2.2", "r3.0",
+    ]
+    assert len(buffer) == 0
+    assert buffer.late_records == 0
+
+
+def test_reorder_buffer_equal_timestamps_keep_arrival_order():
+    buffer = TimestampReorderBuffer(lateness=0.0)
+    released = []
+    for item in ("a", "b", "c"):
+        released.extend(buffer.push(1.0, item))
+    released.extend(buffer.drain())
+    assert [item for _, item in released] == ["a", "b", "c"]
+
+
+def test_reorder_buffer_raise_policy():
+    buffer = TimestampReorderBuffer(lateness=0.5)
+    list(buffer.push(5.0, "x"))
+    with pytest.raises(LateRecordError) as info:
+        list(buffer.push(4.0, "late"))
+    assert info.value.timestamp == 4.0
+    assert info.value.watermark == 4.5
+    assert info.value.lateness_bound == 0.5
+    assert buffer.late_records == 1
+
+
+def test_reorder_buffer_drop_and_side_output_policies():
+    assert set(LATE_POLICIES) == {"raise", "drop", "side_output"}
+    for policy in ("drop", "side_output"):
+        seen = []
+        buffer = TimestampReorderBuffer(
+            lateness=0.5,
+            policy=policy,
+            on_late=lambda ts, item: seen.append((ts, item)),
+        )
+        list(buffer.push(5.0, "x"))
+        assert list(buffer.push(4.0, "late")) == []
+        assert buffer.late_records == 1
+        assert seen == [(4.0, "late")]
+        # The late record was never admitted to the heap.
+        assert len(buffer) == 1
+
+
+def test_reorder_buffer_rejects_unknown_policy():
+    with pytest.raises(OutOfOrderError):
+        TimestampReorderBuffer(lateness=1.0, policy="ignore")
+
+
+def test_push_many_matches_per_record_on_bounded_disorder():
+    records = [(ts, f"r{ts}") for ts in (0.5, 1.5, 0.9, 3.0, 2.2, 4.1)]
+    one = TimestampReorderBuffer(lateness=1.0)
+    singly = []
+    for ts, item in records:
+        one.push_into(ts, item, singly)
+    singly.extend(one.drain())
+
+    many = TimestampReorderBuffer(lateness=1.0)
+    batched = []
+    many.push_many_into(records[:3], batched)
+    many.push_many_into(records[3:], batched)
+    batched.extend(many.drain())
+
+    assert batched == singly
+    assert many.watermark == one.watermark
+    assert many.high == one.high
+
+
+def test_push_many_watermark_advances_at_batch_granularity():
+    # Per-record pushing rejects 4.0 (watermark is 4.5 once 5.0 is
+    # seen); batched pushing judges mid-batch records against the
+    # *previous* batch's watermark, so the same record is accepted
+    # and still released in sorted order.
+    buffer = TimestampReorderBuffer(lateness=0.5)
+    released = []
+    buffer.push_many_into([(5.0, "x"), (4.0, "in-batch")], released)
+    assert buffer.late_records == 0
+    assert [ts for ts, _ in released] == [4.0]
+    # Across batches the bound applies as usual.
+    with pytest.raises(LateRecordError):
+        buffer.push_many_into([(3.0, "late")], [])
+    assert buffer.late_records == 1
+
+
+# -- error types ----------------------------------------------------
+
+
+def test_late_record_error_attributes_and_pickle():
+    error = LateRecordError(1.5, 2.0, 0.5)
+    assert error.timestamp == 1.5
+    assert error.watermark == 2.0
+    assert error.lateness_bound == 0.5
+    assert "1.5" in str(error) and "2.0" in str(error)
+    clone = pickle.loads(pickle.dumps(error))
+    assert isinstance(clone, LateRecordError)
+    assert (clone.timestamp, clone.watermark, clone.lateness_bound) == (
+        1.5, 2.0, 0.5,
+    )
+
+
+def test_out_of_order_error_carries_position_and_watermark():
+    error = OutOfOrderError("regressed", position=3, watermark=7)
+    assert error.position == 3 and error.watermark == 7
+    clone = pickle.loads(pickle.dumps(error))
+    assert (clone.position, clone.watermark) == (3, 7)
+    assert str(clone) == "regressed"
+    # Errors raised before the refactor carried no context: both
+    # fields default to None and the pickle round-trip still works.
+    bare = pickle.loads(pickle.dumps(OutOfOrderError("old-style")))
+    assert bare.position is None and bare.watermark is None
+
+
+# -- records --------------------------------------------------------
+
+
+def test_keyed_event_astuple():
+    event = KeyedEvent("sensor", 1.5, 42)
+    assert event.astuple() == ("sensor", 1.5, 42)
+
+
+# -- protocol v3 ----------------------------------------------------
+
+
+def test_v3_frame_round_trips_event_time():
+    raw = encode_frame(
+        FrameType.SUBMIT_EVENT, ("key", 7), trace_id=None,
+        event_time=12.5,
+    )
+    assert raw[2] == 3  # version byte
+    frame, consumed = try_decode_frame_traced(raw)
+    assert consumed == len(raw)
+    assert frame.frame_type is FrameType.SUBMIT_EVENT
+    assert frame.payload == ("key", 7)
+    assert frame.trace_id is None
+    assert frame.event_time == 12.5
+
+
+def test_v3_frame_carries_trace_and_event_time_together():
+    raw = encode_frame(
+        FrameType.SUBMIT_EVENT, ("k", 1), trace_id=99, event_time=0.25
+    )
+    frame, _ = try_decode_frame_traced(raw)
+    assert frame.trace_id == 99
+    assert frame.event_time == 0.25
+
+
+def test_untraced_untimed_frames_stay_v1_byte_identical():
+    raw = encode_frame(FrameType.SUBMIT, ("k", 1))
+    assert raw[2] == 1
+    # v1 layout: header + payload, nothing between.
+    assert len(raw) == HEADER.size + (len(raw) - HEADER.size)
+    frame, _ = try_decode_frame_traced(raw)
+    assert frame.trace_id is None and frame.event_time is None
+
+
+def test_traced_untimed_frames_stay_v2():
+    raw = encode_frame(FrameType.SUBMIT, ("k", 1), trace_id=5)
+    assert raw[2] == 2
+    frame, _ = try_decode_frame_traced(raw)
+    assert frame.trace_id == 5 and frame.event_time is None
+
+
+def test_v3_partial_event_field_waits_for_more_bytes():
+    raw = encode_frame(FrameType.SUBMIT_EVENT, ("k", 1), event_time=1.0)
+    # Cut inside the event-time field: not an error, just incomplete.
+    cut = HEADER.size + 8 + 4
+    assert try_decode_frame_traced(raw[:cut]) is None
+    frame, _ = try_decode_frame_traced(raw)
+    assert frame.event_time == 1.0
+
+
+def test_event_frame_types_are_requests():
+    assert FrameType.SUBMIT_EVENT in REQUEST_TYPES
+    assert FrameType.SUBMIT_EVENT_BATCH in REQUEST_TYPES
+    assert 3 in SUPPORTED_VERSIONS
+
+
+def test_frame_tuple_defaults_event_time_none():
+    frame = Frame(FrameType.POLL, None, None)
+    assert frame.event_time is None
+
+
+def test_answer_marshalling_round_trips_time_queries():
+    tq = TimeQuery(2.0, 1.0, name="w")
+    cq = Query(8, 4, name="c")
+    rows = encode_answers([(3.0, tq, 17), (8, cq, 5)])
+    assert rows[0] == (3.0, ("time", 2.0, 1.0, "w"), 17)
+    assert rows[1] == (8, (8, 4, "c"), 5)
+    decoded = decode_answers(rows)
+    assert decoded == [(3.0, tq, 17), (8, cq, 5)]
+    assert isinstance(decoded[0][1], TimeQuery)
+    assert isinstance(decoded[1][1], Query)
+
+
+def test_malformed_query_spec_raises():
+    with pytest.raises(ProtocolError):
+        decode_answers([(1, (2.0,), 3)])
+
+
+# -- transport frame timestamp column -------------------------------
+
+
+def test_columnar_frame_round_trips_timestamps():
+    timestamps = [0.5, 1.25, 2.0]
+    frame = encode_batch_frame(
+        1, 7, 2, [10, 11, 12], ["a", "a", "b"], [1, 2, 3], None,
+        timestamps,
+    )
+    decoded = decode_frame(memoryview(frame))
+    assert list(decoded.timestamps) == timestamps
+    assert list(decoded.positions) == [10, 11, 12]
+    assert list(decoded.values) == [1, 2, 3]
+    decoded.release()
+    assert decoded.timestamps is None
+
+
+def test_columnar_frame_without_timestamps_decodes_none():
+    frame = encode_batch_frame(
+        0, 1, None, [0, 1], ["k", "k"], [5, 6], None
+    )
+    decoded = decode_frame(memoryview(frame))
+    assert decoded.timestamps is None
+    decoded.release()
+
+
+def test_columnar_frame_timestamps_compose_with_traces():
+    frame = encode_batch_frame(
+        0, 1, 1, [0, 1], ["k", "k"], [5, 6], [None, 42], [0.1, 0.2]
+    )
+    decoded = decode_frame(memoryview(frame))
+    assert decoded.traces == [None, 42]
+    assert list(decoded.timestamps) == [0.1, 0.2]
+    decoded.release()
+
+
+# -- single-node event-time engine ----------------------------------
+
+
+def test_event_time_engine_matches_time_engine_on_disorder():
+    queries = [TimeQuery(2.0, 1.0), TimeQuery(3.0, 1.5)]
+    stream = [(tick / 10 + 0.011, tick % 7) for tick in range(80)]
+    shuffled = sorted(
+        stream, key=lambda r: r[0] + ((hash(r) % 9) / 10)
+    )
+    oracle = TimeWindowEngine(queries, get_operator("sum"))
+    expected = list(oracle.run(stream))
+    engine = EventTimeEngine(
+        queries, get_operator("sum"), lateness=1.0
+    )
+    got = []
+    for ts, value in shuffled:
+        got.extend(engine.feed(ts, value))
+    got.extend(engine.finish())
+    assert got == expected
+
+
+def test_event_time_engine_raises_on_late_records():
+    engine = EventTimeEngine(
+        [TimeQuery(1.0, 1.0)], get_operator("sum"), lateness=0.25
+    )
+    list(engine.feed(5.0, 1))
+    with pytest.raises(LateRecordError):
+        list(engine.feed(1.0, 2))
+    assert engine.late_records == 1

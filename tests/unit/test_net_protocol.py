@@ -8,6 +8,7 @@ import pytest
 
 from repro.errors import ProtocolError
 from repro.net.protocol import (
+    EVENT_TIME_PROTOCOL_VERSION,
     HEADER,
     LEGACY_PROTOCOL_VERSION,
     MAGIC,
@@ -126,7 +127,7 @@ class TestFrameCodec:
 
     def test_unsupported_version_is_rejected(self):
         frame = bytearray(encode_frame(FrameType.POLL))
-        frame[2] = PROTOCOL_VERSION + 1
+        frame[2] = max(SUPPORTED_VERSIONS) + 1
         with pytest.raises(ProtocolError, match="version"):
             try_decode_frame(bytes(frame))
 
@@ -189,7 +190,8 @@ class TestTracedFrames:
     def test_version_constants_are_consistent(self):
         assert PROTOCOL_VERSION == 2
         assert LEGACY_PROTOCOL_VERSION == 1
-        assert SUPPORTED_VERSIONS == frozenset({1, 2})
+        assert EVENT_TIME_PROTOCOL_VERSION == 3
+        assert SUPPORTED_VERSIONS == frozenset({1, 2, 3})
 
     def test_untraced_frame_is_byte_identical_v1(self):
         frame = encode_frame(FrameType.POLL, None)
