@@ -44,6 +44,7 @@ STATS under ``"telemetry"`` and via :meth:`AggregationServer.render_metrics`
 from __future__ import annotations
 
 import asyncio
+import math
 import struct
 import sys
 import threading
@@ -852,6 +853,13 @@ def _normalize_events(
                 "SUBMIT_EVENT requires the protocol-v3 event-time "
                 "header field"
             )
+        if not math.isfinite(event_time):
+            # A NaN timestamp passes every downstream comparison
+            # (including "timestamp < origin") and would wedge the
+            # service's reorder buffer forever; reject it at the wire.
+            raise ProtocolError(
+                f"event timestamp must be finite, got {event_time!r}"
+            )
         if not isinstance(payload, (list, tuple)) or len(payload) != 2:
             raise ProtocolError(
                 f"SUBMIT_EVENT payload must be a (key, value) pair, "
@@ -877,6 +885,10 @@ def _normalize_events(
         ):
             raise ProtocolError(
                 f"event timestamp must be a number, got {timestamp!r}"
+            )
+        if not math.isfinite(timestamp):
+            raise ProtocolError(
+                f"event timestamp must be finite, got {timestamp!r}"
             )
         records.append((key, float(timestamp), value))
     return records

@@ -592,7 +592,8 @@ class AggregationService:
         Raises:
             LateRecordError: under the ``"raise"`` policy, when the
                 record's timestamp is behind the watermark.
-            OutOfOrderError: when the timestamp precedes ``origin``.
+            OutOfOrderError: when the timestamp is non-finite
+                (NaN/±inf) or precedes ``origin``.
         """
         if self._closed:
             raise ServiceError("cannot submit to a closed service")
@@ -600,6 +601,16 @@ class AggregationService:
         if ingress is None:
             raise ServiceError(
                 f"submit_event requires mode='time', not {self.mode!r}"
+            )
+        # NaN passes the origin check below (NaN comparisons are all
+        # False) and would wedge the reorder buffer's release scan
+        # forever; +inf would mark every later record late.  Reject
+        # both before any state is touched.
+        if not math.isfinite(timestamp):
+            raise OutOfOrderError(
+                f"event timestamp must be finite, got {timestamp!r}",
+                position=timestamp,
+                watermark=ingress.watermark,
             )
         if timestamp < self.origin:
             raise OutOfOrderError(

@@ -296,13 +296,22 @@ class EventTimeEngine:
         reorder buffer fixes the release order either way) but pays the
         engine-hop overhead once per batch instead of once per record —
         the shape the sharded service ingests in.
+
+        When a mid-batch record raises (late under the ``raise``
+        policy, or a non-finite timestamp), every record the partial
+        batch released has still been fed downstream before the
+        exception propagates — the reorder buffer has already let them
+        go and will not re-release them — so subsequent answers stay
+        correct; the answers those releases produced are not returned.
         """
         released: List[Tuple[float, Any]] = []
-        self._reorder.push_many_into(records, released)
-        inner_feed = self._inner.feed
-        answers: List[Tuple[float, Any, Any]] = []
-        for released_ts, released_value in released:
-            answers.extend(inner_feed(released_ts, released_value))
+        try:
+            self._reorder.push_many_into(records, released)
+        finally:
+            inner_feed = self._inner.feed
+            answers: List[Tuple[float, Any, Any]] = []
+            for released_ts, released_value in released:
+                answers.extend(inner_feed(released_ts, released_value))
         return answers
 
     def finish(self) -> List[Tuple[float, Any, Any]]:

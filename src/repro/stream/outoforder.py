@@ -18,6 +18,7 @@ which :func:`absorbable` checks.
 from __future__ import annotations
 
 import heapq
+import math
 from bisect import bisect_left, insort
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
@@ -31,6 +32,27 @@ from repro.stream.watermark import BoundedLatenessWatermark
 #: ``side_output`` counts it (and still calls ``on_late`` when given)
 #: without ever folding it into a closed slice.
 LATE_POLICIES = ("raise", "drop", "side_output")
+
+_INF = math.inf
+_isfinite = math.isfinite
+
+
+def _reject_nonfinite(timestamp: float, watermark: float) -> None:
+    """Raise for a NaN/±inf event timestamp before it touches state.
+
+    A NaN compares ``False`` against both the high mark and the
+    watermark, so it would be insort-ed into the pending buffer and —
+    because ``buffer[0][0] < watermark`` is also ``False`` for NaN —
+    block the release scan forever; ``+inf`` would pin the watermark at
+    infinity and mark every later record late.  Neither is a *late*
+    record, so this is not subject to the late policy: it is invalid
+    input and always raises.
+    """
+    raise OutOfOrderError(
+        f"event timestamp must be finite, got {timestamp!r}",
+        position=timestamp,
+        watermark=watermark,
+    )
 
 
 class ReorderBuffer:
@@ -172,7 +194,13 @@ class TimestampReorderBuffer:
         records come out in ``(timestamp, arrival)`` order and are
         final: their slices may close as soon as the caller observes
         the new :attr:`watermark`.
+
+        Raises:
+            OutOfOrderError: for a non-finite (NaN/±inf) timestamp,
+                regardless of the late policy; the buffer is untouched.
         """
+        if not _isfinite(timestamp):
+            _reject_nonfinite(timestamp, self._value)
         buffer = self._buffer
         if timestamp > self._high:
             self._high = timestamp
@@ -217,6 +245,13 @@ class TimestampReorderBuffer:
         per-record pushing would reject at the bound's edge may still
         be accepted here, but release order and the bounded-lateness
         guarantee are identical.
+
+        When a mid-batch record raises (late under the ``raise``
+        policy, or a non-finite timestamp), records accepted before it
+        stay accepted and the end-of-batch release still runs: ``out``
+        then holds every record the partial batch released, and the
+        caller MUST process it even though the call raised — those
+        records have left the buffer and will not be re-released.
         """
         buffer = self._buffer
         high = self._high
@@ -224,6 +259,12 @@ class TimestampReorderBuffer:
         try:
             for timestamp, item in records:
                 if timestamp > high:
+                    # NaN and -inf never win this comparison and fall
+                    # through to push_into's finiteness check; +inf is
+                    # the one non-finite value that must be caught here
+                    # before it pins the high mark at infinity.
+                    if timestamp == _INF:
+                        _reject_nonfinite(timestamp, self._value)
                     high = timestamp
                     buffer.append((timestamp, seq, item))
                     seq += 1

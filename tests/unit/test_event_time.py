@@ -162,6 +162,56 @@ def test_reorder_buffer_rejects_unknown_policy():
         TimestampReorderBuffer(lateness=1.0, policy="ignore")
 
 
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+@pytest.mark.parametrize("policy", LATE_POLICIES)
+def test_reorder_buffer_rejects_nonfinite_timestamps(bad, policy):
+    # A NaN would insort silently and then block the release scan
+    # forever (NaN comparisons are all False); +inf would pin the
+    # watermark at infinity.  Non-finite input is invalid, not late:
+    # it raises under every policy and leaves the buffer untouched.
+    buffer = TimestampReorderBuffer(
+        lateness=1.0, policy=policy, on_late=lambda ts, item: None
+    )
+    list(buffer.push(5.0, "x"))
+    with pytest.raises(OutOfOrderError) as info:
+        buffer.push_into(bad, "bad", [])
+    assert "finite" in str(info.value)
+    assert buffer.late_records == 0
+    assert len(buffer) == 1
+    assert buffer.high == 5.0 and buffer.watermark == 4.0
+    # The buffer is still fully usable afterwards.
+    released = []
+    buffer.push_into(6.5, "y", released)
+    assert [ts for ts, _ in released] == [5.0]
+
+
+def test_reorder_buffer_rejects_nonfinite_on_empty_buffer():
+    for bad in (math.nan, math.inf, -math.inf):
+        buffer = TimestampReorderBuffer(lateness=1.0)
+        with pytest.raises(OutOfOrderError):
+            buffer.push_into(bad, "bad", [])
+        assert len(buffer) == 0 and buffer.watermark == -math.inf
+
+
+def test_push_many_rejects_nonfinite_mid_batch_and_keeps_state():
+    buffer = TimestampReorderBuffer(lateness=1.0)
+    out = []
+    with pytest.raises(OutOfOrderError):
+        buffer.push_many_into(
+            [(1.0, "a"), (math.inf, "bad"), (2.0, "never")], out
+        )
+    # The record before the bad one was accepted, the bad one never
+    # touched the high mark, and the record after it was never read.
+    assert buffer.high == 1.0 and buffer.watermark == 0.0
+    assert out == [] and len(buffer) == 1
+    with pytest.raises(OutOfOrderError):
+        buffer.push_many_into([(math.nan, "bad")], out)
+    assert out == [] and len(buffer) == 1
+    released = []
+    buffer.push_many_into([(5.0, "b")], released)
+    assert [ts for ts, _ in released] == [1.0]
+
+
 def test_push_many_matches_per_record_on_bounded_disorder():
     records = [(ts, f"r{ts}") for ts in (0.5, 1.5, 0.9, 3.0, 2.2, 4.1)]
     one = TimestampReorderBuffer(lateness=1.0)
@@ -377,3 +427,103 @@ def test_event_time_engine_raises_on_late_records():
     with pytest.raises(LateRecordError):
         list(engine.feed(1.0, 2))
     assert engine.late_records == 1
+
+
+def test_feed_many_mid_batch_late_raise_still_feeds_released_records():
+    # A mid-batch late record raises, but the records its batch
+    # *released* have already left the reorder buffer — they must be
+    # fed downstream anyway, or every later answer is silently wrong.
+    queries = [TimeQuery(1.0, 1.0)]
+    engine = EventTimeEngine(
+        queries, get_operator("sum"), lateness=0.5
+    )
+    assert engine.feed_many([(5.0, 1)]) == []
+    with pytest.raises(LateRecordError):
+        # 10.0 advances the watermark to 9.5 and releases (5.0, 1);
+        # 1.0 is behind the previous batch's watermark (4.5) and
+        # raises under the default "raise" policy.
+        engine.feed_many([(10.0, 2), (1.0, 99)])
+    answers = engine.finish()
+    # The oracle mirrors the documented contract: (5.0, 1) WAS fed
+    # downstream before the exception propagated (only the answers
+    # that feed produced are lost), so every later window — including
+    # the one summing the released record — is exact.
+    oracle = TimeWindowEngine(queries, get_operator("sum"))
+    oracle.feed(5.0, 1)  # emitted during the raising call, discarded
+    expected = list(oracle.feed(10.0, 2))
+    expected.extend(oracle.finish())
+    assert answers == expected
+    assert (6.0, queries[0], 1) in answers  # the released record counted
+
+
+def test_feed_many_nonfinite_timestamp_raises_and_engine_survives():
+    queries = [TimeQuery(1.0, 1.0)]
+    engine = EventTimeEngine(queries, get_operator("sum"), lateness=0.5)
+    with pytest.raises(OutOfOrderError):
+        engine.feed_many([(1.0, 1), (math.nan, 7)])
+    answers = list(engine.feed_many([(2.0, 1)]))
+    answers.extend(engine.finish())
+    oracle = TimeWindowEngine(queries, get_operator("sum"))
+    expected = list(oracle.run([(1.0, 1), (2.0, 1)]))
+    assert answers == expected
+
+
+# -- non-finite timestamps at the service and wire layers -----------
+
+
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+def test_service_submit_event_rejects_nonfinite_timestamps(bad):
+    from repro.service import AggregationService
+
+    service = AggregationService(
+        [TimeQuery(2.0, 1.0)],
+        get_operator("sum"),
+        num_shards=2,
+        mode="time",
+        transport="inline",
+        lateness=1.0,
+    )
+    try:
+        service.submit_event("k", 1, 5.0)
+        with pytest.raises(OutOfOrderError) as info:
+            service.submit_event("k", 2, bad)
+        assert "finite" in str(info.value)
+        # The service is still healthy: later in-order records ingest
+        # and the stream closes with exact answers.
+        service.submit_event("k", 3, 6.0)
+        answers = list(service.poll())
+        service.close()
+        answers.extend(service.poll())
+        oracle = EventTimeEngine(
+            [TimeQuery(2.0, 1.0)], get_operator("sum"), lateness=1.0
+        )
+        expected = []
+        for ts, value in [(5.0, 1), (6.0, 3)]:
+            expected.extend(oracle.feed(ts, value))
+        expected.extend(oracle.finish())
+        assert answers == expected
+    except BaseException:
+        service.abort()
+        raise
+
+
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+def test_wire_normalize_rejects_nonfinite_event_header(bad):
+    from repro.net.server import _normalize_events
+
+    with pytest.raises(ProtocolError) as info:
+        _normalize_events(FrameType.SUBMIT_EVENT, ("k", 1), bad)
+    assert "finite" in str(info.value)
+
+
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+def test_wire_normalize_rejects_nonfinite_batch_timestamps(bad):
+    from repro.net.server import _normalize_events
+
+    with pytest.raises(ProtocolError) as info:
+        _normalize_events(
+            FrameType.SUBMIT_EVENT_BATCH,
+            [("k", 1.0, 10), ("k", bad, 11)],
+            None,
+        )
+    assert "finite" in str(info.value)
